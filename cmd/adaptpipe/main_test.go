@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestADAPTRun(t *testing.T) {
+	out := runOut(t, "-config", "adapt", "-events", "3", "-seed", "5", "-v")
+	for _, want := range []string{
+		"20 ASICs (320 channels)", "1D island detection",
+		"297619 events/s", "bottleneck: island",
+		"calibrated pedestals", "event 0", "processed 3 events",
+		"data reduction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCTARun(t *testing.T) {
+	out := runOut(t, "-config", "cta", "-events", "2", "-seed", "9")
+	for _, want := range []string{"2D 43x43 4-way", "Pipelined", "processed 2 events"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// CTA rate matches the §5.5 claim through the pipeline model.
+	if !strings.Contains(out, "15209 events/s") {
+		t.Errorf("expected 15209 events/s in:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-config", "nope"}, &sb); err == nil {
+		t.Fatal("bad config must error")
+	}
+}

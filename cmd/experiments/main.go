@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures and prints
+// each cell next to its published value.
+//
+// Usage:
+//
+//	experiments                 # run everything (E1–E10)
+//	experiments table1 table3   # run selected experiments
+//	experiments -list           # list experiment ids
+//	experiments -csv fig10      # emit a figure's data series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/wustl-adapt/hepccl/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list experiment ids and exit")
+		csv  = fs.Bool("csv", false, "emit CSV data series (fig10/fig11 only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-11s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	ids := fs.Args()
+	if *csv {
+		if len(ids) != 1 {
+			return fmt.Errorf("-csv needs exactly one of: fig10, fig11")
+		}
+		switch ids[0] {
+		case "fig10":
+			return experiments.Fig10CSV(out)
+		case "fig11":
+			return experiments.Fig11CSV(out)
+		default:
+			return fmt.Errorf("no CSV series for %q", ids[0])
+		}
+	}
+	if len(ids) == 0 {
+		return experiments.RunAll(out)
+	}
+	for i, id := range ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		if err := e.Run(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestList(t *testing.T) {
+	out := runOut(t, "-list")
+	for _, want := range []string{"table1", "table4", "fig10", "throughput", "cornercase", "cta"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestSelectedExperiments(t *testing.T) {
+	out := runOut(t, "table1", "throughput")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "E7") {
+		t.Fatalf("selected run wrong:\n%s", out)
+	}
+	if strings.Contains(out, "Table 4") {
+		t.Fatal("unselected experiment ran")
+	}
+}
+
+func TestRunAllDefault(t *testing.T) {
+	out := runOut(t)
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4", "Fig 10", "Fig 11", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full run missing %q", want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := runOut(t, "-csv", "fig10")
+	if !strings.HasPrefix(out, "size,pixels,latency_4way_paper") {
+		t.Fatalf("fig10 csv header wrong: %q", out[:60])
+	}
+	out = runOut(t, "-csv", "fig11")
+	if !strings.Contains(out, "ff_8way_model") {
+		t.Fatal("fig11 csv header wrong")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"nope"},
+		{"-csv"},
+		{"-csv", "table1"},
+		{"-csv", "fig10", "fig11"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}

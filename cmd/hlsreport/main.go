@@ -1,0 +1,138 @@
+// Command hlsreport prints Vitis-style synthesis reports for the island-
+// detection designs: latency, initiation interval, and BRAM/FF/LUT with
+// device utilization, plus the per-loop latency breakdown.
+//
+// Usage:
+//
+//	hlsreport -stage pipelined -conn 4 -rows 43 -cols 43
+//	hlsreport -all                # all four stages at one size
+//	hlsreport -scaling -conn 8    # the §5.5 size sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/hls/resource"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hlsreport:", err)
+		os.Exit(1)
+	}
+}
+
+var stageNames = map[string]design.Stage{
+	"baseline":     design.StageBaseline,
+	"bind-storage": design.StageBindStorage,
+	"unrolled":     design.StageUnrolled,
+	"pipelined":    design.StagePipelined,
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hlsreport", flag.ContinueOnError)
+	var (
+		stageFlag = fs.String("stage", "pipelined", "baseline|bind-storage|unrolled|pipelined")
+		connFlag  = fs.Int("conn", 4, "connectivity: 4 or 8")
+		rows      = fs.Int("rows", 8, "array rows (NROWS)")
+		cols      = fs.Int("cols", 10, "array cols (NCOLS)")
+		all       = fs.Bool("all", false, "report all four optimization stages")
+		scaling   = fs.Bool("scaling", false, "report the pipelined design across the paper's sizes")
+		seed      = fs.Uint64("seed", 1, "workload seed for the simulated event")
+		traceFile = fs.String("trace", "", "write a VCD waveform of the scan loop to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	conn := grid.Connectivity(*connFlag)
+	if !conn.Valid() {
+		return fmt.Errorf("invalid -conn %d", *connFlag)
+	}
+
+	if *scaling {
+		for _, sz := range [][2]int{{8, 10}, {16, 16}, {24, 24}, {32, 32}, {43, 43}, {64, 64}} {
+			if err := report(out, design.StagePipelined, conn, sz[0], sz[1], *seed, false, ""); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *all {
+		for _, st := range design.Stages() {
+			if err := report(out, st, conn, *rows, *cols, *seed, true, ""); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	st, ok := stageNames[strings.ToLower(*stageFlag)]
+	if !ok {
+		return fmt.Errorf("unknown stage %q", *stageFlag)
+	}
+	return report(out, st, conn, *rows, *cols, *seed, true, *traceFile)
+}
+
+func report(out io.Writer, st design.Stage, conn grid.Connectivity, rows, cols int, seed uint64, breakdown bool, traceFile string) error {
+	rng := detector.NewRNG(seed)
+	g := detector.RandomIslands(rows, cols, max(2, rows*cols/80), 1.5, rng)
+	// Paper merge-table sizing (the design default) so reports match the
+	// published tables; sparse workloads cannot overflow it, but if one
+	// does, retry with the 4-way-safe capacity and note it.
+	cfg := design.Config{Rows: rows, Cols: cols, Connectivity: conn, Stage: st}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.TraceWriter = f
+		fmt.Fprintf(out, "writing scan-loop waveform to %s\n", traceFile)
+	}
+	res, err := design.Run(g, cfg)
+	if err != nil {
+		cfg.MergeTableCap = ccl.SizeFor(rows, cols, conn)
+		res, err = design.Run(g, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "note: workload overflowed the paper's merge-table sizing; using %d entries\n",
+			cfg.MergeTableCap)
+	}
+	r := res.Report
+	dev := resource.KintexXC7K325T
+	fmt.Fprintf(out, "== %s | %s | %s | %s @ %.0f MHz ==\n",
+		r.Design, r.Stage, r.Connectivity, r.SizeLabel(), r.ClockMHz)
+	fmt.Fprintf(out, "latency %8d cycles (%.2f us)   II %8d   inner-loop II %d\n",
+		r.LatencyCycles, r.LatencySeconds()*1e6, r.II, r.InnerII)
+	fmt.Fprintf(out, "events/s %8.0f   dynamic cycles this event %d\n",
+		r.EventsPerSecond(), r.DynamicCycles)
+	fmt.Fprintf(out, "BRAM18K %4d (%2d%%)   FF %7d (%2d%%)   LUT %7d (%2d%%)  on %s\n",
+		r.Usage.BRAM18K, dev.PctBRAM(r.Usage.BRAM18K),
+		r.Usage.FF, dev.PctFF(r.Usage.FF),
+		r.Usage.LUT, dev.PctLUT(r.Usage.LUT), dev.Name)
+	if breakdown {
+		fmt.Fprintf(out, "loop breakdown:\n%s\n", indent(res.Ledger.Breakdown(), "  "))
+		for _, s := range res.Streams {
+			fmt.Fprintf(out, "  stream %-16s writes %6d  max occupancy %d\n",
+				s.Name, s.Writes, s.MaxOccupancy)
+		}
+	}
+	return nil
+}
+
+func indent(s, pre string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = pre + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

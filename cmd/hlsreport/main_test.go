@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func runOut(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestSingleReport(t *testing.T) {
+	out := runOut(t, "-stage", "pipelined", "-conn", "4", "-rows", "8", "-cols", "10")
+	for _, want := range []string{"Pipelined", "4-way", "8x10", "340", "4229", "4096", "loop breakdown", "scan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllStages(t *testing.T) {
+	out := runOut(t, "-all", "-conn", "8")
+	for _, want := range []string{"Baseline", "Bind Storage", "Unrolled", "Pipelined", "1398", "1718", "1578"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestScalingSweep(t *testing.T) {
+	out := runOut(t, "-scaling", "-conn", "4")
+	for _, want := range []string{"8x10", "16x16", "24x24", "32x32", "43x43", "64x64", "6575", "14396"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestStreamStatsShown(t *testing.T) {
+	out := runOut(t, "-stage", "pipelined", "-conn", "8", "-rows", "8", "-cols", "10")
+	if !strings.Contains(out, "stream_topleft") {
+		t.Fatalf("8-way report should show diagonal streams:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	for _, args := range [][]string{
+		{"-stage", "nope"},
+		{"-conn", "3"},
+	} {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestTraceFlag(t *testing.T) {
+	path := t.TempDir() + "/scan.vcd"
+	out := runOut(t, "-stage", "pipelined", "-rows", "4", "-cols", "5", "-trace", path)
+	if !strings.Contains(out, "waveform") {
+		t.Fatalf("trace note missing:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "$enddefinitions $end") {
+		t.Fatalf("VCD malformed:\n%s", data)
+	}
+}

@@ -1,0 +1,72 @@
+// ADAPT station scenario: "ADAPT's 2D spatial reconstruction uses
+// perpendicular 1D arrays of optical fibers" (§2). Two pipelines read the X
+// and Y fiber layers of one tracker station; the event builder pairs their
+// 1D islands by energy rank into 2D interaction points and compares them to
+// the generated ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+func main() {
+	cfg := adapt.DefaultADAPT()
+	cfg.ASICs = 8 // 128 channels per layer
+	station, err := adapt.NewInstrument(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tracker station: 2 layers × %d channels, %.0f events/s\n\n",
+		station.X.Channels(), station.EventsPerSecond())
+
+	tracker := detector.DefaultTracker()
+	tracker.Channels = station.X.Channels()
+	tracker.MeanInteractions = 1.5
+	tracker.Threshold = 0
+	tracker.PEMin = 40
+	dig := detector.DefaultDigitizer()
+	dig.NoiseRMS = 0
+	rng := detector.NewRNG(1234)
+
+	var matched, truthPoints int
+	for ev := 0; ev < 10; ev++ {
+		xy := tracker.XYEvent(rng)
+		xPackets, err := adapt.GenerateEvent(xy.X, cfg.ASICs, uint32(ev), 0, dig, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		yPackets, err := adapt.GenerateEvent(xy.Y, cfg.ASICs, uint32(ev), 0, dig, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := station.ProcessEvent(xPackets, yPackets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("event %d: %d truth interactions -> %d points (unpaired X/Y: %d/%d)\n",
+			ev, len(xy.Truth), len(rec.Points), rec.UnpairedX, rec.UnpairedY)
+		for _, p := range rec.Points {
+			best := math.Inf(1)
+			for _, tr := range xy.Truth {
+				if d := math.Hypot(p.Row-tr.Row, p.Col-tr.Col); d < best {
+					best = d
+				}
+			}
+			fmt.Printf("  point (%6.2f, %6.2f)  E %4d/%-4d  balance %.2f  |truth dist| %.2f\n",
+				p.Row, p.Col, p.EnergyX, p.EnergyY, p.Balance, best)
+			if best < 1.5 {
+				matched++
+			}
+		}
+		truthPoints += len(xy.Truth)
+	}
+	fmt.Printf("\n%d/%d reconstructed points within 1.5 channels of a truth interaction\n",
+		matched, truthPoints)
+	fmt.Println("(multi-interaction events show the classic XY-readout ghost ambiguity —")
+	fmt.Println(" the energy-balance column is the discriminator real event builders cut on)")
+}

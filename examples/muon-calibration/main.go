@@ -1,0 +1,78 @@
+// Muon calibration scenario: local muons draw thin Cherenkov rings in the
+// camera — the most concave islands a real IACT sees. The example labels
+// ring images, fits circles (Kåsa) to recover the ring radius, and shows why
+// the corrected merge-table update matters: the published update splits a
+// substantial fraction of rings into multiple islands (EXPERIMENTS.md E13),
+// which would corrupt the radius calibration.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	hepccl "github.com/wustl-adapt/hepccl"
+)
+
+func main() {
+	cam := hepccl.LSTCamera()
+	rng := hepccl.NewRNG(4242)
+
+	const events = 30
+	var fitted, splitByPaperMode int
+	var radErrSum float64
+
+	for ev := 0; ev < events; ev++ {
+		truth := cam.TypicalMuonRing(rng)
+		img := cam.Ring(truth, rng)
+
+		// Published update (the shipping hardware behaviour).
+		paper, err := hepccl.Label(img, hepccl.Options{
+			Connectivity:  hepccl.FourWay,
+			Mode:          hepccl.ModePaper,
+			MergeTableCap: hepccl.MergeTableSize(cam.Rows, cam.Cols, hepccl.FourWay),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Corrected update.
+		fixed, err := hepccl.Label(img, hepccl.Options{
+			Connectivity: hepccl.FourWay,
+			Mode:         hepccl.ModeFixed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if paper.Islands > fixed.Islands {
+			splitByPaperMode++
+		}
+
+		islands := hepccl.IslandsOf(img, fixed.Labels)
+		main := hepccl.LargestIsland(islands)
+		// Quality cut, as real muon calibration applies: the ring candidate
+		// must cover a reasonable fraction of the expected circumference,
+		// or the arc fit biases the radius.
+		minPixels := int(0.35 * 2 * math.Pi * truth.Radius)
+		if main == nil || main.Size() < minPixels {
+			continue
+		}
+		ring, err := hepccl.FitRing(*main)
+		if err != nil || ring.RMS > 1.0 {
+			continue
+		}
+		fitted++
+		radErr := math.Abs(ring.Radius - truth.Radius)
+		radErrSum += radErr
+		if ev < 8 {
+			fmt.Printf("event %2d: true R=%5.2f  fitted R=%5.2f (center %.1f,%.1f; rms %.2f)  islands paper/fixed: %d/%d\n",
+				ev, truth.Radius, ring.Radius, ring.CenterRow, ring.CenterCol, ring.RMS,
+				paper.Islands, fixed.Islands)
+		}
+	}
+
+	fmt.Printf("\nfitted %d/%d rings; mean |radius error| %.2f px\n",
+		fitted, events, radErrSum/float64(fitted))
+	fmt.Printf("published update split %d/%d ring events into extra islands\n", splitByPaperMode, events)
+	fmt.Println("=> thin concave rings routinely trigger the §6 corner case; the corrected")
+	fmt.Println("   update (ModeFixed) keeps each ring one island, preserving the calibration.")
+}

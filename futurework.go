@@ -1,0 +1,74 @@
+package hepccl
+
+import (
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/design"
+)
+
+// Public surface for the §6 future-work extensions this reproduction
+// implements: alternative pass structures, the widened output interface,
+// and tiled (hierarchical) labeling.
+
+type (
+	// VariantConfig configures a future-work design variant.
+	VariantConfig = design.VariantConfig
+	// PassStrategy selects the pass structure of a variant.
+	PassStrategy = design.PassStrategy
+	// TiledOptions configures hierarchical labeling.
+	TiledOptions = ccl.TiledOptions
+	// TiledResult is the output of hierarchical labeling.
+	TiledResult = ccl.TiledResult
+)
+
+// Pass strategies.
+const (
+	// PassOneAndHalf is the paper's published 1.5-pass design.
+	PassOneAndHalf = design.PassOneAndHalf
+	// PassTwo adds a full relabeling raster pass.
+	PassTwo = design.PassTwo
+	// PassSingle resolves on the fly with a flat representative table.
+	PassSingle = design.PassSingle
+)
+
+// RunVariant executes a future-work design variant on an event image.
+func RunVariant(g *Grid, cfg VariantConfig) (*DesignOutput, error) {
+	return design.RunVariant(g, cfg)
+}
+
+// VariantLatency returns a variant's modeled worst-case latency in cycles.
+func VariantLatency(cfg VariantConfig) int64 { return design.VariantLatency(cfg) }
+
+// LabelTiled runs hierarchical CCL: independent tiles with bounded merge
+// tables, then a boundary-union pass.
+func LabelTiled(g *Grid, opt TiledOptions) (*TiledResult, error) {
+	return ccl.LabelTiled(g, opt)
+}
+
+// Station-level reconstruction and hardware centroiding surface.
+
+type (
+	// Instrument is one two-layer (X/Y) tracker station.
+	Instrument = adapt.Instrument
+	// StationEvent is the station event builder's output.
+	StationEvent = adapt.StationEvent
+	// Point2D is one reconstructed 2D interaction point.
+	Point2D = adapt.Point2D
+	// CentroidOutput is the streaming hardware centroid stage's result.
+	CentroidOutput = design.CentroidOutput
+	// CentroidFx is one fixed-point hardware centroid.
+	CentroidFx = design.CentroidFx
+	// TriggerConfig parameterizes a Poisson trigger-load simulation.
+	TriggerConfig = adapt.TriggerConfig
+	// DeadtimeResult summarizes a trigger-load simulation.
+	DeadtimeResult = adapt.DeadtimeResult
+)
+
+// NewInstrument builds a two-layer station from a 1D pipeline configuration.
+func NewInstrument(cfg PipelineConfig) (*Instrument, error) { return adapt.NewInstrument(cfg) }
+
+// RunCentroid2D executes the streaming hardware centroid stage over a
+// labeled image.
+func RunCentroid2D(g *Grid, labels *Labels, maxLabels int) (*CentroidOutput, error) {
+	return design.RunCentroid2D(g, labels, maxLabels)
+}

@@ -1,0 +1,3 @@
+module github.com/wustl-adapt/hepccl
+
+go 1.22

@@ -1,0 +1,121 @@
+package adapt
+
+import (
+	"fmt"
+
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// Trigger/deadtime simulation. The §5.5 throughput numbers are sustained
+// rates; real triggers arrive as a Poisson process, so whether "15k events/s
+// capacity" actually services a 15 kHz instrument depends on the derandomizer
+// FIFO in front of the pipeline. This discrete-event model quantifies that —
+// the first of the "system scalability concerns" §6 says integration into
+// CTA's real-time pipeline will need.
+
+// TriggerConfig parameterizes one trigger-load simulation.
+type TriggerConfig struct {
+	// RateHz is the mean Poisson trigger rate.
+	RateHz float64
+	// FIFODepth is the derandomizer capacity in buffered events. An event
+	// arriving with the FIFO full (and the pipeline busy) is lost.
+	FIFODepth int
+	// Events is the number of triggers to simulate.
+	Events int
+	// Seed drives the deterministic arrival process.
+	Seed uint64
+}
+
+// DeadtimeResult summarizes a trigger-load simulation.
+type DeadtimeResult struct {
+	// Offered is the number of triggers generated.
+	Offered int
+	// Accepted is the number of events processed.
+	Accepted int
+	// Dropped is the number lost to a full FIFO.
+	Dropped int
+	// LossFraction is Dropped/Offered.
+	LossFraction float64
+	// Utilization is the busy fraction of the pipeline (ρ).
+	Utilization float64
+	// MaxQueue is the FIFO high-water mark observed.
+	MaxQueue int
+	// MeanQueue is the time-averaged FIFO occupancy.
+	MeanQueue float64
+}
+
+// SimulateTrigger runs a Poisson trigger stream against the pipeline's
+// per-event service interval (EventIntervalCycles at the design clock).
+func (p *Pipeline) SimulateTrigger(cfg TriggerConfig) (DeadtimeResult, error) {
+	if cfg.RateHz <= 0 {
+		return DeadtimeResult{}, fmt.Errorf("adapt: trigger rate must be positive")
+	}
+	if cfg.Events < 1 {
+		return DeadtimeResult{}, fmt.Errorf("adapt: need at least one trigger")
+	}
+	if cfg.FIFODepth < 0 {
+		return DeadtimeResult{}, fmt.Errorf("adapt: negative FIFO depth")
+	}
+	service := float64(p.EventIntervalCycles()) / (design.ClockMHz * 1e6) // seconds
+	rng := detector.NewRNG(cfg.Seed)
+
+	var (
+		now          float64 // arrival clock
+		pipelineFree float64 // time the pipeline finishes its current event
+		queue        []float64
+		res          DeadtimeResult
+		busy         float64 // accumulated busy time
+		queueArea    float64 // ∫ queue-depth dt for the mean
+		lastT        float64
+	)
+	drainUntil := func(t float64) {
+		// Start queued events whenever the pipeline frees before t.
+		for len(queue) > 0 && pipelineFree <= t {
+			start := pipelineFree
+			if queue[0] > start {
+				start = queue[0]
+			}
+			if start > t {
+				break
+			}
+			queue = queue[1:]
+			pipelineFree = start + service
+			busy += service
+			res.Accepted++
+		}
+	}
+	for i := 0; i < cfg.Events; i++ {
+		now += rng.Exp(1 / cfg.RateHz)
+		queueArea += float64(len(queue)) * (now - lastT)
+		lastT = now
+		drainUntil(now)
+		res.Offered++
+		switch {
+		case pipelineFree <= now:
+			// Pipeline idle: start immediately.
+			pipelineFree = now + service
+			busy += service
+			res.Accepted++
+		case len(queue) < cfg.FIFODepth:
+			queue = append(queue, now)
+			if len(queue) > res.MaxQueue {
+				res.MaxQueue = len(queue)
+			}
+		default:
+			res.Dropped++
+		}
+	}
+	// Drain the tail.
+	drainUntil(pipelineFree + float64(cfg.Events)*service)
+	end := pipelineFree
+	if end < now {
+		end = now
+	}
+	if end > 0 {
+		res.Utilization = busy / end
+		res.MeanQueue = queueArea / end
+	}
+	res.LossFraction = float64(res.Dropped) / float64(res.Offered)
+	return res, nil
+}

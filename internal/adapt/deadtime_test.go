@@ -1,0 +1,124 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+)
+
+func ctaPipeline(t *testing.T) *Pipeline {
+	t.Helper()
+	p, err := New(DefaultCTA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimulateTriggerLightLoad(t *testing.T) {
+	p := ctaPipeline(t) // capacity ≈ 15.2k events/s
+	res, err := p.SimulateTrigger(TriggerConfig{RateHz: 3000, FIFODepth: 4, Events: 20000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At ρ≈0.2 the tail probability of a full 4-deep FIFO is ~ρ⁵: losses
+	// must be well under 0.1% but need not be exactly zero.
+	if res.LossFraction > 0.001 {
+		t.Fatalf("light load loss = %.5f, want < 0.001", res.LossFraction)
+	}
+	if res.Accepted+res.Dropped != res.Offered {
+		t.Fatal("accounting broken")
+	}
+	// ρ ≈ λ·s ≈ 3000/15209 ≈ 0.197.
+	if math.Abs(res.Utilization-0.197) > 0.03 {
+		t.Fatalf("utilization = %.3f, want ≈0.20", res.Utilization)
+	}
+}
+
+func TestSimulateTriggerOverload(t *testing.T) {
+	p := ctaPipeline(t)
+	// 2× overload: losses approach 1 - capacity/rate ≈ 0.5.
+	res, err := p.SimulateTrigger(TriggerConfig{RateHz: 30000, FIFODepth: 8, Events: 30000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossFraction < 0.40 || res.LossFraction > 0.60 {
+		t.Fatalf("overload loss = %.3f, want ≈0.5", res.LossFraction)
+	}
+	if res.Utilization < 0.97 {
+		t.Fatalf("overloaded pipeline should be saturated, ρ = %.3f", res.Utilization)
+	}
+	if res.Accepted+res.Dropped != res.Offered {
+		t.Fatal("conservation broken")
+	}
+}
+
+func TestSimulateTriggerFIFODepthMatters(t *testing.T) {
+	p := ctaPipeline(t)
+	// Near-critical load (ρ ≈ 0.92): a deeper derandomizer cuts losses.
+	base := TriggerConfig{RateHz: 14000, Events: 40000, Seed: 3}
+	shallow := base
+	shallow.FIFODepth = 1
+	deep := base
+	deep.FIFODepth = 64
+	rs, err := p.SimulateTrigger(shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := p.SimulateTrigger(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.LossFraction <= rd.LossFraction {
+		t.Fatalf("deeper FIFO must reduce losses: %.4f vs %.4f", rs.LossFraction, rd.LossFraction)
+	}
+	if rd.LossFraction > 0.01 {
+		t.Fatalf("64-deep FIFO at ρ≈0.92 should lose <1%%, got %.4f", rd.LossFraction)
+	}
+	if rd.MaxQueue <= rs.MaxQueue {
+		t.Fatal("deeper FIFO should actually be used")
+	}
+}
+
+func TestSimulateTriggerZeroFIFO(t *testing.T) {
+	p := ctaPipeline(t)
+	// No derandomizer at all: the classic non-paralyzable deadtime formula
+	// loss ≈ ρ/(1+ρ) for Poisson arrivals.
+	res, err := p.SimulateTrigger(TriggerConfig{RateHz: 15000, FIFODepth: 0, Events: 40000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := 15000.0 / 15209.0
+	want := rho / (1 + rho)
+	if math.Abs(res.LossFraction-want) > 0.03 {
+		t.Fatalf("zero-FIFO loss = %.3f, want ≈%.3f", res.LossFraction, want)
+	}
+}
+
+func TestSimulateTriggerValidation(t *testing.T) {
+	p := ctaPipeline(t)
+	for _, cfg := range []TriggerConfig{
+		{RateHz: 0, Events: 10},
+		{RateHz: 100, Events: 0},
+		{RateHz: 100, Events: 10, FIFODepth: -1},
+	} {
+		if _, err := p.SimulateTrigger(cfg); err == nil {
+			t.Errorf("config %+v must error", cfg)
+		}
+	}
+}
+
+func TestSimulateTriggerDeterminism(t *testing.T) {
+	p := ctaPipeline(t)
+	cfg := TriggerConfig{RateHz: 12000, FIFODepth: 4, Events: 5000, Seed: 7}
+	a, err := p.SimulateTrigger(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.SimulateTrigger(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed must reproduce the simulation")
+	}
+}

@@ -1,0 +1,94 @@
+package adapt
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzStreamReader feeds arbitrary bytes to the packet-stream parser: it
+// must never panic, must terminate, and every packet it does return must
+// re-marshal to a validating frame.
+func FuzzStreamReader(f *testing.F) {
+	// Seed with a valid packet surrounded by junk.
+	var p Packet
+	p.Header = Header{ASIC: 2, Event: 5, SamplesPerChannel: 2}
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		p.Samples[ch] = []int32{200, 240}
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(append([]byte{0xA1, 0x00, 0xFF}, frame...), 0xA1, 0xFA, 0x01))
+	f.Add(frame)
+	f.Add([]byte{0xA1, 0xFA})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sr := NewStreamReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bound iterations defensively
+			pkt, err := sr.ReadPacket()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			re, err := pkt.Marshal()
+			if err != nil {
+				t.Fatalf("returned packet does not re-marshal: %v", err)
+			}
+			var q Packet
+			if _, err := q.Unmarshal(re); err != nil {
+				t.Fatalf("returned packet does not re-validate: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzUnmarshalPacket checks Unmarshal never panics and never accepts a
+// frame whose re-marshaling differs.
+func FuzzUnmarshalPacket(f *testing.F) {
+	var p Packet
+	p.Header = Header{ASIC: 1, Event: 9, SamplesPerChannel: 3}
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		p.Samples[ch] = []int32{1, 2, 3}
+	}
+	frame, _ := p.Marshal()
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Packet
+		n, err := q.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re, err := q.Marshal()
+		if err != nil {
+			t.Fatalf("accepted packet does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatal("re-marshaled frame differs from accepted input")
+		}
+	})
+}
+
+// FuzzEventRecord round-trips downlink records through arbitrary prefixes.
+func FuzzEventRecord(f *testing.F) {
+	rec := EventRecord{Event: 3, Islands: []IslandRecord{{Label: 1, Pixels: 2, Sum: 5, ColQ16: ToQ16(1.5)}}}
+	f.Add(rec.Marshal())
+	f.Add([]byte{0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalEventRecord(data)
+		if err != nil {
+			return
+		}
+		re := got.Marshal()
+		back, err := UnmarshalEventRecord(re)
+		if err != nil {
+			t.Fatalf("re-marshaled record does not parse: %v", err)
+		}
+		if back.Event != got.Event || len(back.Islands) != len(got.Islands) {
+			t.Fatal("record round trip changed content")
+		}
+	})
+}

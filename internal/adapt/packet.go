@@ -1,0 +1,144 @@
+// Package adapt implements the ADAPT prototype FPGA data-processing pipeline
+// of Fig 3 as a functional simulation: ALPHA digitizer packet handling,
+// pedestal subtraction, photon counting, zero-suppression, the Merge module
+// that fuses 16-channel ASIC streams into one event-wide array, and the
+// island detection + centroiding back end with the TWO_DIMENSION compile-time
+// switch from §5.1. It is the substrate the paper's contribution plugs into.
+package adapt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ChannelsPerASIC is the channel count of one ALPHA waveform digitizer ASIC
+// (§4.1: "multiple 16-channel digitizer ASICs").
+const ChannelsPerASIC = 16
+
+// PacketMagic marks the start of a digitizer packet.
+const PacketMagic uint16 = 0xA1FA
+
+// Header is the fixed preamble of one digitizer packet.
+type Header struct {
+	// Magic must equal PacketMagic.
+	Magic uint16
+	// ASIC identifies the source digitizer within the event.
+	ASIC uint8
+	// Flags carries readout status bits (0 = nominal).
+	Flags uint8
+	// Event is the trigger sequence number.
+	Event uint32
+	// Timestamp is the trigger time in clock ticks.
+	Timestamp uint64
+	// SamplesPerChannel is the waveform window length.
+	SamplesPerChannel uint8
+}
+
+// Packet is one triggered readout of a 16-channel digitizer: a header plus
+// SamplesPerChannel ADC samples for each channel.
+type Packet struct {
+	Header
+	// Samples is indexed [channel][sample]; every channel has
+	// SamplesPerChannel samples.
+	Samples [ChannelsPerASIC][]int32
+}
+
+// headerBytes is the wire size of the header plus the trailing checksum.
+const headerBytes = 2 + 1 + 1 + 4 + 8 + 1
+
+// WireSize returns the marshaled packet size in bytes.
+func (p *Packet) WireSize() int {
+	return headerBytes + 2*ChannelsPerASIC*int(p.SamplesPerChannel) + 2
+}
+
+// Marshal serializes the packet: big-endian header, then channel-major
+// 16-bit samples, then a 16-bit additive checksum over everything before it.
+func (p *Packet) Marshal() ([]byte, error) {
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		if len(p.Samples[ch]) != int(p.SamplesPerChannel) {
+			return nil, fmt.Errorf("adapt: channel %d has %d samples, header says %d",
+				ch, len(p.Samples[ch]), p.SamplesPerChannel)
+		}
+		for s, v := range p.Samples[ch] {
+			if v < 0 || v > 0xFFFF {
+				return nil, fmt.Errorf("adapt: channel %d sample %d = %d outside 16-bit ADC range", ch, s, v)
+			}
+		}
+	}
+	buf := make([]byte, 0, p.WireSize())
+	buf = binary.BigEndian.AppendUint16(buf, PacketMagic)
+	buf = append(buf, p.ASIC, p.Flags)
+	buf = binary.BigEndian.AppendUint32(buf, p.Event)
+	buf = binary.BigEndian.AppendUint64(buf, p.Timestamp)
+	buf = append(buf, p.SamplesPerChannel)
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		for _, v := range p.Samples[ch] {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(v))
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, checksum(buf))
+	return buf, nil
+}
+
+// Unmarshal parses and validates one packet, returning the bytes consumed.
+func (p *Packet) Unmarshal(data []byte) (int, error) {
+	if len(data) < headerBytes {
+		return 0, fmt.Errorf("adapt: truncated header (%d bytes)", len(data))
+	}
+	if m := binary.BigEndian.Uint16(data); m != PacketMagic {
+		return 0, fmt.Errorf("adapt: bad magic %#04x", m)
+	}
+	p.Magic = PacketMagic
+	p.ASIC = data[2]
+	p.Flags = data[3]
+	p.Event = binary.BigEndian.Uint32(data[4:])
+	p.Timestamp = binary.BigEndian.Uint64(data[8:])
+	p.SamplesPerChannel = data[16]
+	total := p.WireSize()
+	if len(data) < total {
+		return 0, fmt.Errorf("adapt: truncated packet: have %d bytes, want %d", len(data), total)
+	}
+	want := binary.BigEndian.Uint16(data[total-2:])
+	if got := checksum(data[:total-2]); got != want {
+		return 0, fmt.Errorf("adapt: checksum mismatch: computed %#04x, packet says %#04x", got, want)
+	}
+	off := headerBytes
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		p.Samples[ch] = make([]int32, p.SamplesPerChannel)
+		for s := 0; s < int(p.SamplesPerChannel); s++ {
+			p.Samples[ch][s] = int32(binary.BigEndian.Uint16(data[off:]))
+			off += 2
+		}
+	}
+	return total, nil
+}
+
+// checksum is a 16-bit additive checksum (ones'-complement style sum of
+// 16-bit words, with a trailing odd byte zero-padded).
+func checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// Integrals sums each channel's waveform — the per-channel waveform
+// integration stage.
+func (p *Packet) Integrals() [ChannelsPerASIC]int64 {
+	var out [ChannelsPerASIC]int64
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		var s int64
+		for _, v := range p.Samples[ch] {
+			s += int64(v)
+		}
+		out[ch] = s
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package adapt
+
+import (
+	"fmt"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/centroid"
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// Config parameterizes one build of the FPGA pipeline — the values the real
+// firmware fixes at compile time.
+type Config struct {
+	// ASICs is the number of 16-channel digitizers per event.
+	ASICs int
+	// SamplesPerChannel is the waveform window length.
+	SamplesPerChannel int
+	// PedestalPerSample is the nominal baseline per ADC sample; the
+	// per-channel pedestal integral is PedestalPerSample ×
+	// SamplesPerChannel unless Calibrate has measured channel-specific
+	// values.
+	PedestalPerSample int64
+	// GainADC is the ADC integral of one photo-electron.
+	GainADC int64
+	// ThresholdPE zero-suppresses photo-electron counts at or below it.
+	ThresholdPE grid.Value
+	// Detection selects and configures the island-detection back end
+	// (the TWO_DIMENSION switch).
+	Detection design.TopConfig
+}
+
+// DefaultADAPT returns the synthetic ADAPT flight configuration: 20 ASICs
+// (320 channels) in 1D mode with the pipelined schedule — the configuration
+// whose ~300k events/s matches the pipeline throughput reported in §2.
+func DefaultADAPT() Config {
+	return Config{
+		ASICs:             20,
+		SamplesPerChannel: 16,
+		PedestalPerSample: 200,
+		GainADC:           40,
+		ThresholdPE:       2,
+		Detection:         design.TopConfig{OneDPipelined: true},
+	}
+}
+
+// DefaultCTA returns the CTA-style configuration the paper targets: a 43×43
+// camera (1849 pixels ⇒ 116 ASICs, zero-padded) in 2D mode with 4-way CCL on
+// the fully pipelined design.
+func DefaultCTA() Config {
+	return Config{
+		ASICs:             116, // ⌈1849/16⌉
+		SamplesPerChannel: 16,
+		PedestalPerSample: 200,
+		GainADC:           40,
+		ThresholdPE:       2,
+		Detection: design.TopConfig{
+			TwoDimension: true,
+			TwoD: design.Config{
+				Rows: 43, Cols: 43,
+				Connectivity: grid.FourWay,
+				Stage:        design.StagePipelined,
+			},
+		},
+	}
+}
+
+// Pipeline is one instantiated FPGA pipeline.
+type Pipeline struct {
+	cfg       Config
+	merger    *Merger
+	pedestals []int64 // per flat channel, integral units
+}
+
+// New validates the configuration and builds the pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.ASICs < 1 {
+		return nil, fmt.Errorf("adapt: need at least one ASIC")
+	}
+	if cfg.SamplesPerChannel < 1 || cfg.SamplesPerChannel > 255 {
+		return nil, fmt.Errorf("adapt: samples per channel %d outside 1..255", cfg.SamplesPerChannel)
+	}
+	if cfg.GainADC <= 0 {
+		return nil, fmt.Errorf("adapt: gain must be positive")
+	}
+	channels := cfg.ASICs * ChannelsPerASIC
+	if cfg.Detection.TwoDimension {
+		px := cfg.Detection.TwoD.Rows * cfg.Detection.TwoD.Cols
+		if px < 1 {
+			return nil, fmt.Errorf("adapt: 2D mode needs positive array dims")
+		}
+		if px > channels {
+			return nil, fmt.Errorf("adapt: %d pixels exceed %d digitizer channels",
+				px, channels)
+		}
+	}
+	merger, err := NewMerger(cfg.ASICs)
+	if err != nil {
+		return nil, err
+	}
+	peds := make([]int64, channels)
+	nominal := cfg.PedestalPerSample * int64(cfg.SamplesPerChannel)
+	for i := range peds {
+		peds[i] = nominal
+	}
+	return &Pipeline{cfg: cfg, merger: merger, pedestals: peds}, nil
+}
+
+// Config returns the pipeline's configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Channels returns the flat merged channel count.
+func (p *Pipeline) Channels() int { return p.merger.Channels() }
+
+// Calibrate measures per-channel pedestal integrals from pedestal-only
+// events (no light), replacing the nominal baseline — the data-acquisition
+// calibration pass the real instrument runs before observing.
+func (p *Pipeline) Calibrate(events [][]Packet) error {
+	if len(events) == 0 {
+		return fmt.Errorf("adapt: calibration needs at least one event")
+	}
+	sums := make([]int64, p.Channels())
+	for _, packets := range events {
+		if err := p.checkEvent(packets); err != nil {
+			return fmt.Errorf("adapt: calibration: %w", err)
+		}
+		for _, pkt := range packets {
+			ints := pkt.Integrals()
+			base := int(pkt.ASIC) * ChannelsPerASIC
+			for ch, v := range ints {
+				sums[base+ch] += v
+			}
+		}
+	}
+	for i := range sums {
+		p.pedestals[i] = sums[i] / int64(len(events))
+	}
+	return nil
+}
+
+// Pedestal returns the calibrated pedestal integral of a flat channel.
+func (p *Pipeline) Pedestal(channel int) int64 { return p.pedestals[channel] }
+
+// checkEvent validates event packet structure: one packet per ASIC, matching
+// event ids and sample counts.
+func (p *Pipeline) checkEvent(packets []Packet) error {
+	if len(packets) != p.cfg.ASICs {
+		return fmt.Errorf("event has %d packets, want %d", len(packets), p.cfg.ASICs)
+	}
+	seen := make(map[uint8]bool, len(packets))
+	event := packets[0].Event
+	for i := range packets {
+		pkt := &packets[i]
+		if int(pkt.ASIC) >= p.cfg.ASICs {
+			return fmt.Errorf("packet from unknown ASIC %d", pkt.ASIC)
+		}
+		if seen[pkt.ASIC] {
+			return fmt.Errorf("duplicate packet from ASIC %d", pkt.ASIC)
+		}
+		seen[pkt.ASIC] = true
+		if pkt.Event != event {
+			return fmt.Errorf("event id mismatch: ASIC %d has %d, want %d", pkt.ASIC, pkt.Event, event)
+		}
+		if int(pkt.SamplesPerChannel) != p.cfg.SamplesPerChannel {
+			return fmt.Errorf("ASIC %d has %d samples/channel, want %d",
+				pkt.ASIC, pkt.SamplesPerChannel, p.cfg.SamplesPerChannel)
+		}
+	}
+	return nil
+}
+
+// EventResult is the pipeline's output for one trigger.
+type EventResult struct {
+	// Event is the trigger sequence number.
+	Event uint32
+	// Values is the merged, zero-suppressed photo-electron image (flat).
+	Values []grid.Value
+	// OneD holds the 1D islands + centroids when TWO_DIMENSION is unset.
+	OneD *design.Output1D
+	// TwoD holds the 2D design output when TWO_DIMENSION is set.
+	TwoD *design.Output
+	// Islands are the extracted 2D islands (2D mode only).
+	Islands []ccl.Island
+	// Centroids are the 2D island centroids (2D mode only).
+	Centroids []centroid.Centroid2D
+	// HardwareCentroids are the fixed-point centroids from the streaming
+	// island_centroid_2d design (2D mode only) — what the FPGA actually
+	// transmits; Centroids is the float reference.
+	HardwareCentroids *design.CentroidOutput
+}
+
+// ProcessEvent runs one trigger's packets through the full pipeline:
+// packet handling → integration → pedestal subtraction → photon counting →
+// zero-suppression → merge → island detection (+ centroiding).
+func (p *Pipeline) ProcessEvent(packets []Packet) (*EventResult, error) {
+	if err := p.checkEvent(packets); err != nil {
+		return nil, fmt.Errorf("adapt: %w", err)
+	}
+	blocks := make(map[uint8][ChannelsPerASIC]grid.Value, len(packets))
+	for i := range packets {
+		pkt := &packets[i]
+		ints := pkt.Integrals()
+		var block [ChannelsPerASIC]grid.Value
+		base := int(pkt.ASIC) * ChannelsPerASIC
+		for ch, raw := range ints {
+			net := PedestalSubtract(raw, p.pedestals[base+ch])
+			pe := PhotonCount(net, p.cfg.GainADC)
+			block[ch] = ZeroSuppress(pe, p.cfg.ThresholdPE)
+		}
+		blocks[pkt.ASIC] = block
+	}
+	merged, err := p.merger.Merge(blocks)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &EventResult{Event: packets[0].Event, Values: merged}
+	det := p.cfg.Detection
+	if det.TwoDimension {
+		// The camera may be smaller than the padded channel array.
+		px := det.TwoD.Rows * det.TwoD.Cols
+		out, err := design.IslandDetection(merged[:px], det)
+		if err != nil {
+			return nil, err
+		}
+		res.TwoD = out.TwoD
+		g, err := grid.FromFlat(det.TwoD.Rows, det.TwoD.Cols, merged[:px])
+		if err != nil {
+			return nil, err
+		}
+		res.Islands = ccl.Islands(g, out.TwoD.Labels)
+		res.Centroids = centroid.All2D(res.Islands)
+		// The streaming hardware centroid stage (Fig 3's centroiding half).
+		// Final labels are merge-table roots, bounded by its capacity.
+		hw, err := design.RunCentroid2D(g, out.TwoD.Labels, ccl.SizeFor(det.TwoD.Rows, det.TwoD.Cols, det.TwoD.Connectivity))
+		if err != nil {
+			return nil, err
+		}
+		res.HardwareCentroids = hw
+		return res, nil
+	}
+	out, err := design.IslandDetection(merged, det)
+	if err != nil {
+		return nil, err
+	}
+	res.OneD = out.OneD
+	return res, nil
+}

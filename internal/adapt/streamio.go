@@ -1,0 +1,182 @@
+package adapt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Packet stream I/O: the serialized form in which digitizer packets travel
+// over the readout link and are archived to disk. Packets are self-framing
+// (magic word + header-derived length + checksum), so the reader can
+// resynchronize after corrupted or truncated packets — the behaviour the
+// FPGA's packet-handling stage needs on a real link.
+
+// StreamWriter serializes packets back-to-back onto an io.Writer.
+type StreamWriter struct {
+	w io.Writer
+	// Packets counts successfully written packets.
+	Packets int
+}
+
+// NewStreamWriter returns a writer over w.
+func NewStreamWriter(w io.Writer) *StreamWriter { return &StreamWriter{w: w} }
+
+// WritePacket marshals and writes one packet.
+func (sw *StreamWriter) WritePacket(p *Packet) error {
+	buf, err := p.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(buf); err != nil {
+		return err
+	}
+	sw.Packets++
+	return nil
+}
+
+// WriteEvent writes all packets of one event in ASIC order.
+func (sw *StreamWriter) WriteEvent(packets []Packet) error {
+	for i := range packets {
+		if err := sw.WritePacket(&packets[i]); err != nil {
+			return fmt.Errorf("adapt: event packet %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StreamReader parses a packet stream, skipping garbage between packets.
+type StreamReader struct {
+	r *bufio.Reader
+	// SkippedBytes counts bytes discarded while searching for a valid
+	// packet (link noise, corrupted frames).
+	SkippedBytes int
+	// BadPackets counts frames that had a magic word but failed validation.
+	BadPackets int
+}
+
+// NewStreamReader returns a reader over r.
+func NewStreamReader(r io.Reader) *StreamReader {
+	return &StreamReader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// ReadPacket scans for the next valid packet. It returns io.EOF only at a
+// clean end of stream (possibly after skipping trailing garbage).
+func (sr *StreamReader) ReadPacket() (*Packet, error) {
+	for {
+		// Hunt for the magic word.
+		b0, err := sr.r.ReadByte()
+		if err != nil {
+			return nil, io.EOF
+		}
+		if b0 != byte(PacketMagic>>8) {
+			sr.SkippedBytes++
+			continue
+		}
+		peek, err := sr.r.Peek(1)
+		if err != nil {
+			sr.SkippedBytes++
+			return nil, io.EOF
+		}
+		if peek[0] != byte(PacketMagic&0xFF) {
+			sr.SkippedBytes++
+			continue
+		}
+		// Candidate frame: peek the header to learn the length.
+		hdr, err := sr.r.Peek(headerBytes - 1)
+		if err != nil {
+			// Truncated final frame.
+			sr.SkippedBytes += 1 + len(peekAvailable(sr.r))
+			sr.discardAll()
+			return nil, io.EOF
+		}
+		samples := hdr[headerBytes-2]
+		total := headerBytes + 2*ChannelsPerASIC*int(samples) + 2
+		frame := make([]byte, total)
+		frame[0] = b0
+		if _, err := io.ReadFull(sr.r, frame[1:]); err != nil {
+			sr.SkippedBytes += total - 1
+			return nil, io.EOF
+		}
+		var p Packet
+		if _, err := p.Unmarshal(frame); err != nil {
+			// Corrupted frame: count it, resume the hunt right after the
+			// magic word so an embedded valid packet is still found.
+			sr.BadPackets++
+			sr.pushBack(frame[2:])
+			sr.SkippedBytes += 2
+			continue
+		}
+		return &p, nil
+	}
+}
+
+// pushBack returns data to the reader's buffer by stacking a MultiReader.
+func (sr *StreamReader) pushBack(data []byte) {
+	rest := io.MultiReader(newSliceReader(data), sr.r)
+	sr.r = bufio.NewReaderSize(rest, 64<<10)
+}
+
+func (sr *StreamReader) discardAll() {
+	for {
+		if _, err := sr.r.Discard(1); err != nil {
+			return
+		}
+		sr.SkippedBytes++
+	}
+}
+
+func peekAvailable(r *bufio.Reader) []byte {
+	b, _ := r.Peek(r.Buffered())
+	return b
+}
+
+// sliceReader is a minimal io.Reader over a byte slice (bytes.Reader would
+// also do; this keeps the dependency surface explicit).
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func newSliceReader(data []byte) *sliceReader { return &sliceReader{data: data} }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// ErrIncompleteEvent reports that an event could not be assembled because
+// the stream ended or packets were missing.
+var ErrIncompleteEvent = errors.New("adapt: incomplete event")
+
+// ReadEvent collects the next `asics` packets that share one event id.
+// Packets from other events encountered mid-assembly are an error (the
+// readout interleaves per event).
+func (sr *StreamReader) ReadEvent(asics int) ([]Packet, error) {
+	if asics < 1 {
+		return nil, fmt.Errorf("adapt: ReadEvent needs asics >= 1")
+	}
+	first, err := sr.ReadPacket()
+	if err != nil {
+		return nil, err
+	}
+	packets := []Packet{*first}
+	for len(packets) < asics {
+		p, err := sr.ReadPacket()
+		if err != nil {
+			return nil, fmt.Errorf("%w: got %d of %d packets for event %d",
+				ErrIncompleteEvent, len(packets), asics, first.Event)
+		}
+		if p.Event != first.Event {
+			return nil, fmt.Errorf("%w: event %d interrupted by packet from event %d",
+				ErrIncompleteEvent, first.Event, p.Event)
+		}
+		packets = append(packets, *p)
+	}
+	return packets, nil
+}

@@ -1,0 +1,220 @@
+package adapt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+func makePackets(t *testing.T, n int, event uint32) []Packet {
+	t.Helper()
+	dig := detector.DefaultDigitizer()
+	dig.NoiseRMS = 0
+	packets, err := GenerateEvent(nil, n, event, uint64(event)*100, dig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return packets
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	want := makePackets(t, 3, 7)
+	if err := sw.WriteEvent(want); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Packets != 3 {
+		t.Fatalf("writer counted %d packets", sw.Packets)
+	}
+	sr := NewStreamReader(&buf)
+	for i := 0; i < 3; i++ {
+		p, err := sr.ReadPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ASIC != want[i].ASIC || p.Event != 7 {
+			t.Fatalf("packet %d header mismatch: %+v", i, p.Header)
+		}
+	}
+	if _, err := sr.ReadPacket(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+	if sr.SkippedBytes != 0 || sr.BadPackets != 0 {
+		t.Fatalf("clean stream reported skips: %d/%d", sr.SkippedBytes, sr.BadPackets)
+	}
+}
+
+func TestStreamResyncAfterGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	// Leading garbage, one packet, inter-packet garbage, another packet.
+	buf.Write([]byte{0x00, 0xFF, 0x13, 0xA1}) // includes a lone 0xA1 decoy
+	sw := NewStreamWriter(&buf)
+	packets := makePackets(t, 2, 9)
+	if err := sw.WritePacket(&packets[0]); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if err := sw.WritePacket(&packets[1]); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(&buf)
+	p0, err := sr.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := sr.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.ASIC != 0 || p1.ASIC != 1 {
+		t.Fatalf("resync returned wrong packets: %d, %d", p0.ASIC, p1.ASIC)
+	}
+	if sr.SkippedBytes == 0 {
+		t.Fatal("skipped bytes not counted")
+	}
+	if _, err := sr.ReadPacket(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestStreamCorruptedPacketIsSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	packets := makePackets(t, 2, 11)
+	if err := sw.WritePacket(&packets[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WritePacket(&packets[1]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[30] ^= 0xFF // corrupt a sample in packet 0: checksum fails
+
+	sr := NewStreamReader(bytes.NewReader(data))
+	p, err := sr.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ASIC != 1 {
+		t.Fatalf("expected to recover packet 1, got ASIC %d", p.ASIC)
+	}
+	if sr.BadPackets != 1 {
+		t.Fatalf("BadPackets = %d, want 1", sr.BadPackets)
+	}
+}
+
+func TestStreamTruncatedTail(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	packets := makePackets(t, 1, 3)
+	if err := sw.WritePacket(&packets[0]); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	sr := NewStreamReader(bytes.NewReader(data[:len(data)-5]))
+	if _, err := sr.ReadPacket(); err != io.EOF {
+		t.Fatalf("truncated tail: want EOF, got %v", err)
+	}
+}
+
+func TestReadEvent(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	ev0 := makePackets(t, 3, 0)
+	ev1 := makePackets(t, 3, 1)
+	if err := sw.WriteEvent(ev0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEvent(ev1); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(&buf)
+	got0, err := sr.ReadEvent(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := sr.ReadEvent(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got0[0].Event != 0 || got1[0].Event != 1 || len(got0) != 3 || len(got1) != 3 {
+		t.Fatalf("event assembly wrong: %d/%d", got0[0].Event, got1[0].Event)
+	}
+	if _, err := sr.ReadEvent(3); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestReadEventIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	ev := makePackets(t, 3, 5)
+	if err := sw.WriteEvent(ev[:2]); err != nil { // missing one packet
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(&buf)
+	if _, err := sr.ReadEvent(3); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent, got %v", err)
+	}
+	// Interleaved foreign event.
+	buf.Reset()
+	sw = NewStreamWriter(&buf)
+	sw.WritePacket(&ev[0])
+	other := makePackets(t, 1, 6)
+	sw.WritePacket(&other[0])
+	sr = NewStreamReader(&buf)
+	if _, err := sr.ReadEvent(2); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent on interleave, got %v", err)
+	}
+	if _, err := sr.ReadEvent(0); err == nil {
+		t.Fatal("asics < 1 must error")
+	}
+}
+
+// Property: any packet sequence round-trips through the stream, even with
+// random garbage injected between packets.
+func TestStreamRoundTripProperty(t *testing.T) {
+	dig := detector.DefaultDigitizer()
+	dig.NoiseRMS = 0
+	f := func(events [4]uint32, garbage [4][]byte) bool {
+		var buf bytes.Buffer
+		sw := NewStreamWriter(&buf)
+		var want []uint32
+		for i, ev := range events {
+			// Garbage that cannot contain a full fake packet header is
+			// safely skipped; avoid embedding the magic byte pair.
+			g := garbage[i]
+			for j := 0; j+1 < len(g); j++ {
+				if g[j] == 0xA1 && g[j+1] == 0xFA {
+					g[j] = 0
+				}
+			}
+			buf.Write(g)
+			packets, err := GenerateEvent(nil, 1, ev, 0, dig, nil)
+			if err != nil {
+				return false
+			}
+			if err := sw.WritePacket(&packets[0]); err != nil {
+				return false
+			}
+			want = append(want, ev)
+		}
+		sr := NewStreamReader(&buf)
+		for _, ev := range want {
+			p, err := sr.ReadPacket()
+			if err != nil || p.Event != ev {
+				return false
+			}
+		}
+		_, err := sr.ReadPacket()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

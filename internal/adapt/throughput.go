@@ -1,0 +1,94 @@
+package adapt
+
+import "github.com/wustl-adapt/hepccl/internal/design"
+
+// Dataflow throughput model. The pipeline stages of Fig 3 run as concurrent
+// dataflow processes, so the sustained event rate is set by the slowest
+// stage's per-event initiation interval, not by the sum of latencies. The
+// per-stage models:
+//
+//   - packet handling: each ASIC's handler deserializes 16 channels ×
+//     SamplesPerChannel 16-bit words over a 4-lane link (4 words/cycle)
+//     plus a fixed header cost; all ASIC handlers run in parallel;
+//   - pedestal subtraction / photon counting / zero-suppression: II=1 over
+//     the 16 channels of each ASIC (parallel per ASIC) plus pipeline depth;
+//   - merge: one 16-channel word per ASIC per cycle plus handshake;
+//   - island detection: in 1D mode the scan is event-overlapped (II=1 over
+//     the channel array, centroid divides hidden in the dataflow); in 2D
+//     mode the published design is not overlapped, so its interval is the
+//     full function latency (the paper's tables report II = latency, and §6
+//     names the serialized outer loop as the reason).
+//
+// With the DefaultADAPT configuration (320 channels, 1D) the bottleneck is
+// the 1D scan: ≈336 cycles/event → ≈298k events/s at 100 MHz, matching the
+// "300k events per second" reported for the ADAPT prototype pipeline (§2).
+const (
+	packetHeaderCycles = 8
+	linkLanes          = 4
+	channelStageDepth  = 6
+	mergeHandshake     = 4
+)
+
+// StageInterval is one dataflow stage's per-event initiation interval.
+type StageInterval struct {
+	Name   string
+	Cycles int64
+}
+
+// StageIntervals returns the per-event interval of every pipeline stage.
+func (p *Pipeline) StageIntervals() []StageInterval {
+	cfg := p.cfg
+	words := int64(ChannelsPerASIC*cfg.SamplesPerChannel+linkLanes-1) / linkLanes
+	packet := packetHeaderCycles + words
+	channel := int64(ChannelsPerASIC + channelStageDepth)
+	merge := int64(cfg.ASICs + mergeHandshake)
+
+	var island int64
+	if cfg.Detection.TwoDimension {
+		island = design.Latency(cfg.Detection.TwoD.Stage, cfg.Detection.TwoD.Connectivity,
+			cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols)
+	} else {
+		// Event-overlapped 1D scan: II=1 over the channel array.
+		island = int64(p.Channels()) + 16
+	}
+	return []StageInterval{
+		{Name: "packet", Cycles: packet},
+		{Name: "pedestal", Cycles: channel},
+		{Name: "photon", Cycles: channel},
+		{Name: "zerosuppress", Cycles: channel},
+		{Name: "merge", Cycles: merge},
+		{Name: "island", Cycles: island},
+	}
+}
+
+// EventIntervalCycles returns the bottleneck stage interval.
+func (p *Pipeline) EventIntervalCycles() int64 {
+	var max int64
+	for _, s := range p.StageIntervals() {
+		if s.Cycles > max {
+			max = s.Cycles
+		}
+	}
+	return max
+}
+
+// EventsPerSecond returns the sustained pipeline event rate at the design
+// clock.
+func (p *Pipeline) EventsPerSecond() float64 {
+	i := p.EventIntervalCycles()
+	if i <= 0 {
+		return 0
+	}
+	return design.ClockMHz * 1e6 / float64(i)
+}
+
+// Bottleneck returns the name of the rate-limiting stage.
+func (p *Pipeline) Bottleneck() string {
+	name, max := "", int64(-1)
+	for _, s := range p.StageIntervals() {
+		if s.Cycles > max {
+			name, max = s.Name, s.Cycles
+		}
+	}
+	return name
+}

@@ -1,0 +1,463 @@
+package ccl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/labeling"
+)
+
+// workedExample is a small image exercising every rule of §4.2: new-group
+// allocation, min-label assignment, and a merge-table update.
+//
+//	#.#.#        1.2.3
+//	#.#.#   →    1.2.3     provisional; (2,3) allocates group 4,
+//	##.##        11.43     then (2,4) merges it into 3.
+//	..#..        ..5..
+const workedExample = `
+	#.#.#
+	#.#.#
+	##.##
+	..#..
+`
+
+func TestWorkedExampleProvisionalLabels(t *testing.T) {
+	g := grid.MustParse(workedExample)
+	res, err := Label(g, Options{Connectivity: grid.FourWay, Mode: ModePaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantProv := grid.MustParseLabels(`
+		1.2.3
+		1.2.3
+		11.43
+		..5..
+	`)
+	if !res.Provisional.Equal(wantProv) {
+		t.Fatalf("provisional labels:\n%s\nwant:\n%s", res.Provisional, wantProv)
+	}
+	if res.Groups != 5 {
+		t.Fatalf("Groups = %d, want 5", res.Groups)
+	}
+	// Merge table after resolution: group 4 resolves to 3.
+	if res.MergeTable.Lookup(4) != 3 {
+		t.Fatalf("mt[4] = %d, want 3", res.MergeTable.Lookup(4))
+	}
+	wantFinal := grid.MustParseLabels(`
+		1.2.3
+		1.2.3
+		11.33
+		..5..
+	`)
+	if !res.Labels.Equal(wantFinal) {
+		t.Fatalf("final labels:\n%s\nwant:\n%s", res.Labels, wantFinal)
+	}
+	if res.Islands != 4 {
+		t.Fatalf("Islands = %d, want 4", res.Islands)
+	}
+}
+
+func TestWorkedExampleCompact(t *testing.T) {
+	g := grid.MustParse(workedExample)
+	res, err := Label(g, Options{Connectivity: grid.FourWay, CompactLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := grid.MustParseLabels(`
+		1.2.3
+		1.2.3
+		11.33
+		..4..
+	`)
+	if !res.Labels.Equal(want) {
+		t.Fatalf("compact labels:\n%s\nwant:\n%s", res.Labels, want)
+	}
+}
+
+// cornerCase is the concave pattern that triggers the §6 disclosure: for
+// 4-way connectivity, the published min-update loses the equivalence 3≡2
+// when (2,2) re-points group 3 at group 1, so the true single component
+// splits. 8-way sees (0,3) from (1,2) via the top-right neighbor and never
+// allocates the intermediate group, so it is unaffected — exactly as §6
+// reports.
+const cornerCase = `
+	#..#.
+	#.##.
+	###..
+`
+
+func TestCornerCasePaperModeSplits(t *testing.T) {
+	g := grid.MustParse(cornerCase)
+	golden, err := labeling.FloodFill{}.Label(g, grid.FourWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Count() != 1 {
+		t.Fatalf("fixture must be one 4-way component, got %d", golden.Count())
+	}
+	res, err := Label(g, Options{Connectivity: grid.FourWay, Mode: ModePaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 2 {
+		t.Fatalf("paper mode islands = %d, want the documented split into 2\n%s", res.Islands, res.Labels)
+	}
+	if res.Labels.Isomorphic(golden) {
+		t.Fatal("paper mode should NOT match the golden model on this pattern")
+	}
+	// The split is a refinement: no two distinct true components merged.
+	assertRefines(t, res.Labels, golden)
+}
+
+func TestCornerCaseFixedModeCorrect(t *testing.T) {
+	g := grid.MustParse(cornerCase)
+	golden, _ := labeling.FloodFill{}.Label(g, grid.FourWay)
+	res, err := Label(g, Options{Connectivity: grid.FourWay, Mode: ModeFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Labels.Isomorphic(golden) {
+		t.Fatalf("fixed mode wrong on corner case:\n%s\nwant iso to:\n%s", res.Labels, golden)
+	}
+	if res.Islands != 1 {
+		t.Fatalf("fixed mode islands = %d, want 1", res.Islands)
+	}
+}
+
+func TestCornerCaseEightWayUnaffected(t *testing.T) {
+	g := grid.MustParse(cornerCase)
+	golden, _ := labeling.FloodFill{}.Label(g, grid.EightWay)
+	for _, mode := range []Mode{ModePaper, ModeFixed} {
+		res, err := Label(g, Options{Connectivity: grid.EightWay, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Labels.Isomorphic(golden) {
+			t.Fatalf("8-way %v mode wrong:\n%s", mode, res.Labels)
+		}
+	}
+}
+
+// assertRefines checks every component of fine lies inside one component of
+// coarse (same lit set).
+func assertRefines(t *testing.T, fine, coarse *grid.Labels) {
+	t.Helper()
+	to := map[grid.Label]grid.Label{}
+	for i := 0; i < fine.Pixels(); i++ {
+		a, b := fine.AtFlat(i), coarse.AtFlat(i)
+		if (a == 0) != (b == 0) {
+			t.Fatal("lit sets differ")
+		}
+		if a == 0 {
+			continue
+		}
+		if prev, ok := to[a]; ok && prev != b {
+			t.Fatalf("component %d of fine spans coarse components %d and %d", a, prev, b)
+		}
+		to[a] = b
+	}
+}
+
+func TestFixedModeMatchesGoldenOnFixtures(t *testing.T) {
+	arts := []string{
+		"...\n...", "#", "###\n###", "#.#\n.#.\n#.#",
+		"#.#.#.#.#.\n#.#.#.#.#.\n##########",
+		"#######\n......#\n#####.#\n#...#.#\n#.#.#.#\n#.###.#\n#.....#\n#######",
+		cornerCase, workedExample,
+	}
+	for _, art := range arts {
+		g := grid.MustParse(art)
+		for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+			golden, err := labeling.FloodFill{}.Label(g, conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Label(g, Options{Connectivity: conn, Mode: ModeFixed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Labels.Isomorphic(golden) {
+				t.Errorf("%v:\n%s\ngot:\n%s\nwant iso to:\n%s", conn, g, res.Labels, golden)
+			}
+		}
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	g := grid.New(6, 6)
+	for _, mode := range []Mode{ModePaper, ModeFixed} {
+		res, err := Label(g, Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Islands != 0 || res.Groups != 0 {
+			t.Fatalf("empty image: islands=%d groups=%d", res.Islands, res.Groups)
+		}
+	}
+}
+
+func TestInvalidConnectivity(t *testing.T) {
+	g := grid.New(2, 2)
+	if _, err := Label(g, Options{Connectivity: grid.Connectivity(3)}); err == nil {
+		t.Fatal("invalid connectivity must error")
+	}
+}
+
+func TestDefaultsAreFourWayFixed(t *testing.T) {
+	g := grid.MustParse(cornerCase)
+	res, err := Label(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 1 {
+		t.Fatalf("defaults should be 4-way + fixed: islands = %d, want 1", res.Islands)
+	}
+}
+
+func TestPaperSizingOverflowsOnCheckerboard(t *testing.T) {
+	// Reproduction finding: the paper's MERGETABLE_SIZE is the 8-way worst
+	// case; a 4-way checkerboard allocates ⌈R·C/2⌉ groups and overflows it.
+	g := grid.New(6, 6)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			if (r+c)%2 == 0 {
+				g.Set(r, c, 1)
+			}
+		}
+	}
+	_, err := Label(g, Options{
+		Connectivity:  grid.FourWay,
+		MergeTableCap: SizeForPaper(6, 6),
+	})
+	if !errors.Is(err, ErrMergeTableFull) {
+		t.Fatalf("err = %v, want ErrMergeTableFull", err)
+	}
+	// The same image under 8-way fits the paper's sizing (one component).
+	res, err := Label(g, Options{
+		Connectivity:  grid.EightWay,
+		MergeTableCap: SizeForPaper(6, 6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 1 {
+		t.Fatalf("8-way checkerboard islands = %d, want 1", res.Islands)
+	}
+	// And with the corrected 4-way sizing it labels fine: 18 singletons.
+	res, err = Label(g, Options{Connectivity: grid.FourWay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 18 {
+		t.Fatalf("4-way checkerboard islands = %d, want 18", res.Islands)
+	}
+}
+
+func randomGrid(cells []byte, rows, cols, litPermille int) *grid.Grid {
+	g := grid.New(rows, cols)
+	for i := 0; i < rows*cols && i < len(cells); i++ {
+		if int(cells[i])*1000/256 < litPermille {
+			g.Flat()[i] = grid.Value(cells[i]) + 1
+		}
+	}
+	return g
+}
+
+// Property: ModeFixed is label-isomorphic to flood fill on random grids for
+// both connectivities and several densities.
+func TestFixedModeGoldenProperty(t *testing.T) {
+	golden := labeling.FloodFill{}
+	for _, density := range []int{150, 400, 650, 900} {
+		density := density
+		f := func(cells [108]byte) bool {
+			g := randomGrid(cells[:], 9, 12, density)
+			for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+				want, err := golden.Label(g, conn)
+				if err != nil {
+					return false
+				}
+				res, err := Label(g, Options{Connectivity: conn, Mode: ModeFixed})
+				if err != nil || !res.Labels.Isomorphic(want) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("density %d: %v", density, err)
+		}
+	}
+}
+
+// Property: ModePaper never merges distinct true components — its output is
+// always a refinement of the golden partition (the §6 bug only splits).
+func TestPaperModeRefinementProperty(t *testing.T) {
+	golden := labeling.FloodFill{}
+	f := func(cells [108]byte) bool {
+		g := randomGrid(cells[:], 9, 12, 550)
+		for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+			want, err := golden.Label(g, conn)
+			if err != nil {
+				return false
+			}
+			res, err := Label(g, Options{Connectivity: conn, Mode: ModePaper})
+			if err != nil {
+				return false
+			}
+			to := map[grid.Label]grid.Label{}
+			for i := 0; i < g.Pixels(); i++ {
+				a, b := res.Labels.AtFlat(i), want.AtFlat(i)
+				if (a == 0) != (b == 0) {
+					return false
+				}
+				if a == 0 {
+					continue
+				}
+				if prev, ok := to[a]; ok && prev != b {
+					return false
+				}
+				to[a] = b
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// cornerCase8 is a reproduction finding: the paper states the §6 corner case
+// "does not arise in 8-way CCL", but this adversarial pattern triggers it
+// under 8-way as well. (1,2) allocates group 3; (1,3) merges it into group 2
+// via the top-right neighbor; then (2,1) re-points group 3 at group 1 via ITS
+// top-right neighbor, losing 3≡2. The paper's claim is empirical for the
+// "relatively concave island shapes" of its target instruments, not
+// categorical. Recorded in EXPERIMENTS.md (E9).
+const cornerCase8 = `
+	#...#
+	#.##.
+	##...
+`
+
+func TestCornerCaseEightWayCounterexample(t *testing.T) {
+	g := grid.MustParse(cornerCase8)
+	golden, err := labeling.FloodFill{}.Label(g, grid.EightWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Count() != 1 {
+		t.Fatalf("fixture must be one 8-way component, got %d", golden.Count())
+	}
+	res, err := Label(g, Options{Connectivity: grid.EightWay, Mode: ModePaper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 2 {
+		t.Fatalf("paper-mode 8-way islands = %d, want the documented split into 2\n%s", res.Islands, res.Labels)
+	}
+	assertRefines(t, res.Labels, golden)
+	// The fixed mode handles it.
+	fixed, err := Label(g, Options{Connectivity: grid.EightWay, Mode: ModeFixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.Labels.Isomorphic(golden) {
+		t.Fatalf("fixed mode wrong on 8-way corner case:\n%s", fixed.Labels)
+	}
+}
+
+// Property: provisional labels always resolve downward — the final label of a
+// pixel never exceeds its provisional label.
+func TestResolutionMonotoneProperty(t *testing.T) {
+	f := func(cells [108]byte) bool {
+		g := randomGrid(cells[:], 9, 12, 500)
+		for _, mode := range []Mode{ModePaper, ModeFixed} {
+			res, err := Label(g, Options{Mode: mode})
+			if err != nil {
+				return false
+			}
+			for i := 0; i < g.Pixels(); i++ {
+				if res.Labels.AtFlat(i) > res.Provisional.AtFlat(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIslandsExtraction(t *testing.T) {
+	g, err := grid.FromRows([][]grid.Value{
+		{5, 0, 0, 7},
+		{3, 0, 0, 0},
+		{0, 0, 2, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Label(g, Options{Connectivity: grid.FourWay, CompactLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	islands := Islands(g, res.Labels)
+	if len(islands) != 3 {
+		t.Fatalf("islands = %d, want 3", len(islands))
+	}
+	// Sorted by label (raster order of first appearance after Compact).
+	first := islands[0] // the 5,3 column
+	if first.Sum != 8 || first.Size() != 2 {
+		t.Fatalf("island 1 sum=%d size=%d, want 8,2", first.Sum, first.Size())
+	}
+	if first.MinRow != 0 || first.MaxRow != 1 || first.MinCol != 0 || first.MaxCol != 0 {
+		t.Fatalf("island 1 bbox wrong: %+v", first)
+	}
+	if first.Width() != 1 || first.Height() != 2 {
+		t.Fatalf("island 1 dims %dx%d, want 1x2", first.Width(), first.Height())
+	}
+	second := islands[1] // the single 7
+	if second.Sum != 7 || second.Size() != 1 {
+		t.Fatalf("island 2 sum=%d size=%d, want 7,1", second.Sum, second.Size())
+	}
+	third := islands[2] // the 2,2 pair
+	if third.Sum != 4 || third.Width() != 2 || third.Height() != 1 {
+		t.Fatalf("island 3 wrong: %+v", third)
+	}
+	largest := LargestIsland(islands)
+	if largest == nil || largest.Label != first.Label {
+		t.Fatalf("LargestIsland = %+v, want label %d", largest, first.Label)
+	}
+}
+
+func TestIslandsEmptyAndNil(t *testing.T) {
+	g := grid.New(3, 3)
+	res, _ := Label(g, Options{})
+	if got := Islands(g, res.Labels); len(got) != 0 {
+		t.Fatalf("empty image islands = %d, want 0", len(got))
+	}
+	if LargestIsland(nil) != nil {
+		t.Fatal("LargestIsland(nil) must be nil")
+	}
+}
+
+func TestIslandsShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch must panic")
+		}
+	}()
+	Islands(grid.New(2, 2), grid.NewLabels(3, 3))
+}
+
+func TestModeString(t *testing.T) {
+	if ModePaper.String() != "paper" || ModeFixed.String() != "fixed" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must still print")
+	}
+}

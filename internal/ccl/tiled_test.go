@@ -1,0 +1,163 @@
+package ccl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/labeling"
+)
+
+func TestTiledMatchesGoldenOnFixtures(t *testing.T) {
+	arts := []string{
+		"#", "...\n...",
+		"###\n###\n###",
+		"#.#.#\n#.#.#\n##.##\n..#..",
+		"#..#.\n#.##.\n###..", // corner-case pattern: tiled must still be right
+		"#######\n......#\n#####.#\n#...#.#\n#.#.#.#\n#.###.#\n#.....#\n#######",
+	}
+	golden := labeling.FloodFill{}
+	for _, art := range arts {
+		g := grid.MustParse(art)
+		for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+			for _, tile := range [][2]int{{1, 1}, {2, 3}, {3, 2}, {4, 4}, {8, 8}, {100, 100}} {
+				want, err := golden.Label(g, conn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := LabelTiled(g, TiledOptions{
+					Connectivity: conn, TileRows: tile[0], TileCols: tile[1],
+				})
+				if err != nil {
+					t.Fatalf("%v tile %v: %v", conn, tile, err)
+				}
+				if !res.Labels.Isomorphic(want) {
+					t.Errorf("%v tile %v:\n%s\ngot:\n%s\nwant iso to:\n%s",
+						conn, tile, g, res.Labels, want)
+				}
+				if res.Islands != want.Count() {
+					t.Errorf("%v tile %v: islands %d, want %d", conn, tile, res.Islands, want.Count())
+				}
+			}
+		}
+	}
+}
+
+func TestTiledDefaults(t *testing.T) {
+	g := grid.MustParse("##\n##")
+	res, err := LabelTiled(g, TiledOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Islands != 1 || res.Tiles != 1 {
+		t.Fatalf("defaults: %+v", res)
+	}
+}
+
+func TestTiledCompact(t *testing.T) {
+	g := grid.MustParse("#.#\n...\n#.#")
+	res, err := LabelTiled(g, TiledOptions{TileRows: 2, TileCols: 2, CompactLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Labels.Distinct()
+	if len(d) != 4 || d[0] != 1 || d[3] != 4 {
+		t.Fatalf("compact labels = %v", d)
+	}
+}
+
+func TestTiledValidation(t *testing.T) {
+	g := grid.New(4, 4)
+	if _, err := LabelTiled(g, TiledOptions{Connectivity: grid.Connectivity(3)}); err == nil {
+		t.Error("bad connectivity must error")
+	}
+	if _, err := LabelTiled(g, TiledOptions{TileRows: -1}); err == nil {
+		t.Error("bad tile size must error")
+	}
+}
+
+func TestTiledMetrics(t *testing.T) {
+	// 16x16 full grid with 4x4 tiles: 16 tiles, one component spanning all,
+	// per-tile groups bounded by the tile's worst case.
+	g := grid.New(16, 16)
+	for i := range g.Flat() {
+		g.Flat()[i] = 1
+	}
+	res, err := LabelTiled(g, TiledOptions{TileRows: 4, TileCols: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles != 16 {
+		t.Fatalf("tiles = %d, want 16", res.Tiles)
+	}
+	if res.Islands != 1 {
+		t.Fatalf("islands = %d, want 1", res.Islands)
+	}
+	if res.MaxTileGroups < 1 || res.MaxTileGroups > SizeFor(4, 4, grid.FourWay) {
+		t.Fatalf("MaxTileGroups = %d outside bounds", res.MaxTileGroups)
+	}
+	// 15 unions minimum to join 16 tiles' components.
+	if res.BoundaryUnions < 15 {
+		t.Fatalf("BoundaryUnions = %d, want ≥ 15", res.BoundaryUnions)
+	}
+}
+
+// The headline property the tiling buys: per-tile merge-table demand is
+// bounded by the TILE size regardless of image size.
+func TestTiledBoundsMergeTableGrowth(t *testing.T) {
+	for _, side := range []int{16, 32, 64} {
+		g := grid.New(side, side)
+		// Checkerboard: the 4-way worst case for provisional labels.
+		for r := 0; r < side; r++ {
+			for c := 0; c < side; c++ {
+				if (r+c)%2 == 0 {
+					g.Set(r, c, 1)
+				}
+			}
+		}
+		res, err := LabelTiled(g, TiledOptions{TileRows: 8, TileCols: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := SizeFor(8, 8, grid.FourWay) // 32, independent of side
+		if res.MaxTileGroups > bound {
+			t.Fatalf("side %d: MaxTileGroups %d exceeds tile bound %d", side, res.MaxTileGroups, bound)
+		}
+		if res.Islands != side*side/2 {
+			t.Fatalf("side %d: islands = %d, want %d", side, res.Islands, side*side/2)
+		}
+	}
+}
+
+// Property: tiled labeling is isomorphic to flood fill for random images,
+// tile shapes, and both connectivities — including tiles that do not divide
+// the image evenly.
+func TestTiledGoldenProperty(t *testing.T) {
+	golden := labeling.FloodFill{}
+	f := func(cells [143]byte, tr, tc uint8) bool {
+		g := grid.New(11, 13)
+		for i, b := range cells {
+			if b%2 == 0 {
+				g.Flat()[i] = grid.Value(b%9) + 1
+			}
+		}
+		tileR := int(tr)%6 + 1
+		tileC := int(tc)%6 + 1
+		for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+			want, err := golden.Label(g, conn)
+			if err != nil {
+				return false
+			}
+			res, err := LabelTiled(g, TiledOptions{
+				Connectivity: conn, TileRows: tileR, TileCols: tileC,
+			})
+			if err != nil || !res.Labels.Isomorphic(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

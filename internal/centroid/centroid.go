@@ -1,0 +1,123 @@
+// Package centroid implements the centroiding stage that follows island
+// detection in the ADAPT pipeline (Fig 3) and its 2D generalization: the
+// position and energy of each particle interaction are estimated from the
+// energy-weighted first moments of its island, and — for IACT-style image
+// analysis — Hillas-style second moments (length, width, orientation) that
+// downstream DL1→DL2 reconstruction consumes (§2).
+package centroid
+
+import (
+	"math"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+)
+
+// Centroid2D is the first-moment summary of one island.
+type Centroid2D struct {
+	// Label is the island's final label.
+	Label int32
+	// Row, Col are the energy-weighted mean coordinates.
+	Row, Col float64
+	// Sum is the island's total integrated value (energy estimate).
+	Sum int64
+	// Pixels is the island's pixel count.
+	Pixels int
+}
+
+// Compute2D returns the centroid of one island.
+func Compute2D(is ccl.Island) Centroid2D {
+	var wr, wc float64
+	for _, p := range is.Pixels {
+		wr += float64(p.Row) * float64(p.Value)
+		wc += float64(p.Col) * float64(p.Value)
+	}
+	s := float64(is.Sum)
+	if s == 0 {
+		// Degenerate (cannot happen for islands of lit pixels, which are
+		// strictly positive); fall back to the bounding-box center.
+		return Centroid2D{
+			Label:  is.Label,
+			Row:    float64(is.MinRow+is.MaxRow) / 2,
+			Col:    float64(is.MinCol+is.MaxCol) / 2,
+			Pixels: len(is.Pixels),
+		}
+	}
+	return Centroid2D{
+		Label:  is.Label,
+		Row:    wr / s,
+		Col:    wc / s,
+		Sum:    is.Sum,
+		Pixels: len(is.Pixels),
+	}
+}
+
+// All2D returns centroids for every island, in island order.
+func All2D(islands []ccl.Island) []Centroid2D {
+	out := make([]Centroid2D, len(islands))
+	for i, is := range islands {
+		out[i] = Compute2D(is)
+	}
+	return out
+}
+
+// Hillas is the second-moment ellipse description of an island — the
+// parameterization IACT analysis uses for energy/direction/gammaness
+// estimation (§2 describes CTA's DL1→DL2 phase consuming these).
+type Hillas struct {
+	// Size is the total integrated value.
+	Size int64
+	// CogRow, CogCol is the center of gravity.
+	CogRow, CogCol float64
+	// Length and Width are the RMS spreads along the major and minor axes.
+	Length, Width float64
+	// PsiRad is the major-axis orientation in radians, in (-π/2, π/2],
+	// measured from the row axis.
+	PsiRad float64
+}
+
+// HillasParameters computes the second-moment ellipse of one island.
+// Islands with fewer than 2 pixels have zero length/width.
+func HillasParameters(is ccl.Island) Hillas {
+	c := Compute2D(is)
+	h := Hillas{Size: is.Sum, CogRow: c.Row, CogCol: c.Col}
+	if len(is.Pixels) < 2 || is.Sum == 0 {
+		return h
+	}
+	var srr, scc, src float64
+	s := float64(is.Sum)
+	for _, p := range is.Pixels {
+		w := float64(p.Value)
+		dr := float64(p.Row) - c.Row
+		dc := float64(p.Col) - c.Col
+		srr += w * dr * dr
+		scc += w * dc * dc
+		src += w * dr * dc
+	}
+	srr /= s
+	scc /= s
+	src /= s
+	// Eigenvalues of the 2×2 covariance matrix.
+	tr := srr + scc
+	det := srr*scc - src*src
+	disc := math.Sqrt(math.Max(0, tr*tr/4-det))
+	l1 := tr/2 + disc // major
+	l2 := tr/2 - disc // minor
+	h.Length = math.Sqrt(math.Max(0, l1))
+	h.Width = math.Sqrt(math.Max(0, l2))
+	// Major-axis angle from the row axis.
+	if src == 0 && srr >= scc {
+		h.PsiRad = 0
+	} else if src == 0 {
+		h.PsiRad = math.Pi / 2
+	} else {
+		h.PsiRad = math.Atan2(l1-srr, src)
+	}
+	// Normalize the axis direction into (-π/2, π/2].
+	for h.PsiRad > math.Pi/2 {
+		h.PsiRad -= math.Pi
+	}
+	for h.PsiRad <= -math.Pi/2 {
+		h.PsiRad += math.Pi
+	}
+	return h
+}

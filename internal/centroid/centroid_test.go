@@ -1,0 +1,234 @@
+package centroid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+func islandsOf(t *testing.T, g *grid.Grid, conn grid.Connectivity) []ccl.Island {
+	t.Helper()
+	res, err := ccl.Label(g, ccl.Options{Connectivity: conn, CompactLabels: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ccl.Islands(g, res.Labels)
+}
+
+func TestCentroidSinglePixel(t *testing.T) {
+	g := grid.New(5, 5)
+	g.Set(2, 3, 7)
+	is := islandsOf(t, g, grid.FourWay)
+	if len(is) != 1 {
+		t.Fatal("want one island")
+	}
+	c := Compute2D(is[0])
+	if c.Row != 2 || c.Col != 3 || c.Sum != 7 || c.Pixels != 1 {
+		t.Fatalf("centroid = %+v", c)
+	}
+}
+
+func TestCentroidWeighted(t *testing.T) {
+	// Two pixels: (0,0)=1 and (0,3)=3 are separate 4-way islands; join them.
+	g := grid.New(1, 4)
+	g.Set(0, 0, 1)
+	g.Set(0, 1, 1)
+	g.Set(0, 2, 1)
+	g.Set(0, 3, 3)
+	is := islandsOf(t, g, grid.FourWay)
+	if len(is) != 1 {
+		t.Fatal("want one island")
+	}
+	c := Compute2D(is[0])
+	// col centroid = (0+1+2+9)/6 = 2.
+	if c.Row != 0 || c.Col != 2 || c.Sum != 6 {
+		t.Fatalf("centroid = %+v", c)
+	}
+}
+
+func TestAll2D(t *testing.T) {
+	g := grid.MustParse("#.#")
+	is := islandsOf(t, g, grid.FourWay)
+	cs := All2D(is)
+	if len(cs) != 2 || cs[0].Col != 0 || cs[1].Col != 2 {
+		t.Fatalf("All2D = %+v", cs)
+	}
+}
+
+func TestCentroidDegenerateFallback(t *testing.T) {
+	// Hand-built island with zero sum exercises the bounding-box fallback.
+	is := ccl.Island{Label: 1, MinRow: 2, MaxRow: 4, MinCol: 1, MaxCol: 3,
+		Pixels: []ccl.Pixel{{Row: 2, Col: 1}, {Row: 4, Col: 3}}}
+	c := Compute2D(is)
+	if c.Row != 3 || c.Col != 2 {
+		t.Fatalf("fallback centroid = %+v", c)
+	}
+}
+
+func TestHillasHorizontalLine(t *testing.T) {
+	g := grid.New(5, 9)
+	for c := 1; c <= 7; c++ {
+		g.Set(2, c, 2)
+	}
+	is := islandsOf(t, g, grid.FourWay)
+	h := HillasParameters(is[0])
+	if h.CogRow != 2 || h.CogCol != 4 {
+		t.Fatalf("cog = (%v,%v), want (2,4)", h.CogRow, h.CogCol)
+	}
+	if h.Width != 0 {
+		t.Fatalf("width = %v, want 0 for a 1-pixel-thick line", h.Width)
+	}
+	// Major axis along columns: psi = ±π/2 from the row axis.
+	if math.Abs(math.Abs(h.PsiRad)-math.Pi/2) > 1e-9 {
+		t.Fatalf("psi = %v, want ±π/2", h.PsiRad)
+	}
+	// RMS of {-3..3} uniform = sqrt(4) = 2.
+	if math.Abs(h.Length-2) > 1e-9 {
+		t.Fatalf("length = %v, want 2", h.Length)
+	}
+}
+
+func TestHillasVerticalLine(t *testing.T) {
+	g := grid.New(9, 5)
+	for r := 1; r <= 7; r++ {
+		g.Set(r, 2, 1)
+	}
+	is := islandsOf(t, g, grid.FourWay)
+	h := HillasParameters(is[0])
+	if math.Abs(h.PsiRad) > 1e-9 {
+		t.Fatalf("psi = %v, want 0 (along rows)", h.PsiRad)
+	}
+	if math.Abs(h.Length-2) > 1e-9 || h.Width != 0 {
+		t.Fatalf("length/width = %v/%v, want 2/0", h.Length, h.Width)
+	}
+}
+
+func TestHillasDiagonal(t *testing.T) {
+	g := grid.New(8, 8)
+	for i := 1; i <= 6; i++ {
+		g.Set(i, i, 5)
+	}
+	is := islandsOf(t, g, grid.EightWay)
+	if len(is) != 1 {
+		t.Fatal("diagonal must be one 8-way island")
+	}
+	h := HillasParameters(is[0])
+	if math.Abs(h.PsiRad-math.Pi/4) > 1e-9 {
+		t.Fatalf("psi = %v, want π/4", h.PsiRad)
+	}
+	if h.Width > 1e-9 {
+		t.Fatalf("width = %v, want 0", h.Width)
+	}
+}
+
+func TestHillasSinglePixel(t *testing.T) {
+	g := grid.New(3, 3)
+	g.Set(1, 1, 4)
+	is := islandsOf(t, g, grid.FourWay)
+	h := HillasParameters(is[0])
+	if h.Length != 0 || h.Width != 0 || h.Size != 4 {
+		t.Fatalf("single pixel hillas = %+v", h)
+	}
+}
+
+// Property: length ≥ width ≥ 0, cog inside the bounding box, size equals the
+// island sum — on generated shower images.
+func TestHillasInvariantsOnShowers(t *testing.T) {
+	cam := detector.LSTCamera()
+	rng := detector.NewRNG(77)
+	checked := 0
+	for i := 0; i < 50; i++ {
+		g := cam.Shower(cam.TypicalShower(rng), rng)
+		res, err := ccl.Label(g, ccl.Options{Connectivity: grid.FourWay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, is := range ccl.Islands(g, res.Labels) {
+			h := HillasParameters(is)
+			if h.Width < 0 || h.Length < h.Width {
+				t.Fatalf("length/width invariant broken: %+v", h)
+			}
+			if h.CogRow < float64(is.MinRow)-1e-9 || h.CogRow > float64(is.MaxRow)+1e-9 ||
+				h.CogCol < float64(is.MinCol)-1e-9 || h.CogCol > float64(is.MaxCol)+1e-9 {
+				t.Fatalf("cog outside bbox: %+v vs %+v", h, is)
+			}
+			if h.Size != is.Sum {
+				t.Fatalf("size %d != sum %d", h.Size, is.Sum)
+			}
+			if h.PsiRad <= -math.Pi/2-1e-9 || h.PsiRad > math.Pi/2+1e-9 {
+				t.Fatalf("psi out of range: %v", h.PsiRad)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no islands produced by shower generator")
+	}
+}
+
+// Property: a shower's reconstructed orientation tracks the configured angle
+// for elongated, bright images.
+func TestHillasRecoversOrientation(t *testing.T) {
+	cam := detector.LSTCamera()
+	rng := detector.NewRNG(123)
+	good, total := 0, 0
+	for i := 0; i < 30; i++ {
+		angle := rng.Float64()*math.Pi - math.Pi/2
+		sh := detector.ShowerConfig{
+			CenterRow: 21, CenterCol: 21,
+			Length: 6, Width: 1.2, AngleRad: angle, TotalPE: 2500,
+		}
+		g := cam.Shower(sh, rng)
+		res, err := ccl.Label(g, ccl.Options{Connectivity: grid.FourWay})
+		if err != nil {
+			t.Fatal(err)
+		}
+		islands := ccl.Islands(g, res.Labels)
+		main := ccl.LargestIsland(islands)
+		if main == nil || main.Size() < 10 {
+			continue
+		}
+		total++
+		h := HillasParameters(*main)
+		diff := math.Abs(h.PsiRad - angle)
+		if diff > math.Pi/2 {
+			diff = math.Pi - diff // axis is direction-free
+		}
+		if diff < 0.25 {
+			good++
+		}
+	}
+	if total < 20 {
+		t.Fatalf("only %d usable showers", total)
+	}
+	if good < total*3/4 {
+		t.Fatalf("orientation recovered for %d/%d showers", good, total)
+	}
+}
+
+// Property: centroid lies within the island's bounding box for random blobs.
+func TestCentroidInBBoxProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rng := detector.NewRNG(uint64(seed))
+		g := detector.RandomIslands(16, 16, 4, 1.5, rng)
+		res, err := ccl.Label(g, ccl.Options{Connectivity: grid.EightWay})
+		if err != nil {
+			return false
+		}
+		for _, is := range ccl.Islands(g, res.Labels) {
+			c := Compute2D(is)
+			if c.Row < float64(is.MinRow) || c.Row > float64(is.MaxRow) ||
+				c.Col < float64(is.MinCol) || c.Col > float64(is.MaxCol) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package centroid
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+)
+
+// Ring is a fitted circle: the muon-calibration observable IACT pipelines
+// extract from ring islands (ring radius calibrates the optical throughput).
+type Ring struct {
+	// CenterRow, CenterCol is the fitted circle center.
+	CenterRow, CenterCol float64
+	// Radius is the fitted circle radius.
+	Radius float64
+	// RMS is the intensity-weighted RMS radial residual — a goodness of fit.
+	RMS float64
+}
+
+// FitRing fits a circle to an island's pixels with the Kåsa algebraic
+// least-squares method, weighting each pixel by its intensity. It needs at
+// least three non-collinear pixels.
+func FitRing(is ccl.Island) (Ring, error) {
+	if len(is.Pixels) < 3 {
+		return Ring{}, fmt.Errorf("centroid: ring fit needs ≥3 pixels, got %d", len(is.Pixels))
+	}
+	// Weighted Kåsa: minimize Σ w·(x²+y² + D·x + E·y + F)², a linear system
+	//   [Sxx Sxy Sx] [D]   [-Sxz]
+	//   [Sxy Syy Sy] [E] = [-Syz]
+	//   [Sx  Sy  Sw] [F]   [-Sz ]
+	// with z = x²+y².
+	var sxx, sxy, syy, sx, sy, sw, sxz, syz, sz float64
+	for _, p := range is.Pixels {
+		w := float64(p.Value)
+		x := float64(p.Row)
+		y := float64(p.Col)
+		z := x*x + y*y
+		sxx += w * x * x
+		sxy += w * x * y
+		syy += w * y * y
+		sx += w * x
+		sy += w * y
+		sw += w
+		sxz += w * x * z
+		syz += w * y * z
+		sz += w * z
+	}
+	d, e, f, err := solve3(
+		[3][3]float64{
+			{sxx, sxy, sx},
+			{sxy, syy, sy},
+			{sx, sy, sw},
+		},
+		[3]float64{-sxz, -syz, -sz},
+	)
+	if err != nil {
+		return Ring{}, fmt.Errorf("centroid: ring fit degenerate (collinear pixels?): %w", err)
+	}
+	cr := -d / 2
+	cc := -e / 2
+	r2 := cr*cr + cc*cc - f
+	if r2 <= 0 {
+		return Ring{}, fmt.Errorf("centroid: ring fit produced non-positive radius²")
+	}
+	ring := Ring{CenterRow: cr, CenterCol: cc, Radius: math.Sqrt(r2)}
+	// Weighted RMS radial residual.
+	var res2 float64
+	for _, p := range is.Pixels {
+		w := float64(p.Value)
+		dr := float64(p.Row) - cr
+		dc := float64(p.Col) - cc
+		diff := math.Hypot(dr, dc) - ring.Radius
+		res2 += w * diff * diff
+	}
+	ring.RMS = math.Sqrt(res2 / sw)
+	return ring, nil
+}
+
+// solve3 solves a 3×3 linear system by Cramer's rule.
+func solve3(a [3][3]float64, b [3]float64) (x, y, z float64, err error) {
+	det := det3(a)
+	if math.Abs(det) < 1e-9 {
+		return 0, 0, 0, fmt.Errorf("singular system (det %g)", det)
+	}
+	ax, ay, az := a, a, a
+	for i := 0; i < 3; i++ {
+		ax[i][0] = b[i]
+		ay[i][1] = b[i]
+		az[i][2] = b[i]
+	}
+	return det3(ax) / det, det3(ay) / det, det3(az) / det, nil
+}
+
+func det3(a [3][3]float64) float64 {
+	return a[0][0]*(a[1][1]*a[2][2]-a[1][2]*a[2][1]) -
+		a[0][1]*(a[1][0]*a[2][2]-a[1][2]*a[2][0]) +
+		a[0][2]*(a[1][0]*a[2][1]-a[1][1]*a[2][0])
+}

@@ -1,0 +1,120 @@
+package centroid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// perfectCircleIsland builds an island of pixels on an exact circle.
+func perfectCircleIsland(cr, cc, radius float64, points int) ccl.Island {
+	is := ccl.Island{Label: 1}
+	for k := 0; k < points; k++ {
+		th := 2 * math.Pi * float64(k) / float64(points)
+		r := int(math.Round(cr + radius*math.Cos(th)))
+		c := int(math.Round(cc + radius*math.Sin(th)))
+		is.Pixels = append(is.Pixels, ccl.Pixel{Row: r, Col: c, Value: 5})
+		is.Sum += 5
+	}
+	return is
+}
+
+func TestFitRingExactCircle(t *testing.T) {
+	is := perfectCircleIsland(20, 22, 10, 48)
+	ring, err := FitRing(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ring.CenterRow-20) > 0.3 || math.Abs(ring.CenterCol-22) > 0.3 {
+		t.Fatalf("center = (%.2f, %.2f), want ≈(20, 22)", ring.CenterRow, ring.CenterCol)
+	}
+	if math.Abs(ring.Radius-10) > 0.3 {
+		t.Fatalf("radius = %.2f, want ≈10", ring.Radius)
+	}
+	if ring.RMS > 0.5 {
+		t.Fatalf("RMS = %.2f, want small (pixelization only)", ring.RMS)
+	}
+}
+
+func TestFitRingErrors(t *testing.T) {
+	// Too few pixels.
+	if _, err := FitRing(ccl.Island{Pixels: []ccl.Pixel{{Value: 1}, {Row: 1, Value: 1}}}); err == nil {
+		t.Error("2 pixels must error")
+	}
+	// Collinear pixels: singular system.
+	var line ccl.Island
+	for i := 0; i < 8; i++ {
+		line.Pixels = append(line.Pixels, ccl.Pixel{Row: i, Col: 3, Value: 2})
+		line.Sum += 2
+	}
+	if _, err := FitRing(line); err == nil {
+		t.Error("collinear pixels must error")
+	}
+}
+
+func TestFitRingOnGeneratedRings(t *testing.T) {
+	cam := detector.LSTCamera()
+	rng := detector.NewRNG(321)
+	good, total := 0, 0
+	for i := 0; i < 25; i++ {
+		cfg := cam.TypicalMuonRing(rng)
+		g := cam.Ring(cfg, rng)
+		res, err := ccl.Label(g, ccl.Options{
+			Connectivity:  grid.EightWay,
+			MergeTableCap: ccl.SizeFor(43, 43, grid.EightWay),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		islands := ccl.Islands(g, res.Labels)
+		main := ccl.LargestIsland(islands)
+		if main == nil || main.Size() < 12 {
+			continue
+		}
+		total++
+		ring, err := FitRing(*main)
+		if err != nil {
+			continue
+		}
+		if math.Abs(ring.Radius-cfg.Radius) < 1.5 &&
+			math.Abs(ring.CenterRow-cfg.CenterRow) < 2 &&
+			math.Abs(ring.CenterCol-cfg.CenterCol) < 2 {
+			good++
+		}
+	}
+	if total < 15 {
+		t.Fatalf("only %d usable rings", total)
+	}
+	if good < total*2/3 {
+		t.Fatalf("radius recovered for %d/%d rings", good, total)
+	}
+}
+
+// Property: the fit is translation-invariant.
+func TestFitRingTranslationProperty(t *testing.T) {
+	f := func(dr, dc uint8) bool {
+		base := perfectCircleIsland(15, 15, 7, 36)
+		shift := base
+		shift.Pixels = nil
+		for _, p := range base.Pixels {
+			shift.Pixels = append(shift.Pixels, ccl.Pixel{
+				Row: p.Row + int(dr%20), Col: p.Col + int(dc%20), Value: p.Value,
+			})
+		}
+		a, err1 := FitRing(base)
+		b, err2 := FitRing(shift)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a.Radius-b.Radius) < 1e-6 &&
+			math.Abs((b.CenterRow-a.CenterRow)-float64(dr%20)) < 1e-6 &&
+			math.Abs((b.CenterCol-a.CenterCol)-float64(dc%20)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

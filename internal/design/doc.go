@@ -1,0 +1,25 @@
+// Package design implements the synthesizable island-detection designs of §5
+// as functional, cycle-accounted simulations over the HLS substrate
+// (internal/hls/...). Each optimization stage of the paper's study is a
+// distinct schedule + storage binding of the same 1.5-pass CCL algorithm:
+//
+//   - StageBaseline (§5.1): no pragmas. The merge table lives in registers,
+//     every loop is serialized, and the inner loop's initiation interval
+//     equals its trip count.
+//   - StageBindStorage (§5.2): `bind_storage ... RAM_2P` moves the merge
+//     table to dual-port BRAM — saving flip-flops but adding one cycle per
+//     merge-table read to the still-serialized scan (998→1158 in Table 1).
+//   - StageUnrolled (§5.3): the channel-structuring loop is unrolled ×16 with
+//     cyclic array partitioning, so input loading processes one 16-channel
+//     ALPHA ASIC word per burst instead of one pixel at a time.
+//   - StagePipelined (§5.4): the scan, load, and output loops reach II=1;
+//     merge-table updates are decoupled through hls::stream queues and the
+//     BRAM read latency hides inside the pipeline. This is the shipping
+//     configuration evaluated in Tables 3–4.
+//
+// Running a design produces both the functional result (final labels,
+// identical to internal/ccl with the matching mode) and a
+// resource.Report whose latency comes from the loop schedules and whose
+// BRAM/FF/LUT come from the calibrated estimator in model.go — the
+// reproduction's stand-in for a Vitis synthesis report.
+package design

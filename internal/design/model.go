@@ -1,0 +1,278 @@
+package design
+
+import (
+	"math"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/hls/resource"
+	"github.com/wustl-adapt/hepccl/internal/hls/sched"
+)
+
+// Hardware-wide constants of the ADAPT pipeline integration (§4.1, §5.3).
+const (
+	// Channels is the channel count of one ALPHA digitizer ASIC; the Merge
+	// module emits 16-channel-wide words and the unroll factor matches it.
+	Channels = 16
+	// PixelBits is the width of one integrated channel value.
+	PixelBits = 32
+	// LabelBits is the width of a group label / merge-table entry.
+	LabelBits = 16
+	// ClockMHz is the synthesis clock of §5.5.
+	ClockMHz = 100.0
+)
+
+// Latency model coefficients, calibrated so the schedule reproduces Tables
+// 1–4 (derivation in DESIGN.md §5 and EXPERIMENTS.md):
+//
+//   - serialized scan iteration: 8 cycles (4-way) / 13 cycles (8-way);
+//     binding the merge table to BRAM adds exactly one cycle per merge-table
+//     read (2 reads/pixel 4-way, 4 reads/pixel 8-way);
+//   - serialized load: 2 cycles/pixel; unrolled load: 4 cycles per 16-channel
+//     ASIC word;
+//   - pipelined loops: II=1 with depths 12 (load), 24 (scan), 12 (output);
+//   - merge-table resolution: 2 cycles/entry over the full table (worst
+//     case — the hardware cannot know where the first zero entry is until it
+//     reads it);
+//   - 8-way pipelined adds a merge-update drain loop of ⌈3N/2⌉ worst-case
+//     entries (three update streams, amortized half-occupied).
+const (
+	baseScanIter4    = 8
+	baseScanIter8    = 13
+	mtReadsPerPixel4 = 2
+	mtReadsPerPixel8 = 4
+	serialLoadIter   = 2
+	unrolledLoadIter = 4
+	resolveIter      = 2
+	outputIter       = 1
+	loadDepth        = 12
+	scanDepth        = 24
+	drainDepth       = 24
+	outputDepth      = 12
+	serialOverhead   = 78
+	pipeOverhead4    = 15
+	pipeOverhead8    = 17
+)
+
+// loops returns the scheduled loop nest for a configuration. n is the pixel
+// count, mt the merge-table capacity used for the worst-case resolve trip.
+func loops(stage Stage, conn grid.Connectivity, n, mt int, dualWrite bool) []sched.Loop {
+	n64, mt64 := int64(n), int64(mt)
+	asics := int64((n + Channels - 1) / Channels)
+
+	scanIter := int64(baseScanIter4)
+	mtReads := int64(mtReadsPerPixel4)
+	if conn == grid.EightWay {
+		scanIter = baseScanIter8
+		mtReads = mtReadsPerPixel8
+	}
+
+	switch stage {
+	case StageBaseline:
+		return []sched.Loop{
+			{Name: "load", Trip: n64, IterLatency: serialLoadIter},
+			{Name: "scan", Trip: n64, IterLatency: scanIter},
+			{Name: "resolve", Trip: mt64, IterLatency: resolveIter},
+			{Name: "output", Trip: n64, IterLatency: outputIter},
+		}
+	case StageBindStorage:
+		return []sched.Loop{
+			{Name: "load", Trip: n64, IterLatency: serialLoadIter},
+			// BRAM's 1-cycle read latency is exposed on every merge-table
+			// read because the loop is not pipelined (§5.2).
+			{Name: "scan", Trip: n64, IterLatency: scanIter + mtReads},
+			{Name: "resolve", Trip: mt64, IterLatency: resolveIter},
+			{Name: "output", Trip: n64, IterLatency: outputIter},
+		}
+	case StageUnrolled:
+		return []sched.Loop{
+			{Name: "load", Trip: asics, IterLatency: unrolledLoadIter},
+			{Name: "scan", Trip: n64, IterLatency: scanIter + mtReads},
+			{Name: "resolve", Trip: mt64, IterLatency: resolveIter},
+			{Name: "output", Trip: n64, IterLatency: outputIter},
+		}
+	case StagePipelined:
+		scanII := int64(1)
+		if dualWrite {
+			// Fig 12's false memory dependency: two possible writers to
+			// stream_top force the scheduler to serialize alternate
+			// iterations (II=2) until the single-write rewrite.
+			scanII = 2
+		}
+		ls := []sched.Loop{
+			{Name: "load", Trip: n64, Pipelined: true, II: 1, Depth: loadDepth},
+			{Name: "scan", Trip: n64, Pipelined: true, II: scanII, Depth: scanDepth},
+		}
+		if conn == grid.EightWay {
+			ls = append(ls, sched.Loop{
+				Name: "drain", Trip: (3*n64 + 1) / 2, Pipelined: true, II: 1, Depth: drainDepth,
+			})
+		}
+		ls = append(ls,
+			sched.Loop{Name: "resolve", Trip: mt64, IterLatency: resolveIter},
+			sched.Loop{Name: "output", Trip: n64, Pipelined: true, II: 1, Depth: outputDepth},
+		)
+		return ls
+	default:
+		panic("design: unknown stage")
+	}
+}
+
+// overhead returns the fixed function entry/exit cycles for a configuration.
+func overhead(stage Stage, conn grid.Connectivity) int64 {
+	if stage == StagePipelined {
+		if conn == grid.EightWay {
+			return pipeOverhead8
+		}
+		return pipeOverhead4
+	}
+	return serialOverhead
+}
+
+// Latency returns the worst-case function latency in cycles for a
+// configuration, the number a Vitis report's Latency column would show.
+func Latency(stage Stage, conn grid.Connectivity, rows, cols int) int64 {
+	n := rows * cols
+	mt := ccl.SizeForPaper(rows, cols)
+	var total int64
+	for _, l := range loops(stage, conn, n, mt, false) {
+		total += l.Latency()
+	}
+	return total + overhead(stage, conn)
+}
+
+// InnerII returns the initiation interval achieved by the labeling scan loop.
+func InnerII(stage Stage, dualWrite bool) int64 {
+	if stage != StagePipelined {
+		return 0 // serialized: reported as latency-matching in the tables
+	}
+	if dualWrite {
+		return 2
+	}
+	return 1
+}
+
+// Resource model. Component formulas calibrated to the 8×10 anchors of
+// Tables 1–2 and the scaling slopes of Tables 3–4 (EXPERIMENTS.md records
+// paper-vs-model for every cell):
+//
+//	FF  (pipelined) = 32·N + 1669 (4-way) | 48·N + 3201 (8-way)
+//	LUT (pipelined) = 5.845·N + 254.6·√N + 1351 | 11.716·N + 399.6·√N + 2072
+//
+// Non-pipelined stages are dominated by merge-table storage and control:
+//
+//	FF  = 16·MT + 756|876 (baseline); control-only after binding
+//	LUT = 60·MT + const(stage, conn)
+const (
+	ffCtl4, ffCtl8            = 756, 876
+	ffBindCtl4, ffBindCtl8    = 258, 324
+	ffUnrollDelta             = 54
+	ffPipeSlope4, ffPipeBase4 = 32, 1669
+	ffPipeSlope8, ffPipeBase8 = 48, 3201
+
+	lutBase4, lutBase8           = 1057, 1546
+	lutBindDelta4, lutBindDelta8 = 46, 117
+	lutUnrollDelta               = 326
+	lutMTSlope                   = 60
+)
+
+var (
+	lutPipe4 = [3]float64{5.845, 254.6, 1351}
+	lutPipe8 = [3]float64{11.716, 399.6, 2072}
+)
+
+// Resources estimates the BRAM/FF/LUT usage of a configuration.
+func Resources(stage Stage, conn grid.Connectivity, rows, cols int) resource.Usage {
+	n := rows * cols
+	mt := ccl.SizeForPaper(rows, cols)
+	return resource.Usage{
+		BRAM18K: bramBlocks(stage, n, mt),
+		FF:      ffEstimate(stage, conn, n, mt),
+		LUT:     lutEstimate(stage, conn, n, mt),
+	}
+}
+
+// bramBlocks sums the design's block-RAM consumers:
+//
+//   - the input stream buffers from the Merge module (2 blocks);
+//   - the output label FIFO (16-bit × N, ≥1 block);
+//   - the data array: one monolithic memory before partitioning, 16 cyclic
+//     banks afterwards (banks below the LUTRAM threshold cost nothing —
+//     this is the 5→21 step between 16×16 and 24×24 in Table 3);
+//   - the merge table: registers at baseline (0 blocks); RAM_2P binding
+//     costs 1+2·pack blocks at §5.2 (the +75% jump of Table 1), pruned to
+//     2·pack once partitioning reorganizes the layout (§5.3).
+func bramBlocks(stage Stage, n, mt int) int {
+	const inputBlocks = 2
+	out := resource.BRAM18KFor(n, LabelBits)
+	if out < 1 {
+		out = 1
+	}
+	var data, mtB int
+	switch stage {
+	case StageBaseline:
+		data = resource.BRAM18KFor(n, PixelBits)
+		mtB = 0
+	case StageBindStorage:
+		data = resource.BRAM18KFor(n, PixelBits)
+		mtB = 1 + 2*resource.BRAM18KFor(mt, LabelBits)
+	case StageUnrolled, StagePipelined:
+		bankDepth := (n + Channels - 1) / Channels
+		if bankDepth*PixelBits > resource.LUTRAMThresholdBits {
+			data = Channels * resource.BRAM18KFor(bankDepth, PixelBits)
+		}
+		mtB = 2 * resource.BRAM18KFor(mt, LabelBits)
+	}
+	return inputBlocks + out + data + mtB
+}
+
+func ffEstimate(stage Stage, conn grid.Connectivity, n, mt int) int {
+	eight := conn == grid.EightWay
+	switch stage {
+	case StageBaseline:
+		if eight {
+			return LabelBits*mt + ffCtl8
+		}
+		return LabelBits*mt + ffCtl4
+	case StageBindStorage:
+		if eight {
+			return ffCtl8 + ffBindCtl8
+		}
+		return ffCtl4 + ffBindCtl4
+	case StageUnrolled:
+		if eight {
+			return ffCtl8 + ffBindCtl8 + ffUnrollDelta
+		}
+		return ffCtl4 + ffBindCtl4 + ffUnrollDelta
+	case StagePipelined:
+		if eight {
+			return ffPipeSlope8*n + ffPipeBase8
+		}
+		return ffPipeSlope4*n + ffPipeBase4
+	}
+	return 0
+}
+
+func lutEstimate(stage Stage, conn grid.Connectivity, n, mt int) int {
+	eight := conn == grid.EightWay
+	base, bind := lutBase4, lutBindDelta4
+	if eight {
+		base, bind = lutBase8, lutBindDelta8
+	}
+	switch stage {
+	case StageBaseline:
+		return lutMTSlope*mt + base
+	case StageBindStorage:
+		return lutMTSlope*mt + base + bind
+	case StageUnrolled:
+		return lutMTSlope*mt + base + bind + lutUnrollDelta
+	case StagePipelined:
+		c := lutPipe4
+		if eight {
+			c = lutPipe8
+		}
+		v := c[0]*float64(n) + c[1]*math.Sqrt(float64(n)) + c[2]
+		return int(v + 0.5)
+	}
+	return 0
+}

@@ -1,0 +1,318 @@
+package design
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/labeling"
+)
+
+func vcfg(strategy PassStrategy, conn grid.Connectivity, rows, cols int) VariantConfig {
+	return VariantConfig{Rows: rows, Cols: cols, Connectivity: conn, Strategy: strategy}
+}
+
+func TestPassStrategyStrings(t *testing.T) {
+	if PassOneAndHalf.String() != "1.5-pass" || PassTwo.String() != "two-pass" ||
+		PassSingle.String() != "single-pass" {
+		t.Fatal("strategy names wrong")
+	}
+	if PassStrategy(9).Valid() || PassStrategy(9).String() == "" {
+		t.Fatal("invalid strategy handling wrong")
+	}
+}
+
+// The §3 design rationale, quantified: under 4-way the 1.5-pass design
+// beats both alternatives at every studied size. Under 8-way, single-pass
+// edges it on raw latency (no resolve loop, diagonal merges absorbed into
+// the II=2 scan) — the upside §6 cites for investigating single-pass — but
+// two-pass always loses, and single-pass pays a large resource premium
+// (TestSinglePassResourcePremium).
+func TestPassStrategyRanking(t *testing.T) {
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		for _, sz := range [][2]int{{8, 10}, {16, 16}, {24, 24}, {32, 32}, {43, 43}, {64, 64}} {
+			l15 := VariantLatency(vcfg(PassOneAndHalf, conn, sz[0], sz[1]))
+			l2 := VariantLatency(vcfg(PassTwo, conn, sz[0], sz[1]))
+			l1 := VariantLatency(vcfg(PassSingle, conn, sz[0], sz[1]))
+			if l15 >= l2 {
+				t.Errorf("%v %dx%d: 1.5-pass (%d) not faster than two-pass (%d)",
+					conn, sz[0], sz[1], l15, l2)
+			}
+			if conn == grid.FourWay && l15 >= l1 {
+				t.Errorf("4-way %dx%d: 1.5-pass (%d) not faster than single-pass (%d)",
+					sz[0], sz[1], l15, l1)
+			}
+			if conn == grid.EightWay && l1 >= l15 {
+				t.Errorf("8-way %dx%d: single-pass (%d) should edge 1.5-pass (%d) in this model",
+					sz[0], sz[1], l1, l15)
+			}
+		}
+	}
+}
+
+// The 1.5-pass variant's latency model must agree with the published
+// pipelined design's (same schedule).
+func TestVariantOneAndHalfMatchesPublishedModel(t *testing.T) {
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		for _, sz := range [][2]int{{8, 10}, {43, 43}, {64, 64}} {
+			v := VariantLatency(vcfg(PassOneAndHalf, conn, sz[0], sz[1]))
+			p := Latency(StagePipelined, conn, sz[0], sz[1])
+			if v != p {
+				t.Errorf("%v %dx%d: variant %d != published %d", conn, sz[0], sz[1], v, p)
+			}
+		}
+	}
+}
+
+// Two-pass adds exactly one II=1 full-array relabel pass.
+func TestTwoPassDelta(t *testing.T) {
+	for _, sz := range [][2]int{{8, 10}, {43, 43}} {
+		n := int64(sz[0] * sz[1])
+		d := VariantLatency(vcfg(PassTwo, grid.FourWay, sz[0], sz[1])) -
+			VariantLatency(vcfg(PassOneAndHalf, grid.FourWay, sz[0], sz[1]))
+		if d != n-1+loadDepth {
+			t.Errorf("%dx%d relabel delta = %d, want %d", sz[0], sz[1], d, n-1+loadDepth)
+		}
+	}
+}
+
+// Single-pass removes the resolve loop but pays II=2 in the scan.
+func TestSinglePassStructure(t *testing.T) {
+	cfg := vcfg(PassSingle, grid.FourWay, 8, 10)
+	// 4N + 59: load (80+11) + scan (2*79+24) + output (80+11) + 15 = 379.
+	if got := VariantLatency(cfg); got != 379 {
+		t.Fatalf("single-pass 8x10 latency = %d, want 379", got)
+	}
+	g := grid.MustParse("##\n##")
+	out, err := RunVariant(g, vcfg(PassSingle, grid.FourWay, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.InnerII != 2 {
+		t.Fatalf("single-pass inner II = %d, want 2", out.Report.InnerII)
+	}
+}
+
+// All variants are label-isomorphic to the golden model on random inputs —
+// except the merge-table strategies on corner-case patterns, which is the
+// point of the comparison. The single-pass variant must be correct even
+// there.
+func TestVariantsCorrectness(t *testing.T) {
+	golden := labeling.FloodFill{}
+	f := func(cells [80]byte) bool {
+		g := grid.New(8, 10)
+		for i, b := range cells {
+			if b%3 == 0 {
+				g.Flat()[i] = grid.Value(b%7) + 1
+			}
+		}
+		for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+			want, err := golden.Label(g, conn)
+			if err != nil {
+				return false
+			}
+			out, err := RunVariant(g, vcfg(PassSingle, conn, 8, 10))
+			if err != nil || !out.Labels.Isomorphic(want) {
+				return false
+			}
+			// 1.5-pass and two-pass agree with each other exactly.
+			a, err := RunVariant(g, vcfg(PassOneAndHalf, conn, 8, 10))
+			if err != nil {
+				return false
+			}
+			b, err := RunVariant(g, vcfg(PassTwo, conn, 8, 10))
+			if err != nil || !a.Labels.Equal(b.Labels) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The single-pass variant is immune to the §6 corner case (its flat table is
+// always fully resolved), while the merge-table variants reproduce it.
+func TestSinglePassImmuneToCornerCase(t *testing.T) {
+	g := grid.MustParse("#..#.\n#.##.\n###..")
+	single, err := RunVariant(g, vcfg(PassSingle, grid.FourWay, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Islands != 1 {
+		t.Fatalf("single-pass islands = %d, want 1", single.Islands)
+	}
+	oneHalf, err := RunVariant(g, vcfg(PassOneAndHalf, grid.FourWay, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneHalf.Islands != 2 {
+		t.Fatalf("1.5-pass islands = %d, want the documented 2", oneHalf.Islands)
+	}
+}
+
+// §6 wide-output enhancement: more lanes shorten the output loop.
+func TestOutputLanesShortenOutput(t *testing.T) {
+	base := vcfg(PassOneAndHalf, grid.FourWay, 64, 64)
+	prev := VariantLatency(base)
+	for _, lanes := range []int{2, 4, 8, 16} {
+		cfg := base
+		cfg.OutputLanes = lanes
+		got := VariantLatency(cfg)
+		if got >= prev {
+			t.Errorf("lanes=%d latency %d did not improve on %d", lanes, got, prev)
+		}
+		prev = got
+	}
+	// With 16 lanes the output loop nearly vanishes: latency approaches
+	// 2N + 2MT + const.
+	cfg := base
+	cfg.OutputLanes = 16
+	n, mt := int64(4096), int64(1024)
+	want := (n + 11) + (n + 23) + 2*mt + (n/16 + 11) + 15
+	if got := VariantLatency(cfg); got != want {
+		t.Fatalf("16-lane latency = %d, want %d", got, want)
+	}
+}
+
+func TestOutputLanesResources(t *testing.T) {
+	base := vcfg(PassOneAndHalf, grid.FourWay, 64, 64)
+	u1 := VariantResources(base)
+	wide := base
+	wide.OutputLanes = 8
+	u8 := VariantResources(wide)
+	if u8.LUT <= u1.LUT || u8.FF <= u1.FF {
+		t.Fatal("wider output must cost logic")
+	}
+}
+
+func TestVariantValidation(t *testing.T) {
+	g := grid.New(2, 2)
+	bad := []VariantConfig{
+		{Rows: 0, Cols: 2, Connectivity: grid.FourWay},
+		{Rows: 2, Cols: 2, Connectivity: grid.Connectivity(3)},
+		{Rows: 2, Cols: 2, Connectivity: grid.FourWay, Strategy: PassStrategy(5)},
+		{Rows: 2, Cols: 2, Connectivity: grid.FourWay, OutputLanes: 99},
+	}
+	for i, cfg := range bad {
+		if _, err := RunVariant(g, cfg); err == nil {
+			t.Errorf("config %d must error", i)
+		}
+	}
+	if _, err := RunVariant(grid.New(3, 3), vcfg(PassSingle, grid.FourWay, 2, 2)); err == nil {
+		t.Error("shape mismatch must error")
+	}
+}
+
+// Single-pass resource premium: more FF/LUT/BRAM than the published design.
+func TestSinglePassResourcePremium(t *testing.T) {
+	pub := Resources(StagePipelined, grid.FourWay, 43, 43)
+	sp := VariantResources(vcfg(PassSingle, grid.FourWay, 43, 43))
+	if sp.FF <= pub.FF || sp.LUT <= pub.LUT || sp.BRAM18K <= pub.BRAM18K {
+		t.Fatalf("single-pass %+v should exceed published %+v", sp, pub)
+	}
+}
+
+// Checkerboard worst case through the single-pass variant (its table is
+// sized for the 4-way worst case, so it must not overflow).
+func TestSinglePassCheckerboard(t *testing.T) {
+	g := grid.New(8, 10)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 10; c++ {
+			if (r+c)%2 == 0 {
+				g.Set(r, c, 1)
+			}
+		}
+	}
+	out, err := RunVariant(g, vcfg(PassSingle, grid.FourWay, 8, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Islands != 40 {
+		t.Fatalf("islands = %d, want 40", out.Islands)
+	}
+	golden, _ := labeling.FloodFill{}.Label(g, grid.FourWay)
+	if !out.Labels.Isomorphic(golden) {
+		t.Fatal("single-pass wrong on checkerboard")
+	}
+}
+
+// Variant reports carry coherent metadata.
+func TestVariantReportMetadata(t *testing.T) {
+	g := grid.New(8, 10)
+	g.Set(0, 0, 3)
+	for _, s := range []PassStrategy{PassOneAndHalf, PassTwo, PassSingle} {
+		out, err := RunVariant(g, vcfg(s, grid.FourWay, 8, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Report.LatencyCycles != VariantLatency(vcfg(s, grid.FourWay, 8, 10)) {
+			t.Errorf("%v: report/model latency mismatch", s)
+		}
+		if out.Report.Usage != VariantResources(vcfg(s, grid.FourWay, 8, 10)) {
+			t.Errorf("%v: report/model usage mismatch", s)
+		}
+		if out.Islands != 1 || out.Groups != 1 {
+			t.Errorf("%v: islands/groups = %d/%d", s, out.Islands, out.Groups)
+		}
+	}
+	// MergeTableCap guard for ccl path: 4-way checkerboard via merge-table
+	// variants still works because ccl.Label sizes safely by default.
+	cb := ccl.SizeFor(8, 10, grid.FourWay)
+	if cb != 40 {
+		t.Fatalf("sanity: safe size = %d", cb)
+	}
+}
+
+// §6 "fully pipelined first pass": overlapped dataflow cuts latency toward
+// the bottleneck stage and lets events enter at the stage interval.
+func TestOverlappedDataflow(t *testing.T) {
+	base := vcfg(PassOneAndHalf, grid.FourWay, 64, 64)
+	seq := VariantLatency(base)
+	over := base
+	over.OverlappedDataflow = true
+	lat := VariantLatency(over)
+	if lat >= seq {
+		t.Fatalf("overlap latency %d not below sequential %d", lat, seq)
+	}
+	// Bottleneck is one N-trip II=1 loop: interval ≈ N + depth.
+	interval := VariantInterval(over)
+	if interval >= seq || interval > 4096+scanDepth {
+		t.Fatalf("interval = %d, want ≈N", interval)
+	}
+	// Sequential designs admit one event per latency (II = latency).
+	if VariantInterval(base) != seq {
+		t.Fatal("sequential interval must equal latency")
+	}
+	// The overlap costs buffering resources.
+	if VariantResources(over).FF <= VariantResources(base).FF {
+		t.Fatal("overlap must cost FF")
+	}
+	if VariantResources(over).BRAM18K <= VariantResources(base).BRAM18K {
+		t.Fatal("overlap must cost BRAM (ping-pong buffers)")
+	}
+}
+
+// Overlapped 43x43 4-way: throughput comfortably beyond the CTA target —
+// the quantified payoff of the §6 direction.
+func TestOverlappedDataflowBeatsCTATarget(t *testing.T) {
+	cfg := vcfg(PassOneAndHalf, grid.FourWay, 43, 43)
+	cfg.OverlappedDataflow = true
+	interval := VariantInterval(cfg)
+	eps := 1e8 / float64(interval)
+	if eps < 45000 {
+		t.Fatalf("overlapped events/s = %.0f, want ≥ 45k", eps)
+	}
+	out, err := RunVariant(grid.New(43, 43), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.II != interval {
+		t.Fatal("report II must be the dataflow interval")
+	}
+	if out.Report.LatencyCycles <= out.Report.II {
+		t.Fatal("overlapped latency must exceed the steady-state interval")
+	}
+}

@@ -1,0 +1,85 @@
+package detector
+
+import (
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// 1D event generation for ADAPT-style fiber trackers: particle interactions
+// deposit light over a few adjacent fibers (channels), read out by SiPMs in
+// 1D arrays (§2, Fig 2 right).
+
+// Interaction is the ground truth of one energy deposit in a 1D array.
+type Interaction struct {
+	// Channel is the true (fractional) interaction position.
+	Channel float64
+	// PE is the mean total photo-electron yield.
+	PE float64
+	// SpreadChannels is the RMS light spread over neighboring channels.
+	SpreadChannels float64
+}
+
+// Event1D is a generated 1D event: integrated photo-electron counts per
+// channel plus the truth that produced them.
+type Event1D struct {
+	Values []grid.Value
+	Truth  []Interaction
+}
+
+// TrackerConfig parameterizes the 1D array and its generator.
+type TrackerConfig struct {
+	// Channels is the array length (ADAPT reads SiPM arrays through
+	// 16-channel ALPHA ASICs, so this is a multiple of 16 in practice).
+	Channels int
+	// MeanInteractions is the Poisson mean of deposits per event.
+	MeanInteractions float64
+	// PEMin, PEMax bound the per-deposit yield (uniform).
+	PEMin, PEMax float64
+	// Spread is the RMS channel spread of one deposit.
+	Spread float64
+	// NoisePE is the mean dark-count photo-electrons per channel.
+	NoisePE float64
+	// Threshold zero-suppresses channels at or below this count.
+	Threshold grid.Value
+}
+
+// DefaultTracker returns the synthetic ADAPT tracker layer configuration:
+// 320 channels (20 ALPHA ASICs), ~2 interactions per event.
+func DefaultTracker() TrackerConfig {
+	return TrackerConfig{
+		Channels:         320,
+		MeanInteractions: 2,
+		PEMin:            20,
+		PEMax:            150,
+		Spread:           1.2,
+		NoisePE:          0.02,
+		Threshold:        2,
+	}
+}
+
+// Event generates one 1D event.
+func (tc TrackerConfig) Event(rng *RNG) Event1D {
+	n := tc.Channels
+	means := make([]float64, n)
+	count := rng.Poisson(tc.MeanInteractions)
+	truth := make([]Interaction, 0, count)
+	for k := 0; k < count; k++ {
+		it := Interaction{
+			Channel:        rng.Float64() * float64(n-1),
+			PE:             tc.PEMin + rng.Float64()*(tc.PEMax-tc.PEMin),
+			SpreadChannels: tc.Spread,
+		}
+		truth = append(truth, it)
+		// Deposit the light as a discrete Gaussian around the position.
+		depositGaussian(means, it.Channel, it.PE, it.SpreadChannels)
+	}
+	values := make([]grid.Value, n)
+	for ch := 0; ch < n; ch++ {
+		pe := rng.Poisson(means[ch] + tc.NoisePE)
+		v := grid.Value(pe)
+		if v <= tc.Threshold {
+			v = 0
+		}
+		values[ch] = v
+	}
+	return Event1D{Values: values, Truth: truth}
+}

@@ -1,0 +1,91 @@
+package detector
+
+import (
+	"math"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// XY event generation for an ADAPT tracker station: "ADAPT's 2D spatial
+// reconstruction uses perpendicular 1D arrays of optical fibers" (§2). One
+// particle interaction deposits light in both the X layer (measuring column
+// position) and the Y layer (measuring row position); the scintillation
+// light splits between the two fiber planes roughly evenly.
+
+// PointTruth is the ground truth of one interaction in station coordinates.
+type PointTruth struct {
+	// Row, Col are the true fractional positions (Y-layer and X-layer
+	// channels respectively).
+	Row, Col float64
+	// PE is the total photo-electron yield across both layers.
+	PE float64
+}
+
+// XYEvent is one generated station event: both layers' channel values plus
+// the truth.
+type XYEvent struct {
+	X, Y  []grid.Value
+	Truth []PointTruth
+}
+
+// XYEvent generates one station event: interactions are drawn like Event's,
+// each splitting its light between the layers with a small asymmetry.
+func (tc TrackerConfig) XYEvent(rng *RNG) XYEvent {
+	n := tc.Channels
+	xMeans := make([]float64, n)
+	yMeans := make([]float64, n)
+	count := rng.Poisson(tc.MeanInteractions)
+	truth := make([]PointTruth, 0, count)
+	for k := 0; k < count; k++ {
+		pt := PointTruth{
+			Row: rng.Float64() * float64(n-1),
+			Col: rng.Float64() * float64(n-1),
+			PE:  tc.PEMin + rng.Float64()*(tc.PEMax-tc.PEMin),
+		}
+		truth = append(truth, pt)
+		// Light sharing between planes: 50 % ± 5 % RMS.
+		share := 0.5 + 0.05*rng.Norm()
+		share = math.Max(0.2, math.Min(0.8, share))
+		depositGaussian(xMeans, pt.Col, pt.PE*share, tc.Spread)
+		depositGaussian(yMeans, pt.Row, pt.PE*(1-share), tc.Spread)
+	}
+	sample := func(means []float64) []grid.Value {
+		out := make([]grid.Value, n)
+		for ch := 0; ch < n; ch++ {
+			v := grid.Value(rng.Poisson(means[ch] + tc.NoisePE))
+			if v <= tc.Threshold {
+				v = 0
+			}
+			out[ch] = v
+		}
+		return out
+	}
+	return XYEvent{X: sample(xMeans), Y: sample(yMeans), Truth: truth}
+}
+
+// depositGaussian spreads pe photo-electrons over channels around center
+// with the given RMS, normalized over the in-range window.
+func depositGaussian(means []float64, center, pe, spread float64) {
+	if spread <= 0 {
+		spread = 0.5
+	}
+	lo := int(center - 4*spread)
+	hi := int(center + 4*spread + 1)
+	var wsum float64
+	ws := make([]float64, 0, hi-lo+1)
+	for ch := lo; ch <= hi; ch++ {
+		d := float64(ch) - center
+		w := math.Exp(-0.5 * d * d / (spread * spread))
+		ws = append(ws, w)
+		wsum += w
+	}
+	if wsum <= 0 {
+		return
+	}
+	for i, ch := 0, lo; ch <= hi; i, ch = i+1, ch+1 {
+		if ch < 0 || ch >= len(means) {
+			continue
+		}
+		means[ch] += pe * ws[i] / wsum
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// E14 examines what the §5.5 "meets CTA's 15 kHz" claim needs in practice:
+// triggers arrive as a Poisson process, so running a 15.2k events/s pipeline
+// at a 15 kHz mean rate (ρ ≈ 0.99) loses events unless a derandomizer FIFO
+// absorbs the bursts — the first of the "system scalability concerns" §6
+// defers to future work.
+
+// DeadtimeRow is one FIFO-depth point of the sweep.
+type DeadtimeRow struct {
+	FIFODepth int
+	Result    adapt.DeadtimeResult
+}
+
+// DeadtimeSweep simulates the CTA pipeline under Poisson triggers at rateHz
+// across derandomizer depths.
+func DeadtimeSweep(rateHz float64, events int) ([]DeadtimeRow, error) {
+	p, err := adapt.New(adapt.DefaultCTA())
+	if err != nil {
+		return nil, err
+	}
+	var rows []DeadtimeRow
+	for _, depth := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		res, err := p.SimulateTrigger(adapt.TriggerConfig{
+			RateHz: rateHz, FIFODepth: depth, Events: events, Seed: 1860,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DeadtimeRow{FIFODepth: depth, Result: res})
+	}
+	return rows, nil
+}
+
+// WriteDeadtime renders E14.
+func WriteDeadtime(w io.Writer) error {
+	const rate = 15000.0
+	rows, err := DeadtimeSweep(rate, 60000)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E14: Poisson triggers at %.0f Hz into the 43x43 4-way pipeline (ρ≈0.99)\n", rate)
+	fmt.Fprintf(w, "%-10s %10s %12s %10s %10s\n", "FIFO depth", "loss", "utilization", "max queue", "mean queue")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %9.3f%% %12.3f %10d %10.2f\n",
+			r.FIFODepth, 100*r.Result.LossFraction, r.Result.Utilization,
+			r.Result.MaxQueue, r.Result.MeanQueue)
+	}
+	fmt.Fprintln(w, "reading: with no derandomizer, ~half the triggers die (ρ/(1+ρ) deadtime);")
+	fmt.Fprintln(w, "a modest event FIFO recovers most of the §5.5 headline capacity, but at")
+	fmt.Fprintln(w, "ρ≈0.99 losses fall slowly with depth — capacity headroom (e.g. the §6")
+	fmt.Fprintln(w, "overlapped first pass, E11) matters more than buffering.")
+	return nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// Experiment is one regenerable table/figure/claim of the paper.
+type Experiment struct {
+	// ID is the short name used on the command line (e.g. "table1").
+	ID string
+	// Title describes what the experiment reproduces.
+	Title string
+	// Run writes the paper-vs-model comparison to w.
+	Run func(w io.Writer) error
+}
+
+// All returns every experiment in DESIGN.md index order (E1–E10).
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: optimization stages, 8x10, 4-way", func(w io.Writer) error {
+			return WriteStageStudy(w, grid.FourWay)
+		}},
+		{"table2", "Table 2: optimization stages, 8x10, 8-way", func(w io.Writer) error {
+			return WriteStageStudy(w, grid.EightWay)
+		}},
+		{"table3", "Table 3: scalability, pipelined, 4-way", func(w io.Writer) error {
+			return WriteScalingStudy(w, grid.FourWay)
+		}},
+		{"table4", "Table 4: scalability, pipelined, 8-way", func(w io.Writer) error {
+			return WriteScalingStudy(w, grid.EightWay)
+		}},
+		{"fig10", "Fig 10: latency scaling, 4-way vs 8-way", WriteFig10},
+		{"fig11", "Fig 11: FF/LUT scaling", WriteFig11},
+		{"throughput", "§5.5 throughput claims (15 kHz at 43x43; 30 fps max sizes)", WriteThroughput},
+		{"fig12", "Fig 12: false stream dependency, single-write rewrite", WriteFalseDependency},
+		{"cornercase", "§6 corner case + merge-table sizing findings", WriteCornerCase},
+		{"cta", "§2 motivation: FPGA pipeline vs reported CTA/ADAPT numbers", WriteCTAComparison},
+		{"variants", "E11 (§6 future work): 1.5-pass vs two-pass vs single-pass", WritePassStrategies},
+		{"tiled", "E12 (§6 future work): tiled processing bounds merge-table growth", WriteTiled},
+		{"incidence", "E13: corner-case incidence on realistic vs adversarial workloads", WriteIncidence},
+		{"deadtime", "E14: Poisson trigger deadtime vs derandomizer FIFO depth", WriteDeadtime},
+	}
+}
+
+// ByID looks an experiment up by its command-line name.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment in order, separated by blank lines.
+func RunAll(w io.Writer) error {
+	for i, e := range All() {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/labeling"
+)
+
+// ThroughputResult carries the §5.5 headline throughput numbers (E7).
+type ThroughputResult struct {
+	// LST43x43EventsPerSec is the 4-way pipelined event rate at 43×43.
+	LST43x43EventsPerSec float64
+	// LST43x43EventsPerSec8 is the 8-way counterpart.
+	LST43x43EventsPerSec8 float64
+	// MaxSide30FPS4 and MaxSide30FPS8 are the largest square arrays the
+	// pipelined designs sustain at 30 fps under ideal scaling.
+	MaxSide30FPS4, MaxSide30FPS8 int
+}
+
+// Throughput computes E7.
+func Throughput() ThroughputResult {
+	res := ThroughputResult{
+		LST43x43EventsPerSec:  eventsPerSec(design.Latency(design.StagePipelined, grid.FourWay, 43, 43)),
+		LST43x43EventsPerSec8: eventsPerSec(design.Latency(design.StagePipelined, grid.EightWay, 43, 43)),
+	}
+	res.MaxSide30FPS4 = maxSideAt30FPS(grid.FourWay)
+	res.MaxSide30FPS8 = maxSideAt30FPS(grid.EightWay)
+	return res
+}
+
+func eventsPerSec(cycles int64) float64 {
+	return design.ClockMHz * 1e6 / float64(cycles)
+}
+
+func maxSideAt30FPS(conn grid.Connectivity) int {
+	budget := int64(design.ClockMHz*1e6) / 30
+	lo, hi := 1, 4000
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if design.Latency(design.StagePipelined, conn, mid, mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// WriteThroughput renders E7 with the paper's claims alongside.
+func WriteThroughput(w io.Writer) error {
+	r := Throughput()
+	fmt.Fprintln(w, "E7: throughput claims (§5.5), pipelined design @ 100 MHz")
+	fmt.Fprintf(w, "  43x43 4-way: %8.0f events/s  (paper: ≥15,000 — %.0f from 6668 cycles)\n",
+		r.LST43x43EventsPerSec, 1e8/6668.0)
+	fmt.Fprintf(w, "  43x43 8-way: %8.0f events/s  (paper: %.0f from 7664 cycles)\n",
+		r.LST43x43EventsPerSec8, 1e8/7664.0)
+	fmt.Fprintf(w, "  max square at 30 fps, 4-way: %4d  (paper: %d)\n", r.MaxSide30FPS4, Paper30FPSMaxSide4)
+	fmt.Fprintf(w, "  max square at 30 fps, 8-way: %4d  (paper: %d)\n", r.MaxSide30FPS8, Paper30FPSMaxSide8)
+	return nil
+}
+
+// FalseDependencyResult carries E8: the Fig 12 single-write rewrite.
+type FalseDependencyResult struct {
+	SingleWriteLatency, DualWriteLatency int64
+	SingleWriteII, DualWriteII           int64
+	FunctionallyIdentical                bool
+}
+
+// FalseDependency runs E8 on a generated workload.
+func FalseDependency() (FalseDependencyResult, error) {
+	rng := detector.NewRNG(42)
+	g := detector.RandomIslands(8, 10, 4, 1.4, rng)
+	// Paper merge-table sizing so latencies line up with Table 1 (the
+	// sparse blob workload cannot overflow it).
+	base := design.Config{
+		Rows: 8, Cols: 10, Connectivity: grid.FourWay, Stage: design.StagePipelined,
+	}
+	single, err := design.Run(g, base)
+	if err != nil {
+		return FalseDependencyResult{}, err
+	}
+	dualCfg := base
+	dualCfg.DualWriteStreams = true
+	dual, err := design.Run(g, dualCfg)
+	if err != nil {
+		return FalseDependencyResult{}, err
+	}
+	return FalseDependencyResult{
+		SingleWriteLatency:    single.Report.LatencyCycles,
+		DualWriteLatency:      dual.Report.LatencyCycles,
+		SingleWriteII:         single.Report.InnerII,
+		DualWriteII:           dual.Report.InnerII,
+		FunctionallyIdentical: single.Labels.Equal(dual.Labels),
+	}, nil
+}
+
+// WriteFalseDependency renders E8.
+func WriteFalseDependency(w io.Writer) error {
+	r, err := FalseDependency()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E8: false memory dependency on stream_top (Fig 12), 8x10 4-way pipelined")
+	fmt.Fprintf(w, "  dual-write pattern:   inner II=%d, latency %d cycles\n", r.DualWriteII, r.DualWriteLatency)
+	fmt.Fprintf(w, "  single-write rewrite: inner II=%d, latency %d cycles\n", r.SingleWriteII, r.SingleWriteLatency)
+	fmt.Fprintf(w, "  functionally identical: %v\n", r.FunctionallyIdentical)
+	return nil
+}
+
+// CornerCaseResult carries E9: the §6 corner case and sizing findings.
+type CornerCaseResult struct {
+	// FourWaySplit reports the paper-mode island count on the 4-way trigger
+	// pattern (true components: 1).
+	FourWaySplit int
+	// FixedCorrect reports whether the fixed update labels it correctly.
+	FixedCorrect bool
+	// EightWaySplit is the island count on the 8-way trigger pattern —
+	// the reproduction finding that the corner case is NOT 4-way-only.
+	EightWaySplit int
+	// PaperSizingOverflows4Way reports whether the published merge-table
+	// sizing overflows on the 4-way checkerboard worst case.
+	PaperSizingOverflows4Way bool
+}
+
+// CornerCase runs E9.
+func CornerCase() (CornerCaseResult, error) {
+	var res CornerCaseResult
+	g4 := grid.MustParse("#..#.\n#.##.\n###..")
+	p4, err := ccl.Label(g4, ccl.Options{Connectivity: grid.FourWay, Mode: ccl.ModePaper})
+	if err != nil {
+		return res, err
+	}
+	res.FourWaySplit = p4.Islands
+	f4, err := ccl.Label(g4, ccl.Options{Connectivity: grid.FourWay, Mode: ccl.ModeFixed})
+	if err != nil {
+		return res, err
+	}
+	golden, err := labeling.FloodFill{}.Label(g4, grid.FourWay)
+	if err != nil {
+		return res, err
+	}
+	res.FixedCorrect = f4.Labels.Isomorphic(golden)
+
+	g8 := grid.MustParse("#...#\n#.##.\n##...")
+	p8, err := ccl.Label(g8, ccl.Options{Connectivity: grid.EightWay, Mode: ccl.ModePaper})
+	if err != nil {
+		return res, err
+	}
+	res.EightWaySplit = p8.Islands
+
+	_, err = ccl.Label(detector.Checkerboard(8, 10), ccl.Options{
+		Connectivity:  grid.FourWay,
+		MergeTableCap: ccl.SizeForPaper(8, 10),
+	})
+	res.PaperSizingOverflows4Way = err != nil
+	return res, nil
+}
+
+// WriteCornerCase renders E9.
+func WriteCornerCase(w io.Writer) error {
+	r, err := CornerCase()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E9: §6 corner case — unresolved transitive merge chains")
+	fmt.Fprintf(w, "  4-way trigger pattern: paper algorithm finds %d islands (truth: 1); fixed update correct: %v\n",
+		r.FourWaySplit, r.FixedCorrect)
+	fmt.Fprintf(w, "  8-way trigger pattern: paper algorithm finds %d islands (truth: 1)\n", r.EightWaySplit)
+	fmt.Fprintln(w, "    → reproduction finding: the corner case also arises under 8-way on")
+	fmt.Fprintln(w, "      adversarial concave patterns; the paper's 8-way immunity is empirical")
+	fmt.Fprintln(w, "      for its instruments' island shapes, not categorical.")
+	fmt.Fprintf(w, "  paper merge-table sizing overflows on 4-way checkerboard: %v\n", r.PaperSizingOverflows4Way)
+	fmt.Fprintln(w, "    → ⌈R/2⌉·⌈C/2⌉ is the 8-way worst case; 4-way needs ⌈R·C/2⌉.")
+	return nil
+}
+
+// CTAComparisonResult carries E10: FPGA pipeline vs the reported CTA CPU
+// cluster numbers.
+type CTAComparisonResult struct {
+	FPGAEventsPerSec      float64
+	Bottleneck            string
+	CPUServerEventsPerSec float64
+	DL1DL2EventsPerSec    float64
+	ADAPTEventsPerSec     float64
+}
+
+// CTAComparison runs E10.
+func CTAComparison() (CTAComparisonResult, error) {
+	cta, err := adapt.New(adapt.DefaultCTA())
+	if err != nil {
+		return CTAComparisonResult{}, err
+	}
+	ad, err := adapt.New(adapt.DefaultADAPT())
+	if err != nil {
+		return CTAComparisonResult{}, err
+	}
+	return CTAComparisonResult{
+		FPGAEventsPerSec:      cta.EventsPerSecond(),
+		Bottleneck:            cta.Bottleneck(),
+		CPUServerEventsPerSec: PaperCTAThreadEventsPerSec * PaperCTAThreadsPerServer,
+		DL1DL2EventsPerSec:    1 / PaperCTADL1DL2SecondsPerEvent,
+		ADAPTEventsPerSec:     ad.EventsPerSecond(),
+	}, nil
+}
+
+// WriteCTAComparison renders E10.
+func WriteCTAComparison(w io.Writer) error {
+	r, err := CTAComparison()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E10: motivation numbers (§2)")
+	fmt.Fprintf(w, "  CTA CPU cluster, R0→DL1 per server: %6.0f events/s (8 × 1.25 kHz, reported)\n", r.CPUServerEventsPerSec)
+	fmt.Fprintf(w, "  CTA CPU cluster, DL1→DL2:           %6.0f events/s (1.3 ms/event, reported)\n", r.DL1DL2EventsPerSec)
+	fmt.Fprintf(w, "  CTA target:                         %6d events/s\n", PaperCTATargetEventsPerSec)
+	fmt.Fprintf(w, "  this FPGA pipeline (43x43, 4-way):  %6.0f events/s (bottleneck: %s)\n", r.FPGAEventsPerSec, r.Bottleneck)
+	fmt.Fprintf(w, "  ADAPT 1D pipeline:                  %6.0f events/s (paper: ~%d)\n", r.ADAPTEventsPerSec, PaperADAPTEventsPerSec)
+	return nil
+}

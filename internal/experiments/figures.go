@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// Figure regeneration. Fig 10 plots latency vs array size for 4-way and
+// 8-way; Fig 11 plots FF and LUT scaling. Both derive from the Table 3/4
+// data; the harness emits the series as CSV (for replotting) plus an ASCII
+// rendering for terminal inspection.
+
+// Fig10CSV writes the latency-scaling series: one row per array size with
+// paper and model values for both connectivities.
+func Fig10CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"size", "pixels",
+		"latency_4way_paper", "latency_4way_model",
+		"latency_8way_paper", "latency_8way_model",
+	}); err != nil {
+		return err
+	}
+	s4 := ScalingStudy(grid.FourWay)
+	s8 := ScalingStudy(grid.EightWay)
+	for i := range s4 {
+		rec := []string{
+			fmt.Sprintf("%dx%d", s4[i].Rows, s4[i].Cols),
+			strconv.Itoa(s4[i].Rows * s4[i].Cols),
+			strconv.FormatInt(s4[i].Paper.Latency, 10),
+			strconv.FormatInt(s4[i].Model.LatencyCycles, 10),
+			strconv.FormatInt(s8[i].Paper.Latency, 10),
+			strconv.FormatInt(s8[i].Model.LatencyCycles, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig11CSV writes the FF/LUT-scaling series.
+func Fig11CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"size", "pixels",
+		"ff_4way_paper", "ff_4way_model", "ff_8way_paper", "ff_8way_model",
+		"lut_4way_paper", "lut_4way_model", "lut_8way_paper", "lut_8way_model",
+	}); err != nil {
+		return err
+	}
+	s4 := ScalingStudy(grid.FourWay)
+	s8 := ScalingStudy(grid.EightWay)
+	for i := range s4 {
+		rec := []string{
+			fmt.Sprintf("%dx%d", s4[i].Rows, s4[i].Cols),
+			strconv.Itoa(s4[i].Rows * s4[i].Cols),
+			strconv.Itoa(s4[i].Paper.FF), strconv.Itoa(s4[i].Model.Usage.FF),
+			strconv.Itoa(s8[i].Paper.FF), strconv.Itoa(s8[i].Model.Usage.FF),
+			strconv.Itoa(s4[i].Paper.LUT), strconv.Itoa(s4[i].Model.Usage.LUT),
+			strconv.Itoa(s8[i].Paper.LUT), strconv.Itoa(s8[i].Model.Usage.LUT),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// asciiSeries renders one named series as a horizontal bar chart scaled to
+// its maximum, which is how the log-ish growth of Figs 10–11 reads in a
+// terminal.
+func asciiSeries(w io.Writer, title string, labels []string, values []float64) {
+	fmt.Fprintln(w, title)
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	const width = 50
+	for i, v := range values {
+		n := int(v / max * width)
+		fmt.Fprintf(w, "  %-7s %10.0f |%s\n", labels[i], v, strings.Repeat("#", n))
+	}
+}
+
+// WriteFig10 renders Fig 10 (latency scaling, 4-way vs 8-way) as ASCII bars
+// for the model series, annotated with the paper values.
+func WriteFig10(w io.Writer) error {
+	fmt.Fprintln(w, "Fig 10: Latency scaling of the fully optimized pipelined design")
+	labels := make([]string, 0, len(ScalingSizes))
+	var m4, m8 []float64
+	for _, sz := range ScalingSizes {
+		labels = append(labels, fmt.Sprintf("%dx%d", sz[0], sz[1]))
+	}
+	s4 := ScalingStudy(grid.FourWay)
+	s8 := ScalingStudy(grid.EightWay)
+	for i := range s4 {
+		m4 = append(m4, float64(s4[i].Model.LatencyCycles))
+		m8 = append(m8, float64(s8[i].Model.LatencyCycles))
+	}
+	asciiSeries(w, "4-way latency (cycles, model)", labels, m4)
+	asciiSeries(w, "8-way latency (cycles, model)", labels, m8)
+	fmt.Fprintln(w, "(CSV series incl. paper values: experiments fig10 --csv)")
+	return nil
+}
+
+// WriteFig11 renders Fig 11 (FF and LUT scaling).
+func WriteFig11(w io.Writer) error {
+	fmt.Fprintln(w, "Fig 11: FF and LUT scaling, pipelined design")
+	labels := make([]string, 0, len(ScalingSizes))
+	for _, sz := range ScalingSizes {
+		labels = append(labels, fmt.Sprintf("%dx%d", sz[0], sz[1]))
+	}
+	s4 := ScalingStudy(grid.FourWay)
+	s8 := ScalingStudy(grid.EightWay)
+	var ff4, ff8, lut4, lut8 []float64
+	for i := range s4 {
+		ff4 = append(ff4, float64(s4[i].Model.Usage.FF))
+		ff8 = append(ff8, float64(s8[i].Model.Usage.FF))
+		lut4 = append(lut4, float64(s4[i].Model.Usage.LUT))
+		lut8 = append(lut8, float64(s8[i].Model.Usage.LUT))
+	}
+	asciiSeries(w, "FF 4-way (model)", labels, ff4)
+	asciiSeries(w, "FF 8-way (model)", labels, ff8)
+	asciiSeries(w, "LUT 4-way (model)", labels, lut4)
+	asciiSeries(w, "LUT 8-way (model)", labels, lut8)
+	fmt.Fprintln(w, "(CSV series incl. paper values: experiments fig11 --csv)")
+	return nil
+}

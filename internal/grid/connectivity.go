@@ -1,0 +1,63 @@
+package grid
+
+import "fmt"
+
+// Connectivity selects 4-way or 8-way adjacency for connected-component
+// labeling (Fig 4). In 4-way CCL pixels must share an edge; in 8-way CCL
+// corner adjacency also connects.
+type Connectivity int
+
+const (
+	// FourWay connects pixels across edges only (top, right, bottom, left).
+	FourWay Connectivity = 4
+	// EightWay also connects pixels across corners.
+	EightWay Connectivity = 8
+)
+
+// String implements fmt.Stringer ("4-way" / "8-way", as in the paper's tables).
+func (c Connectivity) String() string {
+	switch c {
+	case FourWay:
+		return "4-way"
+	case EightWay:
+		return "8-way"
+	default:
+		return fmt.Sprintf("Connectivity(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is FourWay or EightWay.
+func (c Connectivity) Valid() bool { return c == FourWay || c == EightWay }
+
+// Offset is a relative (row, col) displacement to a neighbor.
+type Offset struct{ DR, DC int }
+
+var (
+	fourAll  = []Offset{{-1, 0}, {0, -1}, {0, 1}, {1, 0}}
+	eightAll = []Offset{{-1, -1}, {-1, 0}, {-1, 1}, {0, -1}, {0, 1}, {1, -1}, {1, 0}, {1, 1}}
+
+	// Scanned neighbors: those already visited by a row-major raster scan.
+	// 4-way CCL checks top and left; 8-way also checks top-left and top-right
+	// (§4.2, §5.1). Order matters only for deterministic iteration.
+	fourScan  = []Offset{{-1, 0}, {0, -1}}
+	eightScan = []Offset{{-1, -1}, {-1, 0}, {-1, 1}, {0, -1}}
+)
+
+// Neighbors returns all adjacency offsets for c (4 or 8 entries).
+// The returned slice is shared; callers must not mutate it.
+func (c Connectivity) Neighbors() []Offset {
+	if c == EightWay {
+		return eightAll
+	}
+	return fourAll
+}
+
+// ScanNeighbors returns the offsets of neighbors already processed by a
+// row-major raster scan — the ones a provisional-labeling pass may consult.
+// The returned slice is shared; callers must not mutate it.
+func (c Connectivity) ScanNeighbors() []Offset {
+	if c == EightWay {
+		return eightScan
+	}
+	return fourScan
+}

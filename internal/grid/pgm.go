@@ -1,0 +1,136 @@
+package grid
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PGM (portable graymap) I/O, so real camera bitmaps can flow through the
+// pipeline tools. Both the plain (P2) and raw (P5) variants are supported
+// for reading; writing emits plain P2 for diff-friendliness. Gray values map
+// directly to pixel intensities (0 = dark).
+
+// ReadPGM parses a PGM image into a grid.
+func ReadPGM(r io.Reader) (*Grid, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("grid: pgm: %w", err)
+	}
+	if magic != "P2" && magic != "P5" {
+		return nil, fmt.Errorf("grid: pgm: unsupported magic %q", magic)
+	}
+	dims := [3]int{}
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("grid: pgm header: %w", err)
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("grid: pgm header field %q: %w", tok, err)
+		}
+		dims[i] = v
+	}
+	width, height, maxVal := dims[0], dims[1], dims[2]
+	if width < 1 || height < 1 {
+		return nil, fmt.Errorf("grid: pgm: invalid size %dx%d", width, height)
+	}
+	if maxVal < 1 || maxVal > 65535 {
+		return nil, fmt.Errorf("grid: pgm: invalid maxval %d", maxVal)
+	}
+	g := New(height, width)
+	n := width * height
+	if magic == "P2" {
+		for i := 0; i < n; i++ {
+			tok, err := pgmToken(br)
+			if err != nil {
+				return nil, fmt.Errorf("grid: pgm pixel %d: %w", i, err)
+			}
+			v, err := strconv.Atoi(tok)
+			if err != nil || v < 0 || v > maxVal {
+				return nil, fmt.Errorf("grid: pgm pixel %d: bad value %q", i, tok)
+			}
+			g.data[i] = Value(v)
+		}
+		return g, nil
+	}
+	// P5: binary samples, 1 byte if maxVal < 256, else 2 bytes big-endian.
+	bytesPer := 1
+	if maxVal > 255 {
+		bytesPer = 2
+	}
+	buf := make([]byte, n*bytesPer)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("grid: pgm raster: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		var v int
+		if bytesPer == 1 {
+			v = int(buf[i])
+		} else {
+			v = int(buf[2*i])<<8 | int(buf[2*i+1])
+		}
+		if v > maxVal {
+			return nil, fmt.Errorf("grid: pgm pixel %d: value %d exceeds maxval %d", i, v, maxVal)
+		}
+		g.data[i] = Value(v)
+	}
+	return g, nil
+}
+
+// pgmToken returns the next whitespace-delimited token, skipping '#'
+// comments per the netpbm spec.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+// WritePGM emits the grid as a plain (P2) PGM. Values are clamped at 0 and
+// the written maxval is the grid's maximum (at least 1).
+func (g *Grid) WritePGM(w io.Writer) error {
+	maxVal := Value(1)
+	for _, v := range g.data {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n# hepccl island image\n%d %d\n%d\n", g.cols, g.rows, maxVal)
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			v := g.data[r*g.cols+c]
+			if v < 0 {
+				v = 0
+			}
+			if c > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", v)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,101 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPGMPlainRoundTrip(t *testing.T) {
+	g, _ := FromRows([][]Value{{0, 3, 9}, {1, 0, 255}})
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Fatalf("round trip changed image:\n%v\nvs\n%v", g.Flat(), back.Flat())
+	}
+}
+
+func TestPGMPlainWithComments(t *testing.T) {
+	src := "P2\n# a comment\n3 2\n# another\n10\n0 1 2\n3 4 5\n"
+	g, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rows() != 2 || g.Cols() != 3 || g.At(1, 2) != 5 {
+		t.Fatalf("parsed wrong: %v", g.Flat())
+	}
+}
+
+func TestPGMRaw8And16(t *testing.T) {
+	// P5, 2x2, maxval 255, one byte per sample.
+	raw8 := append([]byte("P5\n2 2\n255\n"), 0, 7, 200, 255)
+	g, err := ReadPGM(bytes.NewReader(raw8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 1) != 7 || g.At(1, 1) != 255 {
+		t.Fatalf("raw8 wrong: %v", g.Flat())
+	}
+	// P5 16-bit big-endian.
+	raw16 := append([]byte("P5\n1 2\n1000\n"), 0x03, 0xE8, 0x00, 0x2A)
+	g, err = ReadPGM(bytes.NewReader(raw16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 0) != 1000 || g.At(1, 0) != 42 {
+		t.Fatalf("raw16 wrong: %v", g.Flat())
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	cases := []string{
+		"",                      // empty
+		"P6\n2 2\n255\n",        // wrong magic
+		"P2\n0 2\n255\n",        // zero width
+		"P2\n2 2\n0\n0 0 0 0",   // bad maxval
+		"P2\n2 2\n255\n1 2 3",   // short raster
+		"P2\n2 2\n255\n1 2 x 4", // junk pixel
+		"P2\n2 2\n9\n1 2 3 10",  // pixel above maxval
+		"P5\n2 2\n255\nAB",      // short binary raster
+		"P2\nx 2\n255\n",        // non-numeric header
+	}
+	for _, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadPGM(%q): want error", src)
+		}
+	}
+}
+
+// Property: WritePGM/ReadPGM round-trips arbitrary non-negative images.
+func TestPGMRoundTripProperty(t *testing.T) {
+	f := func(cells [24]uint16, w uint8) bool {
+		cols := int(w)%6 + 1
+		rows := len(cells) / cols
+		if rows < 1 {
+			return true
+		}
+		g := New(rows, cols)
+		for i := 0; i < rows*cols; i++ {
+			g.Flat()[i] = Value(cells[i])
+		}
+		var buf bytes.Buffer
+		if err := g.WritePGM(&buf); err != nil {
+			return false
+		}
+		back, err := ReadPGM(&buf)
+		if err != nil {
+			return false
+		}
+		return back.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	s := New[int]("q", 4, 32)
+	for i := 1; i <= 4; i++ {
+		if err := s.Write(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		v, err := s.Read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i {
+			t.Fatalf("read %d, want %d", v, i)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestOverflowUnderflow(t *testing.T) {
+	s := New[int]("q", 2, 8)
+	s.MustWrite(1)
+	s.MustWrite(2)
+	if !s.Full() {
+		t.Fatal("should be full")
+	}
+	if err := s.Write(3); err == nil {
+		t.Fatal("write to full FIFO must error")
+	}
+	s.MustRead()
+	s.MustRead()
+	if _, err := s.Read(); err == nil {
+		t.Fatal("read from empty FIFO must error")
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	s := New[int]("q", 1, 8)
+	s.MustWrite(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustWrite on full FIFO must panic")
+			}
+		}()
+		s.MustWrite(2)
+	}()
+	s.MustRead()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustRead on empty FIFO must panic")
+			}
+		}()
+		s.MustRead()
+	}()
+}
+
+func TestHighWaterMark(t *testing.T) {
+	s := New[int]("q", 8, 16)
+	s.MustWrite(1)
+	s.MustWrite(2)
+	s.MustWrite(3)
+	s.MustRead()
+	s.MustWrite(4)
+	if s.MaxOccupancy() != 3 {
+		t.Fatalf("MaxOccupancy = %d, want 3", s.MaxOccupancy())
+	}
+	if s.Reads() != 1 || s.Writes() != 4 {
+		t.Fatalf("reads/writes = %d/%d, want 1/4", s.Reads(), s.Writes())
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := New[string]("q", 4, 8)
+	s.MustWrite("a")
+	s.MustWrite("b")
+	got := s.Drain()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Drain = %v", got)
+	}
+	if !s.Empty() {
+		t.Fatal("Drain must empty the FIFO")
+	}
+}
+
+func TestMetadata(t *testing.T) {
+	s := New[int]("merged_integrals", 5, 512)
+	if s.Name() != "merged_integrals" || s.Depth() != 5 || s.WidthBits() != 512 {
+		t.Fatal("metadata wrong")
+	}
+	if s.Bits() != 2560 {
+		t.Fatalf("Bits = %d, want 2560", s.Bits())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New[int]("q", 0, 8) },
+		func() { New[int]("q", 4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor args must panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: any interleaving of writes and reads preserves FIFO order.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := New[int]("q", 64, 32)
+		next, expect := 0, 0
+		for _, isWrite := range ops {
+			if isWrite {
+				if s.Full() {
+					continue
+				}
+				s.MustWrite(next)
+				next++
+			} else {
+				if s.Empty() {
+					continue
+				}
+				if s.MustRead() != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		// Drain remainder.
+		for !s.Empty() {
+			if s.MustRead() != expect {
+				return false
+			}
+			expect++
+		}
+		return expect == next
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ring wrap-around never corrupts data across many cycles.
+func TestRingWrapProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		s := New[int]("q", 3, 8)
+		val := 0
+		for i := 0; i < int(n); i++ {
+			s.MustWrite(val)
+			if s.MustRead() != val {
+				return false
+			}
+			val++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

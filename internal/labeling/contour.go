@@ -1,0 +1,146 @@
+package labeling
+
+import (
+	"fmt"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// ContourTracing implements the contour-tracing CCL family (Chang, Chen &
+// Lu's linear-time algorithm), the fourth class in He et al.'s review [15]
+// alongside multi-pass, two-pass, and run-based methods: components are
+// labeled by walking their external and internal contours once; interior
+// pixels then inherit the label of their left neighbor during the same
+// raster scan. Background pixels visited during tracing are marked so each
+// internal contour is traced exactly once.
+type ContourTracing struct{}
+
+// Name implements Labeler.
+func (ContourTracing) Name() string { return "contour-tracing" }
+
+// Direction tables, clockwise. 8-way: E SE S SW W NW N NE; 4-way: E S W N.
+var (
+	contourDirs8 = []grid.Offset{{DR: 0, DC: 1}, {DR: 1, DC: 1}, {DR: 1, DC: 0}, {DR: 1, DC: -1},
+		{DR: 0, DC: -1}, {DR: -1, DC: -1}, {DR: -1, DC: 0}, {DR: -1, DC: 1}}
+	contourDirs4 = []grid.Offset{{DR: 0, DC: 1}, {DR: 1, DC: 0}, {DR: 0, DC: -1}, {DR: -1, DC: 0}}
+)
+
+type contourState struct {
+	g      *grid.Grid
+	out    *grid.Labels
+	marked []bool // background pixels visited by a tracer
+	dirs   []grid.Offset
+}
+
+func (cs *contourState) lit(r, c int) bool {
+	return r >= 0 && r < cs.g.Rows() && c >= 0 && c < cs.g.Cols() && cs.g.Lit(r, c)
+}
+
+// mark flags a background position examined by the tracer; out-of-grid
+// positions count as permanently marked (the virtual background frame).
+func (cs *contourState) mark(r, c int) {
+	if r >= 0 && r < cs.g.Rows() && c >= 0 && c < cs.g.Cols() {
+		cs.marked[r*cs.g.Cols()+c] = true
+	}
+}
+
+func (cs *contourState) isMarked(r, c int) bool {
+	if r < 0 || r >= cs.g.Rows() || c < 0 || c >= cs.g.Cols() {
+		return true
+	}
+	return cs.marked[r*cs.g.Cols()+c]
+}
+
+// tracer finds the next contour point clockwise from search direction d,
+// marking the background positions it passes over. ok is false for isolated
+// points.
+func (cs *contourState) tracer(r, c, d int) (nr, nc, nd int, ok bool) {
+	n := len(cs.dirs)
+	for i := 0; i < n; i++ {
+		dir := (d + i) % n
+		q := cs.dirs[dir]
+		qr, qc := r+q.DR, c+q.DC
+		if cs.lit(qr, qc) {
+			return qr, qc, dir, true
+		}
+		cs.mark(qr, qc)
+	}
+	return 0, 0, 0, false
+}
+
+// traceContour walks one full contour starting at (r, c) with initial search
+// direction start, labeling every contour pixel.
+func (cs *contourState) traceContour(r, c, start int, label grid.Label) {
+	n := len(cs.dirs)
+	cs.out.Set(r, c, label)
+	sr, sc := r, c
+	tr, tc, d, ok := cs.tracer(sr, sc, start)
+	if !ok {
+		return // isolated pixel
+	}
+	cs.out.Set(tr, tc, label)
+	// Second point T; walk until we re-enter S heading to T again.
+	cr, cc := tr, tc
+	for {
+		// Resume the clockwise search two positions back from the arrival
+		// direction (the previous point sits at (d + n/2) % n).
+		search := (d + n - 2) % n
+		if n == 4 {
+			search = (d + 3) % 4
+		}
+		nr2, nc2, nd2, ok := cs.tracer(cr, cc, search)
+		if !ok {
+			return
+		}
+		cs.out.Set(nr2, nc2, label)
+		if cr == sr && cc == sc && nr2 == tr && nc2 == tc {
+			return // closed the loop: back at S moving toward T
+		}
+		cr, cc, d = nr2, nc2, nd2
+	}
+}
+
+// Label implements Labeler.
+func (ContourTracing) Label(g *grid.Grid, conn grid.Connectivity) (*grid.Labels, error) {
+	if !conn.Valid() {
+		return nil, fmt.Errorf("labeling: invalid connectivity %d", int(conn))
+	}
+	cs := &contourState{
+		g:      g,
+		out:    grid.NewLabels(g.Rows(), g.Cols()),
+		marked: make([]bool, g.Pixels()),
+		dirs:   contourDirs8,
+	}
+	extStart, intStart := 7, 3
+	if conn == grid.FourWay {
+		cs.dirs = contourDirs4
+		extStart, intStart = 3, 1 // N for external, S for internal
+	}
+	next := grid.Label(0)
+	for r := 0; r < g.Rows(); r++ {
+		for c := 0; c < g.Cols(); c++ {
+			if !g.Lit(r, c) {
+				continue
+			}
+			// External contour: an unlabeled pixel with background above
+			// starts a new component.
+			if cs.out.At(r, c) == 0 && !cs.lit(r-1, c) {
+				next++
+				cs.traceContour(r, c, extStart, next)
+			}
+			// Internal contour: background below that no tracer has seen.
+			if !cs.lit(r+1, c) && !cs.isMarked(r+1, c) {
+				label := cs.out.At(r, c)
+				if label == 0 {
+					label = cs.out.At(r, c-1)
+				}
+				cs.traceContour(r, c, intStart, label)
+			}
+			// Interior pixel: inherit from the left.
+			if cs.out.At(r, c) == 0 {
+				cs.out.Set(r, c, cs.out.At(r, c-1))
+			}
+		}
+	}
+	return cs.out, nil
+}

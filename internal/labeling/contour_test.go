@@ -1,0 +1,130 @@
+package labeling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+func TestContourTracingFixtures(t *testing.T) {
+	golden := FloodFill{}
+	for _, fx := range fixtures {
+		g := grid.MustParse(fx.art)
+		for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+			want, err := golden.Label(g, conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ContourTracing{}.Label(g, conn)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", fx.name, conn, err)
+			}
+			if !got.Isomorphic(want) {
+				t.Errorf("%s/%v:\n%s\ngot:\n%s\nwant iso to:\n%s", fx.name, conn, g, got, want)
+			}
+		}
+	}
+}
+
+func TestContourTracingRings(t *testing.T) {
+	// Internal contours: a ring has one external and one internal contour.
+	g := grid.MustParse(`
+		.....
+		.###.
+		.#.#.
+		.###.
+		.....
+	`)
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		got, err := ContourTracing{}.Label(g, conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Count() != 1 {
+			t.Fatalf("%v ring components = %d, want 1\n%s", conn, got.Count(), got)
+		}
+	}
+	// Nested rings: two components, one inside the other's hole.
+	nested := grid.MustParse(`
+		#######
+		#.....#
+		#.###.#
+		#.#.#.#
+		#.###.#
+		#.....#
+		#######
+	`)
+	got, err := ContourTracing{}.Label(nested, grid.EightWay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 2 {
+		t.Fatalf("nested rings = %d components, want 2\n%s", got.Count(), got)
+	}
+}
+
+func TestContourTracingInvalidConn(t *testing.T) {
+	if _, err := (ContourTracing{}).Label(grid.New(1, 1), grid.Connectivity(9)); err == nil {
+		t.Fatal("invalid connectivity must error")
+	}
+}
+
+// Property: contour tracing matches the golden model on random images at
+// several densities, for both connectivities.
+func TestContourTracingGoldenProperty(t *testing.T) {
+	golden := FloodFill{}
+	for _, density := range []int{150, 400, 650, 850} {
+		density := density
+		f := func(cells [120]byte) bool {
+			g := randomGrid(cells[:], 10, 12, density)
+			for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+				want, err := golden.Label(g, conn)
+				if err != nil {
+					return false
+				}
+				got, err := ContourTracing{}.Label(g, conn)
+				if err != nil || !got.Isomorphic(want) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+			t.Errorf("density %d: %v", density, err)
+		}
+	}
+}
+
+// Exhaustive: every 3×4 and 4×4 binary image.
+func TestContourTracingExhaustive(t *testing.T) {
+	golden := FloodFill{}
+	for _, shape := range [][2]int{{3, 4}, {4, 4}} {
+		rows, cols := shape[0], shape[1]
+		n := rows * cols
+		g := grid.New(rows, cols)
+		for mask := 0; mask < 1<<n; mask++ {
+			for i := 0; i < n; i++ {
+				if mask>>i&1 == 1 {
+					g.Flat()[i] = 1
+				} else {
+					g.Flat()[i] = 0
+				}
+			}
+			for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+				want, err := golden.Label(g, conn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := ContourTracing{}.Label(g, conn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Isomorphic(want) {
+					t.Fatalf("%dx%d mask %d (%v):\n%s\ngot:\n%s\nwant iso to:\n%s",
+						rows, cols, mask, conn, g, got, want)
+				}
+			}
+		}
+	}
+}

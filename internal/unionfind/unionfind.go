@@ -1,0 +1,147 @@
+// Package unionfind provides the label-equivalence structures used by the
+// baseline CCL algorithms this paper compares against (§3).
+//
+// Two structures are provided:
+//
+//   - Forest: a conventional union-find with path halving and union-by-min,
+//     as used by Rosenfeld–Pfaltz style two-pass labelers.
+//   - Flat: the flat representative-label table of He et al. [14], in which
+//     every provisional label always points directly at its representative —
+//     resolution is a single table read, with equivalence lists (rl/next/
+//     tail arrays) maintained so a merge relabels the smaller-rooted list in
+//     one sweep. This is the "flat union-find data structure with a
+//     representative label table" the paper cites.
+package unionfind
+
+import "fmt"
+
+// Label is a provisional component label. 0 is reserved for background.
+type Label = int32
+
+// Forest is a classic disjoint-set forest over labels 1..n with union-by-min
+// (the smaller representative wins, matching CCL's minimum-label semantics)
+// and path halving.
+type Forest struct {
+	parent []Label
+	next   Label
+}
+
+// NewForest returns a forest with room for capacity labels.
+func NewForest(capacity int) *Forest {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Forest{parent: make([]Label, capacity+1), next: 1}
+}
+
+// MakeSet allocates the next label as a singleton set.
+func (f *Forest) MakeSet() (Label, error) {
+	if int(f.next) >= len(f.parent) {
+		return 0, fmt.Errorf("unionfind: forest capacity %d exhausted", len(f.parent)-1)
+	}
+	l := f.next
+	f.parent[l] = l
+	f.next++
+	return l, nil
+}
+
+// Len returns the number of labels allocated.
+func (f *Forest) Len() int { return int(f.next) - 1 }
+
+// Find returns the representative of x, compressing paths as it goes.
+func (f *Forest) Find(x Label) Label {
+	for f.parent[x] != x {
+		f.parent[x] = f.parent[f.parent[x]] // path halving
+		x = f.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b; the smaller representative becomes the
+// root. It reports whether the two sets were previously distinct.
+func (f *Forest) Union(a, b Label) bool {
+	ra, rb := f.Find(a), f.Find(b)
+	if ra == rb {
+		return false
+	}
+	if ra < rb {
+		f.parent[rb] = ra
+	} else {
+		f.parent[ra] = rb
+	}
+	return true
+}
+
+// Flat is He et al.'s representative-label table. rl[x] is always the current
+// representative of x (no chasing needed); next/tail thread the members of
+// each equivalence list so Union can relabel the absorbed list in one sweep.
+type Flat struct {
+	rl   []Label // representative label, always fully resolved
+	next []Label // next member of the equivalence list, 0 = end
+	tail []Label // last member of the list rooted at a representative
+	cnt  Label
+}
+
+// NewFlat returns a flat table with room for capacity labels.
+func NewFlat(capacity int) *Flat {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Flat{
+		rl:   make([]Label, capacity+1),
+		next: make([]Label, capacity+1),
+		tail: make([]Label, capacity+1),
+	}
+}
+
+// MakeSet allocates the next label as a singleton equivalence list.
+func (t *Flat) MakeSet() (Label, error) {
+	if int(t.cnt)+1 >= len(t.rl) {
+		return 0, fmt.Errorf("unionfind: flat table capacity %d exhausted", len(t.rl)-1)
+	}
+	t.cnt++
+	l := t.cnt
+	t.rl[l] = l
+	t.next[l] = 0
+	t.tail[l] = l
+	return l, nil
+}
+
+// Len returns the number of labels allocated.
+func (t *Flat) Len() int { return int(t.cnt) }
+
+// Find returns the representative of x. It is a single array read — the
+// property that makes the structure attractive in hardware.
+func (t *Flat) Find(x Label) Label { return t.rl[x] }
+
+// Union merges the equivalence classes of a and b. The class with the larger
+// representative is relabeled member-by-member to the smaller representative
+// and its list is appended, so every rl entry stays fully resolved.
+// It reports whether the two classes were previously distinct.
+func (t *Flat) Union(a, b Label) bool {
+	u, v := t.rl[a], t.rl[b]
+	if u == v {
+		return false
+	}
+	if u > v {
+		u, v = v, u
+	}
+	// Relabel every member of v's list to u.
+	for m := v; m != 0; m = t.next[m] {
+		t.rl[m] = u
+	}
+	// Append v's list after u's tail.
+	t.next[t.tail[u]] = v
+	t.tail[u] = t.tail[v]
+	return true
+}
+
+// Members returns the labels equivalent to x (including x), in list order.
+// Only valid when called with a representative or any member.
+func (t *Flat) Members(x Label) []Label {
+	var out []Label
+	for m := t.rl[x]; m != 0; m = t.next[m] {
+		out = append(out, m)
+	}
+	return out
+}

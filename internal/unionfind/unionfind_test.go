@@ -1,0 +1,215 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestForestBasics(t *testing.T) {
+	f := NewForest(10)
+	a, _ := f.MakeSet()
+	b, _ := f.MakeSet()
+	c, _ := f.MakeSet()
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("labels = %d,%d,%d, want 1,2,3", a, b, c)
+	}
+	if f.Find(a) != a || f.Find(c) != c {
+		t.Fatal("fresh sets must be their own representatives")
+	}
+	if !f.Union(b, c) {
+		t.Fatal("union of distinct sets must report true")
+	}
+	if f.Find(c) != b {
+		t.Fatalf("Find(c) = %d, want %d (union-by-min)", f.Find(c), b)
+	}
+	if f.Union(b, c) {
+		t.Fatal("union of same set must report false")
+	}
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", f.Len())
+	}
+}
+
+func TestForestUnionByMin(t *testing.T) {
+	f := NewForest(10)
+	var ls []Label
+	for i := 0; i < 5; i++ {
+		l, _ := f.MakeSet()
+		ls = append(ls, l)
+	}
+	// Chain unions from the top down; min must win regardless of order.
+	f.Union(ls[4], ls[3])
+	f.Union(ls[3], ls[2])
+	f.Union(ls[2], ls[0])
+	for _, l := range []Label{ls[0], ls[2], ls[3], ls[4]} {
+		if f.Find(l) != ls[0] {
+			t.Fatalf("Find(%d) = %d, want %d", l, f.Find(l), ls[0])
+		}
+	}
+	if f.Find(ls[1]) != ls[1] {
+		t.Fatal("untouched set joined a union")
+	}
+}
+
+func TestForestCapacity(t *testing.T) {
+	f := NewForest(2)
+	f.MakeSet()
+	f.MakeSet()
+	if _, err := f.MakeSet(); err == nil {
+		t.Fatal("exceeding capacity must error")
+	}
+}
+
+func TestForestZeroCapacity(t *testing.T) {
+	f := NewForest(0)
+	if _, err := f.MakeSet(); err != nil {
+		t.Fatal("capacity is clamped to at least 1")
+	}
+	if _, err := f.MakeSet(); err == nil {
+		t.Fatal("second MakeSet must fail at clamped capacity 1")
+	}
+}
+
+func TestFlatBasics(t *testing.T) {
+	ft := NewFlat(10)
+	a, _ := ft.MakeSet()
+	b, _ := ft.MakeSet()
+	c, _ := ft.MakeSet()
+	if ft.Find(a) != a || ft.Find(b) != b {
+		t.Fatal("fresh labels must self-represent")
+	}
+	if !ft.Union(c, b) {
+		t.Fatal("union of distinct classes must report true")
+	}
+	if ft.Find(c) != b {
+		t.Fatalf("Find(c) = %d, want %d", ft.Find(c), b)
+	}
+	if ft.Union(b, c) {
+		t.Fatal("repeat union must report false")
+	}
+	if ft.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ft.Len())
+	}
+	_ = a
+}
+
+func TestFlatAlwaysResolved(t *testing.T) {
+	// The defining property: rl[x] is the final representative after ANY
+	// sequence of unions, with no chasing. Build a chain worst case.
+	ft := NewFlat(100)
+	var ls []Label
+	for i := 0; i < 50; i++ {
+		l, _ := ft.MakeSet()
+		ls = append(ls, l)
+	}
+	// Merge in reverse, creating the longest transitive chains.
+	for i := 48; i >= 0; i-- {
+		ft.Union(ls[i+1], ls[i])
+	}
+	for _, l := range ls {
+		if got := ft.Find(l); got != ls[0] {
+			t.Fatalf("Find(%d) = %d, want %d — flat table not fully resolved", l, got, ls[0])
+		}
+	}
+	if got := len(ft.Members(ls[7])); got != 50 {
+		t.Fatalf("Members = %d labels, want 50", got)
+	}
+}
+
+func TestFlatMembersOrderContainsAll(t *testing.T) {
+	ft := NewFlat(10)
+	a, _ := ft.MakeSet()
+	b, _ := ft.MakeSet()
+	c, _ := ft.MakeSet()
+	ft.Union(a, c) // c's list absorbed into a
+	ft.Union(b, a) // b's list absorbed into a
+	members := ft.Members(b)
+	if len(members) != 3 {
+		t.Fatalf("Members = %v, want 3 labels", members)
+	}
+	seen := map[Label]bool{}
+	for _, m := range members {
+		seen[m] = true
+	}
+	if !seen[a] || !seen[b] || !seen[c] {
+		t.Fatalf("Members = %v, want {a,b,c}", members)
+	}
+}
+
+func TestFlatCapacity(t *testing.T) {
+	ft := NewFlat(1)
+	ft.MakeSet()
+	if _, err := ft.MakeSet(); err == nil {
+		t.Fatal("exceeding capacity must error")
+	}
+}
+
+// Property: Forest and Flat agree on the partition induced by any random
+// union sequence.
+func TestForestFlatEquivalenceProperty(t *testing.T) {
+	const n = 20
+	f := func(pairs [30][2]uint8) bool {
+		fo := NewForest(n)
+		fl := NewFlat(n)
+		for i := 0; i < n; i++ {
+			fo.MakeSet()
+			fl.MakeSet()
+		}
+		for _, p := range pairs {
+			a := Label(p[0]%n) + 1
+			b := Label(p[1]%n) + 1
+			fo.Union(a, b)
+			fl.Union(a, b)
+		}
+		for i := Label(1); i <= n; i++ {
+			for j := Label(1); j <= n; j++ {
+				if (fo.Find(i) == fo.Find(j)) != (fl.Find(i) == fl.Find(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: representatives are always the minimum label of their class.
+func TestMinRepresentativeProperty(t *testing.T) {
+	const n = 16
+	f := func(pairs [24][2]uint8) bool {
+		fo := NewForest(n)
+		fl := NewFlat(n)
+		for i := 0; i < n; i++ {
+			fo.MakeSet()
+			fl.MakeSet()
+		}
+		for _, p := range pairs {
+			a := Label(p[0]%n) + 1
+			b := Label(p[1]%n) + 1
+			fo.Union(a, b)
+			fl.Union(a, b)
+		}
+		// Compute class minima by brute force over forest partition.
+		min := map[Label]Label{}
+		for i := Label(1); i <= n; i++ {
+			r := fo.Find(i)
+			if m, ok := min[r]; !ok || i < m {
+				min[r] = i
+			}
+		}
+		for i := Label(1); i <= n; i++ {
+			if fo.Find(i) != min[fo.Find(i)] {
+				return false
+			}
+			if fl.Find(i) != min[fo.Find(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

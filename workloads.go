@@ -1,0 +1,68 @@
+package hepccl
+
+import (
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// Workload-generation surface: the synthetic instrument front end this
+// reproduction substitutes for real detector electronics and event data.
+
+type (
+	// Camera parameterizes an IACT-style 2D sensor array.
+	Camera = detector.CameraConfig
+	// Shower parameterizes one Cherenkov-shower-like image.
+	Shower = detector.ShowerConfig
+	// Tracker parameterizes an ADAPT-style 1D fiber-tracker layer.
+	Tracker = detector.TrackerConfig
+	// Event1D is one generated 1D event with its ground truth.
+	Event1D = detector.Event1D
+	// Digitizer models one waveform-digitizer channel.
+	Digitizer = detector.DigitizerConfig
+	// EventRecord is the downlink record of one processed event.
+	EventRecord = adapt.EventRecord
+)
+
+// LSTCamera approximates CTA's Large-Sized Telescope camera (43×43, §5.5).
+func LSTCamera() Camera { return detector.LSTCamera() }
+
+// DefaultTracker returns the synthetic ADAPT tracker configuration
+// (320 channels over 20 ALPHA ASICs).
+func DefaultTracker() Tracker { return detector.DefaultTracker() }
+
+// DefaultDigitizer returns the synthetic front-end digitizer configuration.
+func DefaultDigitizer() Digitizer { return detector.DefaultDigitizer() }
+
+// RandomIslands scatters blob-shaped islands across a grid.
+func RandomIslands(rows, cols, count int, radius float64, rng *RNG) *Grid {
+	return detector.RandomIslands(rows, cols, count, radius, rng)
+}
+
+// RandomOccupancy lights pixels independently with probability p.
+func RandomOccupancy(rows, cols int, p float64, rng *RNG) *Grid {
+	return detector.RandomOccupancy(rows, cols, p, rng)
+}
+
+// Checkerboard returns the 4-way worst-case provisional-label pattern.
+func Checkerboard(rows, cols int) *Grid { return detector.Checkerboard(rows, cols) }
+
+// Spiral returns a maximally-concave single component (merge-chain stress).
+func Spiral(rows, cols int) *Grid { return detector.Spiral(rows, cols) }
+
+// GenerateEvent digitizes a true photo-electron image into ALPHA packets.
+func GenerateEvent(pe []Value, asics int, event uint32, timestamp uint64,
+	dig Digitizer, rng *RNG) ([]Packet, error) {
+	return adapt.GenerateEvent(pe, asics, event, timestamp, dig, rng)
+}
+
+// GeneratePedestalEvents builds light-free calibration events.
+func GeneratePedestalEvents(n, asics int, dig Digitizer, rng *RNG) ([][]Packet, error) {
+	return adapt.GeneratePedestalEvents(n, asics, dig, rng)
+}
+
+// RecordOf packs a pipeline result into its downlink record.
+func RecordOf(res *EventResult) EventRecord { return adapt.RecordOf(res) }
+
+// MuonRingConfig parameterizes one muon-ring image — the thin concave
+// calibration workload that stresses transitive merge chains (E13).
+type MuonRingConfig = detector.MuonRing
