@@ -1,0 +1,139 @@
+// Command hepccld is the event-ingest daemon: it listens for ALPHA packet
+// streams over TCP, assembles events per connection, shards them across a
+// pool of calibrated ADAPT pipelines, and streams downlink records back —
+// the serving layer that turns the paper's per-event pipeline into a
+// network service (§6's system-integration direction).
+//
+// Usage:
+//
+//	hepccld -config cta -samples 4 -workers 2 -queue 64        # CTA 43x43
+//	hepccld -config adapt -listen :9310 -stats :9311 -pace-hw  # 1D flight
+//
+// The -stats endpoint serves GET /stats (JSON counters, queue high-water
+// mark, latency percentiles) and GET /healthz. With -policy drop the
+// per-worker queues behave like the §6 derandomizer FIFO of `experiments
+// deadtime` (E14); -pace-hw additionally throttles each worker to the
+// modeled FPGA event interval so measured loss-vs-depth curves are directly
+// comparable to that simulation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "hepccld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hepccld", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		listen      = fs.String("listen", "127.0.0.1:9310", "event-ingest listen address")
+		statsAddr   = fs.String("stats", "", "stats endpoint address (empty disables)")
+		configName  = fs.String("config", "cta", "pipeline configuration: adapt (1D) or cta (2D 43x43)")
+		samples     = fs.Int("samples", 4, "waveform samples per channel on the wire (0 keeps the config default)")
+		workers     = fs.Int("workers", 1, "pipeline worker pool size")
+		queue       = fs.Int("queue", 64, "per-worker derandomizer queue depth (events)")
+		policyName  = fs.String("policy", "drop", "queue overflow policy: drop (derandomizer) or block (backpressure)")
+		paceHW      = fs.Bool("pace-hw", false, "throttle workers to the modeled FPGA event interval (E14 comparison)")
+		full        = fs.Bool("full", false, "use the cycle-accurate ProcessEvent path instead of the serving fast path")
+		calibration = fs.Int("calibration", 20, "pedestal calibration events per worker at startup")
+		seed        = fs.Uint64("seed", 1, "calibration workload seed")
+		logEvery    = fs.Duration("log-interval", 5*time.Second, "periodic stats log interval (0 disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := buildConfig(*configName, *samples, *workers, *queue, *policyName,
+		*paceHW, *full, *calibration, *seed)
+	if err != nil {
+		return err
+	}
+	cfg.StatsAddr = *statsAddr
+	cfg.LogInterval = *logEvery
+	cfg.Logger = log.New(out, "", log.LstdFlags)
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*listen) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		cfg.Logger.Printf("hepccld: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			return err
+		}
+		<-errc // ErrServerClosed
+		snap := srv.StatsSnapshot()
+		cfg.Logger.Printf("hepccld: drained: in=%d out=%d dropped=%d", snap.EventsIn, snap.EventsOut, snap.Dropped)
+		return nil
+	}
+}
+
+// buildConfig resolves flags into a server configuration.
+func buildConfig(configName string, samples, workers, queue int, policyName string,
+	paceHW, full bool, calibration int, seed uint64) (server.Config, error) {
+	var pcfg adapt.Config
+	switch configName {
+	case "adapt":
+		pcfg = adapt.DefaultADAPT()
+	case "cta":
+		pcfg = adapt.DefaultCTA()
+	default:
+		return server.Config{}, fmt.Errorf("unknown -config %q", configName)
+	}
+	if samples > 0 {
+		pcfg.SamplesPerChannel = samples
+	}
+	var policy server.OverflowPolicy
+	switch policyName {
+	case "drop":
+		policy = server.PolicyDrop
+	case "block":
+		policy = server.PolicyBlock
+	default:
+		return server.Config{}, fmt.Errorf("unknown -policy %q", policyName)
+	}
+	cfg := server.Config{
+		Pipeline:     pcfg,
+		Workers:      workers,
+		QueueDepth:   queue,
+		Policy:       policy,
+		PaceHardware: paceHW,
+		FullPipeline: full,
+	}
+	if calibration > 0 {
+		dig := detector.DefaultDigitizer()
+		dig.Samples = pcfg.SamplesPerChannel
+		cal, err := adapt.GeneratePedestalEvents(calibration, pcfg.ASICs, dig, detector.NewRNG(seed))
+		if err != nil {
+			return server.Config{}, err
+		}
+		cfg.Calibration = cal
+	}
+	return cfg, nil
+}

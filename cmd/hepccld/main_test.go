@@ -1,0 +1,76 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/server"
+)
+
+func TestBuildConfigCTA(t *testing.T) {
+	cfg, err := buildConfig("cta", 4, 2, 32, "drop", true, false, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pipeline.ASICs != 116 || cfg.Pipeline.SamplesPerChannel != 4 {
+		t.Fatalf("pipeline config = %d ASICs, %d samples; want 116, 4",
+			cfg.Pipeline.ASICs, cfg.Pipeline.SamplesPerChannel)
+	}
+	if cfg.Workers != 2 || cfg.QueueDepth != 32 {
+		t.Fatalf("workers=%d queue=%d, want 2, 32", cfg.Workers, cfg.QueueDepth)
+	}
+	if cfg.Policy != server.PolicyDrop || !cfg.PaceHardware || cfg.FullPipeline {
+		t.Fatalf("policy=%v paceHW=%v full=%v", cfg.Policy, cfg.PaceHardware, cfg.FullPipeline)
+	}
+	if len(cfg.Calibration) != 10 {
+		t.Fatalf("calibration events = %d, want 10", len(cfg.Calibration))
+	}
+	for i, packets := range cfg.Calibration {
+		if len(packets) != cfg.Pipeline.ASICs {
+			t.Fatalf("calibration event %d has %d packets, want %d", i, len(packets), cfg.Pipeline.ASICs)
+		}
+	}
+	// The resolved config must actually construct a server.
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}
+
+func TestBuildConfigADAPTKeepsSamples(t *testing.T) {
+	cfg, err := buildConfig("adapt", 0, 1, 8, "block", false, true, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Pipeline.SamplesPerChannel != 16 {
+		t.Fatalf("samples=0 must keep the config default 16, got %d", cfg.Pipeline.SamplesPerChannel)
+	}
+	if cfg.Policy != server.PolicyBlock || !cfg.FullPipeline {
+		t.Fatalf("policy=%v full=%v, want block + full", cfg.Policy, cfg.FullPipeline)
+	}
+	if cfg.Calibration != nil {
+		t.Fatalf("calibration=0 must produce no events, got %d", len(cfg.Calibration))
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	if _, err := buildConfig("nope", 4, 1, 8, "drop", false, false, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "-config") {
+		t.Fatalf("bad config name: got %v", err)
+	}
+	if _, err := buildConfig("cta", 4, 1, 8, "spill", false, false, 0, 1); err == nil ||
+		!strings.Contains(err.Error(), "-policy") {
+		t.Fatalf("bad policy name: got %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-config", "nope"}, io.Discard); err == nil {
+		t.Fatal("unknown config must fail before listening")
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}

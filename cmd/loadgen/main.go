@@ -1,0 +1,343 @@
+// Command loadgen drives a hepccld daemon with a synthetic instrument
+// workload over real sockets: it digitizes internal/detector events into
+// ALPHA packet streams, replays them at a target event rate over N parallel
+// connections, and reports achieved throughput and loss — the end-to-end
+// check of the §5.5 "15k events/s" claim through the full serving stack.
+//
+// Usage:
+//
+//	loadgen -addr 127.0.0.1:9310 -config cta -events 60000 -rate 15000 -conns 4
+//	loadgen -poisson -rate 15000 -events 60000     # E14-style Poisson arrivals
+//
+// With -poisson the inter-event gaps are exponential, reproducing the
+// trigger process of `experiments deadtime` (E14) so the daemon's measured
+// loss fraction vs -queue depth can be compared against that simulation.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type connResult struct {
+	sent     int
+	received int
+	islands  int
+	err      error
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:9310", "hepccld ingest address")
+		configName = fs.String("config", "cta", "pipeline configuration: adapt (1D) or cta (2D 43x43)")
+		samples    = fs.Int("samples", 4, "waveform samples per channel on the wire (0 keeps the config default)")
+		events     = fs.Int("events", 60000, "total events to send across all connections")
+		rate       = fs.Float64("rate", 15000, "aggregate target event rate in events/s (0 = unpaced)")
+		conns      = fs.Int("conns", 4, "parallel connections")
+		poisson    = fs.Bool("poisson", false, "exponential inter-event gaps (Poisson arrivals, as in E14)")
+		templates  = fs.Int("templates", 32, "distinct pre-digitized events to cycle through")
+		seed       = fs.Uint64("seed", 1860, "workload seed")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-read socket timeout")
+		burst      = fs.Duration("burst", 2*time.Millisecond, "pacing granularity: events due within this window are sent as one burst")
+		minRate    = fs.Float64("min-rate", 0, "fail unless the served rate reaches this many events/s")
+		statsURL   = fs.String("stats-url", "", "hepccld stats endpoint to fetch and print after the run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *events < 1 || *conns < 1 || *conns > *events {
+		return fmt.Errorf("need events >= conns >= 1 (got %d, %d)", *events, *conns)
+	}
+
+	cfg, err := pipelineConfig(*configName, *samples)
+	if err != nil {
+		return err
+	}
+	streams, wireBytes, err := digitizeTemplates(cfg, *templates, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "loadgen: %d events to %s over %d conns, target %s (%s), %d B/event\n",
+		*events, *addr, *conns, rateName(*rate), arrivalName(*poisson), wireBytes)
+
+	results := make([]connResult, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var sendDur, recvDur time.Duration
+	var durMu sync.Mutex
+	for i := 0; i < *conns; i++ {
+		share := *events / *conns
+		if i < *events%*conns {
+			share++
+		}
+		wg.Add(1)
+		go func(id, share int) {
+			defer wg.Done()
+			perConn := *rate / float64(*conns)
+			// Stagger the connections across the pacing window so their
+			// bursts interleave instead of hitting the daemon in lockstep.
+			phase := time.Duration(id) * *burst / time.Duration(*conns)
+			res, sd, rd := driveConn(*addr, streams, share, perConn, *poisson, phase,
+				detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst)
+			durMu.Lock()
+			if sd > sendDur {
+				sendDur = sd
+			}
+			if rd > recvDur {
+				recvDur = rd
+			}
+			durMu.Unlock()
+			results[id] = res
+		}(i, share)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var total connResult
+	for i, r := range results {
+		total.sent += r.sent
+		total.received += r.received
+		total.islands += r.islands
+		if r.err != nil && total.err == nil {
+			total.err = fmt.Errorf("conn %d: %w", i, r.err)
+		}
+	}
+	lost := total.sent - total.received
+	offered := float64(total.sent) / sendDur.Seconds()
+	served := float64(total.received) / recvDur.Seconds()
+	fmt.Fprintf(out, "sent     %d events in %.2fs -> %.0f ev/s offered\n",
+		total.sent, sendDur.Seconds(), offered)
+	fmt.Fprintf(out, "received %d records (%d islands) in %.2fs -> %.0f ev/s served\n",
+		total.received, total.islands, recvDur.Seconds(), served)
+	fmt.Fprintf(out, "lost     %d events (%.3f%%), wall %.2fs\n",
+		lost, 100*float64(lost)/float64(total.sent), wall.Seconds())
+	if total.err != nil {
+		return total.err
+	}
+	if *statsURL != "" {
+		if err := printStats(out, *statsURL); err != nil {
+			fmt.Fprintf(out, "stats fetch failed: %v\n", err)
+		}
+	}
+	if *minRate > 0 && served < *minRate {
+		return fmt.Errorf("served rate %.0f ev/s below required %.0f ev/s", served, *minRate)
+	}
+	return nil
+}
+
+func rateName(r float64) string {
+	if r <= 0 {
+		return "unpaced"
+	}
+	return fmt.Sprintf("%.0f ev/s", r)
+}
+
+func arrivalName(poisson bool) string {
+	if poisson {
+		return "Poisson"
+	}
+	return "paced"
+}
+
+func pipelineConfig(name string, samples int) (adapt.Config, error) {
+	var cfg adapt.Config
+	switch name {
+	case "adapt":
+		cfg = adapt.DefaultADAPT()
+	case "cta":
+		cfg = adapt.DefaultCTA()
+	default:
+		return cfg, fmt.Errorf("unknown -config %q", name)
+	}
+	if samples > 0 {
+		cfg.SamplesPerChannel = samples
+	}
+	return cfg, nil
+}
+
+// digitizeTemplates pre-serializes n distinct detector events so the send
+// loop costs only socket writes. Event ids cycle 0..n-1.
+func digitizeTemplates(cfg adapt.Config, n int, seed uint64) ([][]byte, int, error) {
+	rng := detector.NewRNG(seed)
+	dig := detector.DefaultDigitizer()
+	dig.Samples = cfg.SamplesPerChannel
+	streams := make([][]byte, n)
+	wire := 0
+	for i := range streams {
+		truth := makeTruth(cfg, rng)
+		packets, err := adapt.GenerateEvent(truth, cfg.ASICs, uint32(i), uint64(i)*1000, dig, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		var buf []byte
+		for p := range packets {
+			b, err := packets[p].Marshal()
+			if err != nil {
+				return nil, 0, err
+			}
+			buf = append(buf, b...)
+		}
+		streams[i] = buf
+		wire = len(buf)
+	}
+	return streams, wire, nil
+}
+
+// makeTruth builds one event's true photo-electron image.
+func makeTruth(cfg adapt.Config, rng *detector.RNG) []grid.Value {
+	channels := cfg.ASICs * adapt.ChannelsPerASIC
+	if cfg.Detection.TwoDimension {
+		rows, cols := cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols
+		cam := detector.CameraConfig{Rows: rows, Cols: cols, NSBMeanPE: 0.1}
+		img := cam.Shower(cam.TypicalShower(rng), rng)
+		flat := make([]grid.Value, channels)
+		copy(flat, img.Flat())
+		return flat
+	}
+	tracker := detector.DefaultTracker()
+	tracker.Channels = channels
+	tracker.Threshold = 0
+	return tracker.Event(rng).Values
+}
+
+// driveConn sends `share` events down one connection at perConn events/s
+// (shifted by phase) and reads downlink records until the server closes the
+// stream.
+func driveConn(addr string, streams [][]byte, share int, perConn float64,
+	poisson bool, phase time.Duration, rng *detector.RNG,
+	timeout, burst time.Duration) (connResult, time.Duration, time.Duration) {
+	var res connResult
+	start := time.Now()
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		res.err = err
+		return res, time.Since(start), time.Since(start)
+	}
+	defer nc.Close()
+
+	var sendDur time.Duration
+	writeErr := make(chan error, 1)
+	go func() {
+		defer func() {
+			sendDur = time.Since(start)
+			// Half-close so the server sees a clean end of ingress and
+			// drains our in-flight events before closing the response path.
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}()
+		// Events due at the same wakeup go out in one vectored write, so the
+		// syscall rate tracks the pacing granularity, not the event rate.
+		batch := make(net.Buffers, 0, 64)
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			n := len(batch)
+			nc.SetWriteDeadline(time.Now().Add(timeout))
+			tmp := batch
+			if _, err := tmp.WriteTo(nc); err != nil {
+				return err
+			}
+			res.sent += n
+			batch = batch[:0]
+			return nil
+		}
+		ahead := phase // scheduled send time relative to start
+		for i := 0; i < share; i++ {
+			if perConn > 0 {
+				if poisson {
+					ahead += time.Duration(rng.Exp(1/perConn) * float64(time.Second))
+				} else {
+					ahead = phase + time.Duration(float64(i)/perConn*float64(time.Second))
+				}
+				if sleep := ahead - time.Since(start); sleep > burst {
+					if err := flush(); err != nil {
+						writeErr <- fmt.Errorf("write event %d: %w", i, err)
+						return
+					}
+					time.Sleep(sleep)
+				}
+			}
+			batch = append(batch, streams[i%len(streams)])
+			if len(batch) == cap(batch) {
+				if err := flush(); err != nil {
+					writeErr <- fmt.Errorf("write event %d: %w", i, err)
+					return
+				}
+			}
+		}
+		writeErr <- flush()
+	}()
+
+	res.received, res.islands, res.err = readRecords(nc, timeout)
+	recvDur := time.Since(start)
+	if werr := <-writeErr; werr != nil && res.err == nil {
+		res.err = werr
+	}
+	return res, sendDur, recvDur
+}
+
+// readRecords consumes downlink records until EOF, returning counts.
+func readRecords(nc net.Conn, timeout time.Duration) (records, islands int, err error) {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	var hdr [8]byte
+	var body []byte
+	for {
+		nc.SetReadDeadline(time.Now().Add(timeout))
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, islands, nil
+			}
+			return records, islands, fmt.Errorf("record header: %w", err)
+		}
+		n := int(binary.BigEndian.Uint32(hdr[4:]))
+		if cap(body) < n*22 {
+			body = make([]byte, n*22)
+		}
+		if _, err := io.ReadFull(br, body[:n*22]); err != nil {
+			return records, islands, fmt.Errorf("record body: %w", err)
+		}
+		records++
+		islands += n
+	}
+}
+
+// printStats fetches and pretty-prints the daemon's stats JSON.
+func printStats(out io.Writer, url string) error {
+	cl := http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var v map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+	b, _ := json.MarshalIndent(v, "", "  ")
+	fmt.Fprintf(out, "server stats: %s\n", b)
+	return nil
+}

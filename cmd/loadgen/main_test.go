@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/server"
+)
+
+func TestPipelineConfig(t *testing.T) {
+	cfg, err := pipelineConfig("cta", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ASICs != 116 || cfg.SamplesPerChannel != 4 {
+		t.Fatalf("cta/4 -> %d ASICs, %d samples", cfg.ASICs, cfg.SamplesPerChannel)
+	}
+	cfg, err = pipelineConfig("adapt", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SamplesPerChannel != 16 {
+		t.Fatalf("samples=0 must keep the default, got %d", cfg.SamplesPerChannel)
+	}
+	if _, err := pipelineConfig("nope", 4); err == nil {
+		t.Fatal("unknown config must fail")
+	}
+}
+
+// TestDigitizeTemplatesRoundTrip parses the pre-serialized streams back with
+// the real stream reader: every template must be one complete event with the
+// expected id, ASIC count, and window length.
+func TestDigitizeTemplatesRoundTrip(t *testing.T) {
+	cfg, err := pipelineConfig("adapt", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	streams, wire, err := digitizeTemplates(cfg, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, stream := range streams {
+		if len(stream) != wire {
+			t.Fatalf("template %d is %d bytes, reported %d", i, len(stream), wire)
+		}
+		sr := adapt.NewStreamReader(bytes.NewReader(stream))
+		packets, err := sr.ReadEvent(cfg.ASICs)
+		if err != nil {
+			t.Fatalf("template %d: %v", i, err)
+		}
+		if packets[0].Event != uint32(i) {
+			t.Fatalf("template %d carries event id %d", i, packets[0].Event)
+		}
+		for _, p := range packets {
+			if int(p.SamplesPerChannel) != cfg.SamplesPerChannel {
+				t.Fatalf("template %d: %d samples on the wire, want %d",
+					i, p.SamplesPerChannel, cfg.SamplesPerChannel)
+			}
+		}
+		if sr.SkippedBytes != 0 || sr.BadPackets != 0 {
+			t.Fatalf("template %d: skipped=%d bad=%d", i, sr.SkippedBytes, sr.BadPackets)
+		}
+	}
+}
+
+// TestReadRecords feeds synthetic downlink frames over an in-memory pipe and
+// checks record/island accounting and clean-EOF handling.
+func TestReadRecords(t *testing.T) {
+	client, srv := net.Pipe()
+	recs := []adapt.EventRecord{
+		{Event: 1, Islands: []adapt.IslandRecord{
+			{Label: 1, Pixels: 3, Sum: 42, RowQ16: 1 << 16, ColQ16: 2 << 16},
+			{Label: 2, Pixels: 1, Sum: 7},
+		}},
+		{Event: 2}, // empty event: header only
+		{Event: 3, Islands: []adapt.IslandRecord{{Label: 1, Pixels: 9, Sum: 900}}},
+	}
+	go func() {
+		defer srv.Close()
+		var buf []byte
+		for i := range recs {
+			buf = recs[i].AppendTo(buf[:0])
+			if _, err := srv.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	records, islands, err := readRecords(client, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != len(recs) || islands != 3 {
+		t.Fatalf("got %d records, %d islands; want %d, 3", records, islands, len(recs))
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-events", "2", "-conns", "5"}, io.Discard); err == nil {
+		t.Fatal("conns > events must fail")
+	}
+	if err := run([]string{"-config", "nope"}, io.Discard); err == nil {
+		t.Fatal("unknown config must fail")
+	}
+	if err := run([]string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+// TestLoadgenEndToEnd runs the generator against an in-process daemon with
+// the blocking policy: every offered event must come back as a record.
+func TestLoadgenEndToEnd(t *testing.T) {
+	pcfg, err := pipelineConfig("adapt", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Pipeline:   pcfg,
+		Workers:    1,
+		QueueDepth: 8,
+		Policy:     server.PolicyBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+		<-done
+	})
+
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", ln.Addr().String(),
+		"-config", "adapt", "-samples", "4",
+		"-events", "60", "-conns", "3", "-rate", "0",
+		"-templates", "4", "-timeout", "10s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "lost     0 events") {
+		t.Fatalf("block policy must lose nothing:\n%s", out.String())
+	}
+	snap := srv.StatsSnapshot()
+	if snap.EventsIn != 60 || snap.EventsOut != 60 || snap.Dropped != 0 {
+		t.Fatalf("server counted in=%d out=%d dropped=%d, want 60/60/0",
+			snap.EventsIn, snap.EventsOut, snap.Dropped)
+	}
+}

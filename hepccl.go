@@ -12,6 +12,9 @@
 //     with Vitis-style synthesis reports (internal/design);
 //   - the ADAPT front-end pipeline with the TWO_DIMENSION switch
 //     (internal/adapt);
+//   - the concurrent event-ingest service that serves that pipeline over
+//     TCP with derandomizer-style bounded queues (internal/server; see
+//     cmd/hepccld and cmd/loadgen);
 //   - synthetic detector workloads (internal/detector) and island
 //     centroiding (internal/centroid).
 //
@@ -32,6 +35,7 @@ import (
 	"github.com/wustl-adapt/hepccl/internal/grid"
 	"github.com/wustl-adapt/hepccl/internal/hls/resource"
 	"github.com/wustl-adapt/hepccl/internal/labeling"
+	"github.com/wustl-adapt/hepccl/internal/server"
 )
 
 // Grids and labels.
@@ -164,6 +168,38 @@ type (
 
 // NewPipeline builds a validated pipeline.
 func NewPipeline(cfg PipelineConfig) (*Pipeline, error) { return adapt.New(cfg) }
+
+// IslandRecord is one island's label, size, charge, and Q16.16 centroid
+// within an EventRecord downlink frame.
+type IslandRecord = adapt.IslandRecord
+
+// Event-ingest service (internal/server): the ADAPT pipeline as a network
+// daemon with sharded workers and derandomizer-style bounded queues. See
+// cmd/hepccld and cmd/loadgen for the runnable pair.
+type (
+	// Server is the concurrent event-ingest service.
+	Server = server.Server
+	// ServerConfig parameterizes workers, queue depth, and overflow policy.
+	ServerConfig = server.Config
+	// OverflowPolicy selects what a full worker queue does to new events.
+	OverflowPolicy = server.OverflowPolicy
+	// ServerStats is a point-in-time snapshot of the service counters.
+	ServerStats = server.Snapshot
+)
+
+// Overflow policies.
+const (
+	// PolicyDrop discards overflowing events, like the §6 derandomizer FIFO.
+	PolicyDrop = server.PolicyDrop
+	// PolicyBlock applies backpressure to the ingest connection instead.
+	PolicyBlock = server.PolicyBlock
+)
+
+// ErrServerClosed is returned by a server's accept loop after Shutdown.
+var ErrServerClosed = server.ErrServerClosed
+
+// NewServer builds a validated event-ingest server.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
 
 // ADAPTConfig returns the synthetic ADAPT flight configuration (1D mode).
 func ADAPTConfig() PipelineConfig { return adapt.DefaultADAPT() }

@@ -15,7 +15,9 @@ import (
 
 // GenerateEvent digitizes a flat photo-electron image into one packet per
 // ASIC. The image length must not exceed asics×16 channels; missing channels
-// read pedestal only.
+// read pedestal only. The pulse onset sits a quarter of the way into the
+// readout window (capped at sample 4, the full-window position), so short
+// windows still capture the charge.
 func GenerateEvent(pe []grid.Value, asics int, event uint32, timestamp uint64,
 	dig detector.DigitizerConfig, rng *detector.RNG) ([]Packet, error) {
 	if asics < 1 {
@@ -26,6 +28,10 @@ func GenerateEvent(pe []grid.Value, asics int, event uint32, timestamp uint64,
 	}
 	if dig.Samples < 1 || dig.Samples > 255 {
 		return nil, fmt.Errorf("adapt: digitizer window %d outside 1..255", dig.Samples)
+	}
+	t0 := float64(dig.Samples) / 4
+	if t0 > 4 {
+		t0 = 4
 	}
 	packets := make([]Packet, asics)
 	for a := 0; a < asics; a++ {
@@ -43,7 +49,7 @@ func GenerateEvent(pe []grid.Value, asics int, event uint32, timestamp uint64,
 			if flat < len(pe) {
 				count = float64(pe[flat])
 			}
-			pkt.Samples[ch] = dig.Digitize(count, 4, rng)
+			pkt.Samples[ch] = dig.Digitize(count, t0, rng)
 		}
 	}
 	return packets, nil

@@ -65,11 +65,14 @@ func DefaultCTA() Config {
 	}
 }
 
-// Pipeline is one instantiated FPGA pipeline.
+// Pipeline is one instantiated FPGA pipeline. A Pipeline holds calibration
+// and scratch state and is not safe for concurrent use; concurrent servers
+// run one Pipeline per worker (see internal/server).
 type Pipeline struct {
 	cfg       Config
 	merger    *Merger
 	pedestals []int64 // per flat channel, integral units
+	serve     serveScratch
 }
 
 // New validates the configuration and builds the pipeline.
@@ -147,7 +150,7 @@ func (p *Pipeline) checkEvent(packets []Packet) error {
 	if len(packets) != p.cfg.ASICs {
 		return fmt.Errorf("event has %d packets, want %d", len(packets), p.cfg.ASICs)
 	}
-	seen := make(map[uint8]bool, len(packets))
+	var seen [256]bool
 	event := packets[0].Event
 	for i := range packets {
 		pkt := &packets[i]

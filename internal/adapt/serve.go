@@ -1,0 +1,253 @@
+package adapt
+
+import (
+	"fmt"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// Serving fast path. ProcessEvent runs the cycle-level HLS co-simulation of
+// the island-detection design — the right tool for reproducing the paper's
+// tables, and ~5x too slow for a network server that must sustain the §5.5
+// event rates in software. ServeEvent produces the same kind of downlink
+// record through the functional route: identical per-channel stage math
+// (integrate → pedestal subtract → photon count → zero-suppress → merge),
+// then a raster-scan union-find producing the same island partition as the
+// CCL design (with the corrected resolver) and integer Q16.16 centroids,
+// with all scratch storage reused across events.
+//
+// Differences from ProcessEvent + RecordOf, by design:
+//
+//   - island labels are compact 1..K in raster order rather than merge-table
+//     root numbers (the partition of pixels into islands is identical);
+//   - the corrected merge-table resolver is used, so the §6 corner case of
+//     the published hardware does not occur;
+//   - no synthesis report, waveform trace, or intermediate label state is
+//     produced.
+
+// serveScratch is per-pipeline reusable storage for ServeEvent. A Pipeline
+// is not safe for concurrent use; servers give each worker its own.
+type serveScratch struct {
+	merged []grid.Value
+	labels []int32 // per-pixel provisional label
+	parent []int32 // union-find over provisional labels
+	remap  []int32 // provisional root -> compact island number
+	pixels []uint32
+	sums   []int64
+	rows   []int64
+	cols   []int64
+}
+
+// ServeEvent processes one assembled event into rec, reusing rec's island
+// storage and the pipeline's internal scratch. It is the hot path of
+// internal/server.
+func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
+	if err := p.checkEvent(packets); err != nil {
+		return fmt.Errorf("adapt: %w", err)
+	}
+	sc := &p.serve
+	if sc.merged == nil {
+		sc.merged = make([]grid.Value, p.Channels())
+	}
+	merged := sc.merged
+	// Threshold in the ADC domain so suppressed channels (the vast majority)
+	// never pay the photon-count division: with rounded division by gain g,
+	// pe > T  ⇔  net >= (T+1)·g − g/2.
+	gain := p.cfg.GainADC
+	cutoff := int64(1) << 62 // gain <= 0: PhotonCount yields 0, all suppressed
+	if gain > 0 {
+		cutoff = (int64(p.cfg.ThresholdPE)+1)*gain - gain/2
+	}
+	for i := range packets {
+		pkt := &packets[i]
+		base := int(pkt.ASIC) * ChannelsPerASIC
+		for ch := 0; ch < ChannelsPerASIC; ch++ {
+			var raw int64
+			if s := pkt.Samples[ch]; len(s) == 4 {
+				raw = int64(s[0]) + int64(s[1]) + int64(s[2]) + int64(s[3])
+			} else {
+				for _, v := range s {
+					raw += int64(v)
+				}
+			}
+			net := PedestalSubtract(raw, p.pedestals[base+ch])
+			if net < cutoff {
+				merged[base+ch] = 0
+				continue
+			}
+			merged[base+ch] = PhotonCount(net, gain)
+		}
+	}
+	rec.Event = packets[0].Event
+	rec.Islands = rec.Islands[:0]
+
+	det := p.cfg.Detection
+	if !det.TwoDimension {
+		return p.serve1D(merged, rec)
+	}
+	return p.serve2D(merged, rec)
+}
+
+// serve2D labels the flat merged image with an inline raster-scan union-find
+// — the same partition ccl.Label computes, specialized to the serving hot
+// path: no Grid/Labels wrappers, no merge-table model, all storage reused.
+// Islands are numbered 1..K in raster order of first appearance, matching
+// ccl.Options.CompactLabels.
+func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
+	det := p.cfg.Detection.TwoD
+	nrows, ncols := det.Rows, det.Cols
+	px := nrows * ncols
+	eight := det.Connectivity == grid.EightWay
+	sc := &p.serve
+	if cap(sc.labels) < px {
+		sc.labels = make([]int32, px)
+	}
+	labels := sc.labels[:px]
+	parent := append(sc.parent[:0], 0) // provisional label 0 = background
+
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+
+	for r := 0; r < nrows; r++ {
+		rowBase := r * ncols
+		for c := 0; c < ncols; c++ {
+			i := rowBase + c
+			if merged[i] == 0 {
+				labels[i] = 0
+				continue
+			}
+			var n [4]int32 // left, up-left, up, up-right
+			if c > 0 {
+				n[0] = labels[i-1]
+			}
+			if r > 0 {
+				n[2] = labels[i-ncols]
+				if eight {
+					if c > 0 {
+						n[1] = labels[i-ncols-1]
+					}
+					if c < ncols-1 {
+						n[3] = labels[i-ncols+1]
+					}
+				}
+			}
+			l := int32(0)
+			for _, nb := range n {
+				if nb == 0 {
+					continue
+				}
+				rt := find(nb)
+				switch {
+				case l == 0:
+					l = rt
+				case rt < l:
+					parent[l] = rt
+					l = rt
+				case rt > l:
+					parent[rt] = l
+				}
+			}
+			if l == 0 {
+				l = int32(len(parent))
+				parent = append(parent, l)
+			}
+			labels[i] = l
+		}
+	}
+	sc.parent = parent
+
+	// Resolve every provisional label to its root, then accumulate island
+	// statistics in one sweep, assigning compact numbers at first appearance.
+	np := len(parent)
+	if cap(sc.remap) < np {
+		sc.remap = make([]int32, np)
+		sc.pixels = make([]uint32, np)
+		sc.sums = make([]int64, np)
+		sc.rows = make([]int64, np)
+		sc.cols = make([]int64, np)
+	}
+	remap := sc.remap[:np]
+	pixels, sums := sc.pixels[:np], sc.sums[:np]
+	rows, cols := sc.rows[:np], sc.cols[:np]
+	for l := 0; l < np; l++ {
+		remap[l] = 0
+		pixels[l], sums[l], rows[l], cols[l] = 0, 0, 0, 0
+	}
+	// parent[l] <= l always (unions point larger labels at smaller ones), so
+	// one ascending sweep resolves every label to its root.
+	for l := 1; l < np; l++ {
+		parent[l] = parent[parent[l]]
+	}
+	k := int32(0)
+	for i := 0; i < px; i++ {
+		l := labels[i]
+		if l == 0 {
+			continue
+		}
+		root := parent[l]
+		cl := remap[root]
+		if cl == 0 {
+			k++
+			cl = k
+			remap[root] = cl
+		}
+		v := int64(merged[i])
+		pixels[cl]++
+		sums[cl] += v
+		rows[cl] += int64(i/ncols) * v
+		cols[cl] += int64(i%ncols) * v
+	}
+	for l := int32(1); l <= k; l++ {
+		rec.Islands = append(rec.Islands, IslandRecord{
+			Label:  grid.Label(l),
+			Pixels: uint16(pixels[l]),
+			Sum:    sums[l],
+			RowQ16: q16Ratio(rows[l], sums[l]),
+			ColQ16: q16Ratio(cols[l], sums[l]),
+		})
+	}
+	return nil
+}
+
+// serve1D emits runs of consecutive lit channels — the functional equivalent
+// of the 1D island detection + centroiding design.
+func (p *Pipeline) serve1D(merged []grid.Value, rec *EventRecord) error {
+	n := len(merged)
+	for start := 0; start < n; {
+		if merged[start] == 0 {
+			start++
+			continue
+		}
+		end := start
+		var sum, weighted int64
+		for end < n && merged[end] != 0 {
+			v := int64(merged[end])
+			sum += v
+			weighted += int64(end) * v
+			end++
+		}
+		rec.Islands = append(rec.Islands, IslandRecord{
+			Label:  grid.Label(len(rec.Islands) + 1),
+			Pixels: uint16(end - start),
+			Sum:    sum,
+			RowQ16: 0,
+			ColQ16: q16Ratio(weighted, sum),
+		})
+		start = end
+	}
+	return nil
+}
+
+// q16Ratio returns round(num/den × 2^16) in Q16.16, the same rounding the
+// streaming centroid divider applies.
+func q16Ratio(num, den int64) int32 {
+	if den == 0 {
+		return 0
+	}
+	return int32((num<<16 + den/2) / den)
+}

@@ -47,8 +47,21 @@ func (sw *StreamWriter) WriteEvent(packets []Packet) error {
 }
 
 // StreamReader parses a packet stream, skipping garbage between packets.
+//
+// End-of-stream vs transport faults: ReadPacket returns io.EOF only when the
+// underlying reader reports a clean end of stream (possibly after skipping
+// trailing garbage or a truncated final frame). Any other underlying error —
+// a socket reset, a read deadline, an injected fault — is returned wrapped,
+// so network servers can tell a closed connection from a failed one.
 type StreamReader struct {
 	r *bufio.Reader
+	// pending holds bytes pushed back after a corrupted frame (and any bytes
+	// staged from the underlying reader while peeking across the push-back
+	// boundary). It is consumed before r and never grows beyond one frame
+	// plus one header, regardless of how corrupted the link is.
+	pending []byte
+	off     int // consumed prefix of pending
+	frame   []byte
 	// SkippedBytes counts bytes discarded while searching for a valid
 	// packet (link noise, corrupted frames).
 	SkippedBytes int
@@ -61,45 +74,173 @@ func NewStreamReader(r io.Reader) *StreamReader {
 	return &StreamReader{r: bufio.NewReaderSize(r, 64<<10)}
 }
 
+// Reset discards all buffered and pushed-back state, zeroes the counters,
+// and switches the reader to r, retaining the internal buffers.
+func (sr *StreamReader) Reset(r io.Reader) {
+	sr.r.Reset(r)
+	sr.pending = sr.pending[:0]
+	sr.off = 0
+	sr.SkippedBytes = 0
+	sr.BadPackets = 0
+}
+
+// wrapErr passes io.EOF through untouched and wraps everything else.
+func wrapErr(err error) error {
+	if err == io.EOF {
+		return io.EOF
+	}
+	return fmt.Errorf("adapt: stream read: %w", err)
+}
+
+// readByte pops one byte, preferring pushed-back bytes.
+func (sr *StreamReader) readByte() (byte, error) {
+	if sr.off < len(sr.pending) {
+		b := sr.pending[sr.off]
+		sr.off++
+		if sr.off == len(sr.pending) {
+			sr.pending, sr.off = sr.pending[:0], 0
+		}
+		return b, nil
+	}
+	return sr.r.ReadByte()
+}
+
+// peek returns the next n bytes without consuming them, staging bytes from
+// the underlying reader into pending when a push-back boundary is straddled.
+func (sr *StreamReader) peek(n int) ([]byte, error) {
+	if len(sr.pending)-sr.off >= n {
+		return sr.pending[sr.off : sr.off+n], nil
+	}
+	if sr.off == len(sr.pending) {
+		sr.pending, sr.off = sr.pending[:0], 0
+		return sr.r.Peek(n)
+	}
+	if sr.off > 0 {
+		sr.pending = append(sr.pending[:0], sr.pending[sr.off:]...)
+		sr.off = 0
+	}
+	for len(sr.pending) < n {
+		b, err := sr.r.ReadByte()
+		if err != nil {
+			return sr.pending, err
+		}
+		sr.pending = append(sr.pending, b)
+	}
+	return sr.pending[:n], nil
+}
+
+// readFull fills buf, consuming pending bytes first.
+func (sr *StreamReader) readFull(buf []byte) (int, error) {
+	n := copy(buf, sr.pending[sr.off:])
+	sr.off += n
+	if sr.off == len(sr.pending) {
+		sr.pending, sr.off = sr.pending[:0], 0
+	}
+	if n == len(buf) {
+		return n, nil
+	}
+	m, err := io.ReadFull(sr.r, buf[n:])
+	return n + m, err
+}
+
+// pushBack returns data to the front of the read sequence. Unlike a stacked
+// MultiReader, the pending buffer is bounded: repeated push-backs on a
+// garbage-heavy link reuse the same storage instead of nesting readers.
+func (sr *StreamReader) pushBack(data []byte) {
+	rest := sr.pending[sr.off:]
+	if len(rest) == 0 {
+		sr.pending = append(sr.pending[:0], data...)
+		sr.off = 0
+		return
+	}
+	merged := make([]byte, 0, len(data)+len(rest))
+	merged = append(merged, data...)
+	merged = append(merged, rest...)
+	sr.pending, sr.off = merged, 0
+}
+
+// drainAll consumes the rest of the stream, returning the byte count and any
+// non-EOF error.
+func (sr *StreamReader) drainAll() (int, error) {
+	n := len(sr.pending) - sr.off
+	sr.pending, sr.off = sr.pending[:0], 0
+	for {
+		m, err := sr.r.Discard(32 << 10)
+		n += m
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}
+
 // ReadPacket scans for the next valid packet. It returns io.EOF only at a
-// clean end of stream (possibly after skipping trailing garbage).
+// clean end of stream; underlying transport errors are returned wrapped.
 func (sr *StreamReader) ReadPacket() (*Packet, error) {
+	var p Packet
+	if err := sr.ReadPacketInto(&p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// ReadPacketInto scans for the next valid packet and parses it into p,
+// reusing p's sample storage and the reader's internal frame scratch. The
+// parsed samples alias p's previous backing arrays; callers that retain
+// packets across calls must use distinct Packet values.
+func (sr *StreamReader) ReadPacketInto(p *Packet) error {
 	for {
 		// Hunt for the magic word.
-		b0, err := sr.r.ReadByte()
+		b0, err := sr.readByte()
 		if err != nil {
-			return nil, io.EOF
+			return wrapErr(err)
 		}
 		if b0 != byte(PacketMagic>>8) {
 			sr.SkippedBytes++
 			continue
 		}
-		peek, err := sr.r.Peek(1)
+		peek, err := sr.peek(1)
 		if err != nil {
+			// Lone magic-high byte at the very end of the stream.
 			sr.SkippedBytes++
-			return nil, io.EOF
+			return wrapErr(err)
 		}
 		if peek[0] != byte(PacketMagic&0xFF) {
 			sr.SkippedBytes++
 			continue
 		}
 		// Candidate frame: peek the header to learn the length.
-		hdr, err := sr.r.Peek(headerBytes - 1)
+		hdr, err := sr.peek(headerBytes - 1)
 		if err != nil {
-			// Truncated final frame.
-			sr.SkippedBytes += 1 + len(peekAvailable(sr.r))
-			sr.discardAll()
-			return nil, io.EOF
+			if err != io.EOF {
+				return wrapErr(err)
+			}
+			// Truncated final frame: everything left is trailing garbage.
+			sr.SkippedBytes++
+			n, derr := sr.drainAll()
+			sr.SkippedBytes += n
+			if derr != nil {
+				return wrapErr(derr)
+			}
+			return io.EOF
 		}
 		samples := hdr[headerBytes-2]
 		total := headerBytes + 2*ChannelsPerASIC*int(samples) + 2
-		frame := make([]byte, total)
-		frame[0] = b0
-		if _, err := io.ReadFull(sr.r, frame[1:]); err != nil {
-			sr.SkippedBytes += total - 1
-			return nil, io.EOF
+		if cap(sr.frame) < total {
+			sr.frame = make([]byte, total)
 		}
-		var p Packet
+		frame := sr.frame[:total]
+		frame[0] = b0
+		if n, err := sr.readFull(frame[1:]); err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return wrapErr(err)
+			}
+			// Stream ended mid-frame: a truncated tail, not a fault.
+			sr.SkippedBytes += 1 + n
+			return io.EOF
+		}
 		if _, err := p.Unmarshal(frame); err != nil {
 			// Corrupted frame: count it, resume the hunt right after the
 			// magic word so an embedded valid packet is still found.
@@ -108,46 +249,8 @@ func (sr *StreamReader) ReadPacket() (*Packet, error) {
 			sr.SkippedBytes += 2
 			continue
 		}
-		return &p, nil
+		return nil
 	}
-}
-
-// pushBack returns data to the reader's buffer by stacking a MultiReader.
-func (sr *StreamReader) pushBack(data []byte) {
-	rest := io.MultiReader(newSliceReader(data), sr.r)
-	sr.r = bufio.NewReaderSize(rest, 64<<10)
-}
-
-func (sr *StreamReader) discardAll() {
-	for {
-		if _, err := sr.r.Discard(1); err != nil {
-			return
-		}
-		sr.SkippedBytes++
-	}
-}
-
-func peekAvailable(r *bufio.Reader) []byte {
-	b, _ := r.Peek(r.Buffered())
-	return b
-}
-
-// sliceReader is a minimal io.Reader over a byte slice (bytes.Reader would
-// also do; this keeps the dependency surface explicit).
-type sliceReader struct {
-	data []byte
-	off  int
-}
-
-func newSliceReader(data []byte) *sliceReader { return &sliceReader{data: data} }
-
-func (s *sliceReader) Read(p []byte) (int, error) {
-	if s.off >= len(s.data) {
-		return 0, io.EOF
-	}
-	n := copy(p, s.data[s.off:])
-	s.off += n
-	return n, nil
 }
 
 // ErrIncompleteEvent reports that an event could not be assembled because
@@ -158,25 +261,35 @@ var ErrIncompleteEvent = errors.New("adapt: incomplete event")
 // Packets from other events encountered mid-assembly are an error (the
 // readout interleaves per event).
 func (sr *StreamReader) ReadEvent(asics int) ([]Packet, error) {
+	return sr.ReadEventInto(nil, asics)
+}
+
+// ReadEventInto is ReadEvent with storage reuse: dst's backing array (and the
+// sample arrays of the packets it holds) are recycled when capacity allows.
+func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error) {
 	if asics < 1 {
 		return nil, fmt.Errorf("adapt: ReadEvent needs asics >= 1")
 	}
-	first, err := sr.ReadPacket()
-	if err != nil {
+	if cap(dst) < asics {
+		dst = make([]Packet, asics)
+	}
+	dst = dst[:asics]
+	if err := sr.ReadPacketInto(&dst[0]); err != nil {
 		return nil, err
 	}
-	packets := []Packet{*first}
-	for len(packets) < asics {
-		p, err := sr.ReadPacket()
-		if err != nil {
-			return nil, fmt.Errorf("%w: got %d of %d packets for event %d",
-				ErrIncompleteEvent, len(packets), asics, first.Event)
+	for i := 1; i < asics; i++ {
+		if err := sr.ReadPacketInto(&dst[i]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("%w: got %d of %d packets for event %d",
+					ErrIncompleteEvent, i, asics, dst[0].Event)
+			}
+			return nil, fmt.Errorf("%w: after %d of %d packets for event %d: %w",
+				ErrIncompleteEvent, i, asics, dst[0].Event, err)
 		}
-		if p.Event != first.Event {
+		if dst[i].Event != dst[0].Event {
 			return nil, fmt.Errorf("%w: event %d interrupted by packet from event %d",
-				ErrIncompleteEvent, first.Event, p.Event)
+				ErrIncompleteEvent, dst[0].Event, dst[i].Event)
 		}
-		packets = append(packets, *p)
 	}
-	return packets, nil
+	return dst, nil
 }

@@ -90,7 +90,11 @@ func RecordOf(res *EventResult) EventRecord {
 // Marshal serializes the record: event id, island count, then fixed-size
 // island entries, all big-endian.
 func (rec *EventRecord) Marshal() []byte {
-	buf := make([]byte, 0, 8+22*len(rec.Islands))
+	return rec.AppendTo(make([]byte, 0, 8+22*len(rec.Islands)))
+}
+
+// AppendTo serializes the record onto buf, reusing its capacity.
+func (rec *EventRecord) AppendTo(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, rec.Event)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Islands)))
 	for _, is := range rec.Islands {

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// conn is one client connection: a reader goroutine assembling events and a
+// writer goroutine streaming downlink records back.
+type conn struct {
+	s      *Server
+	nc     net.Conn
+	id     uint64
+	remote string
+	// out carries serialized responses from workers to the writer. It is
+	// closed once the reader has exited and every in-flight event for this
+	// connection has been resolved.
+	out      chan []byte
+	inflight sync.WaitGroup
+	stats    counters
+}
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 256) }}
+
+// readLoop assembles events off the wire and shards them to the workers.
+func (c *conn) readLoop() {
+	defer c.s.readersWG.Done()
+	s := c.s
+	asics := s.cfg.Pipeline.ASICs
+	sr := adapt.NewStreamReader(c.nc)
+	var lastSkipped, lastBad int
+
+	syncStream := func() {
+		if d := sr.SkippedBytes - lastSkipped; d > 0 {
+			c.stats.SkippedBytes.Add(uint64(d))
+			s.stats.SkippedBytes.Add(uint64(d))
+			lastSkipped = sr.SkippedBytes
+		}
+		if d := sr.BadPackets - lastBad; d > 0 {
+			c.stats.BadPackets.Add(uint64(d))
+			s.stats.BadPackets.Add(uint64(d))
+			lastBad = sr.BadPackets
+		}
+	}
+	defer syncStream()
+
+	ev := getEvent()
+	for {
+		packets, err := sr.ReadEventInto(ev.packets, asics)
+		syncStream()
+		switch {
+		case err == nil:
+			ev.packets = packets
+			ev.c = c
+			ev.enqueued = time.Now()
+			c.stats.EventsIn.Add(1)
+			s.stats.EventsIn.Add(1)
+			c.inflight.Add(1)
+			if s.enqueue(ev) {
+				ev = getEvent()
+			} else {
+				c.stats.Dropped.Add(1)
+				s.stats.Dropped.Add(1)
+				c.inflight.Done() // reuse ev for the next read
+			}
+		case errors.Is(err, adapt.ErrIncompleteEvent):
+			// Missing or interleaved packets: count and resynchronize. If
+			// the cause was a transport fault, the next read surfaces it.
+			c.stats.IncompleteEvents.Add(1)
+			s.stats.IncompleteEvents.Add(1)
+		case errors.Is(err, io.EOF):
+			// Clean end of stream.
+			putEvent(ev)
+			c.finishReads()
+			return
+		default:
+			// Transport fault — or our own read deadline during drain.
+			if !s.isDraining() {
+				c.stats.ReadErrors.Add(1)
+				s.stats.ReadErrors.Add(1)
+			}
+			putEvent(ev)
+			c.finishReads()
+			return
+		}
+	}
+}
+
+// finishReads arranges for the writer to terminate once every event this
+// connection put in flight has been processed.
+func (c *conn) finishReads() {
+	go func() {
+		c.inflight.Wait()
+		close(c.out)
+	}()
+}
+
+// respond hands a serialized record to the connection's writer. Called by
+// workers; safe concurrently. The writer owns buf afterwards.
+func (c *conn) respond(buf []byte) {
+	c.out <- buf
+}
+
+// writeLoop streams serialized records back to the client. After a write
+// fault it keeps draining the channel (discarding) so workers never block on
+// a dead connection.
+func (c *conn) writeLoop() {
+	defer func() {
+		c.nc.Close()
+		c.s.removeConn(c)
+		c.s.connsWG.Done()
+	}()
+	w := newDeadlineWriter(c.nc, c.s.cfg.WriteTimeout)
+	failed := false
+	for buf := range c.out {
+		if !failed {
+			if _, err := w.Write(buf); err != nil {
+				failed = true
+				c.nc.Close() // unblock the reader too
+			} else {
+				c.stats.BytesOut.Add(uint64(len(buf)))
+				c.s.stats.BytesOut.Add(uint64(len(buf)))
+				if len(c.out) == 0 {
+					if err := w.Flush(); err != nil {
+						failed = true
+						c.nc.Close()
+					}
+				}
+			}
+		}
+		bufPool.Put(buf[:0]) //nolint:staticcheck // []byte pooling is intentional
+	}
+	if !failed {
+		w.Flush()
+	}
+}
+
+// deadlineWriter is a buffered writer that arms a write deadline before each
+// flush, so a stalled client cannot wedge the writer goroutine forever.
+type deadlineWriter struct {
+	nc      net.Conn
+	timeout time.Duration
+	buf     []byte
+}
+
+func newDeadlineWriter(nc net.Conn, timeout time.Duration) *deadlineWriter {
+	return &deadlineWriter{nc: nc, timeout: timeout, buf: make([]byte, 0, 32<<10)}
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if len(w.buf)+len(p) > cap(w.buf) {
+		if err := w.Flush(); err != nil {
+			return 0, err
+		}
+	}
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+
+func (w *deadlineWriter) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	if w.timeout > 0 {
+		w.nc.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	_, err := w.nc.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}

@@ -1,0 +1,33 @@
+// Package server is the network serving layer over the ADAPT pipeline: a TCP
+// event-ingest service speaking the self-framing ALPHA packet wire format
+// (adapt.StreamReader / adapt.StreamWriter), the software analogue of
+// integrating the paper's island-detection stage into a real-time camera
+// readout (§6's "system scalability concerns").
+//
+// Architecture:
+//
+//	conn 1 ──reader──┐                        ┌─worker 1 (Pipeline)─┐
+//	conn 2 ──reader──┼──> sharded bounded ────┼─worker 2 (Pipeline)─┼──> per-conn
+//	conn N ──reader──┘    derandomizer queues └─worker W (Pipeline)─┘    writers
+//
+// Each connection carries a stream of ALPHA packets; a per-connection reader
+// assembles them into events (resynchronizing across corrupted frames) and
+// shards complete events round-robin across a pool of worker goroutines.
+// Pipelines hold pedestal-calibration and scratch state and are not
+// concurrency-safe, so every worker owns one calibrated adapt.Pipeline.
+//
+// Each worker's bounded event queue mirrors the §6 derandomizer FIFO modeled
+// by adapt.SimulateTrigger (experiments deadtime, E14): with PolicyDrop an
+// event arriving at a full queue is counted and discarded, exactly like a
+// trigger hitting a full FIFO; with PolicyBlock the reader stalls, pushing
+// backpressure onto the TCP connection instead. Both are reported in the
+// stats, so the server's observed loss fraction under Poisson load can be
+// compared directly against the discrete-event simulation.
+//
+// Workers emit serialized adapt.EventRecord downlink responses back on the
+// originating connection. The server supports graceful drain on shutdown
+// (stop ingress, process everything queued, flush responses), and exposes
+// global and per-connection statistics — events in/out, drops, bad packets,
+// skipped bytes, queue high-water mark, latency percentiles — via a JSON
+// stats endpoint and a periodic log line.
+package server

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// OverflowPolicy selects what happens when an event arrives at a full
+// derandomizer queue.
+type OverflowPolicy int
+
+const (
+	// PolicyDrop counts and discards the arriving event — the semantics of a
+	// hardware derandomizer FIFO with the pipeline busy (adapt.SimulateTrigger,
+	// E14). The default.
+	PolicyDrop OverflowPolicy = iota
+	// PolicyBlock stalls the connection's reader until the queue has room,
+	// pushing backpressure onto the TCP link instead of losing events.
+	PolicyBlock
+)
+
+// String implements fmt.Stringer.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	default:
+		return "drop"
+	}
+}
+
+// event is one assembled trigger travelling from a connection reader to a
+// worker. Events and their packet storage are pooled.
+type event struct {
+	c        *conn
+	packets  []adapt.Packet
+	enqueued time.Time
+}
+
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
+func getEvent() *event  { return eventPool.Get().(*event) }
+func putEvent(e *event) { e.c = nil; eventPool.Put(e) }
+
+// enqueue shards ev round-robin across the worker queues and applies the
+// overflow policy. It reports whether the event was accepted; rejected
+// events are counted as drops (the caller still owns ev).
+func (s *Server) enqueue(ev *event) bool {
+	shard := int(s.seq.Add(1)-1) % len(s.queues)
+	q := s.queues[shard]
+	if s.cfg.Policy == PolicyBlock {
+		select {
+		case q <- ev:
+		case <-s.draining:
+			// Ingress is closing; nothing will drain a full queue fast
+			// enough to honor a blocking send. Count it like a FIFO loss.
+			select {
+			case q <- ev:
+			default:
+				return false
+			}
+		}
+	} else {
+		select {
+		case q <- ev:
+		default:
+			return false
+		}
+	}
+	// len(q) just after the send is a racy but monotone-sampled depth; the
+	// high-water mark only ever grows, so stale reads cannot inflate it.
+	s.stats.observeQueueDepth(len(q))
+	return true
+}

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// Config parameterizes one ingest server.
+type Config struct {
+	// Pipeline is the per-worker pipeline build (array geometry, samples,
+	// detection mode). Every worker instantiates its own copy.
+	Pipeline adapt.Config
+	// Workers is the pipeline pool size. Default 1.
+	Workers int
+	// QueueDepth is the per-worker derandomizer queue capacity in events,
+	// mirroring adapt.TriggerConfig.FIFODepth. Default 64.
+	QueueDepth int
+	// Policy selects drop (derandomizer semantics) or block (backpressure)
+	// on a full queue.
+	Policy OverflowPolicy
+	// Calibration holds pedestal-only events used to calibrate each worker
+	// pipeline at startup. Nil keeps nominal pedestals.
+	Calibration [][]adapt.Packet
+	// FullPipeline routes events through the cycle-accurate ProcessEvent
+	// instead of the functional ServeEvent fast path.
+	FullPipeline bool
+	// PaceHardware throttles each worker to the modeled FPGA event interval,
+	// making measured loss-vs-depth comparable to experiments deadtime (E14).
+	PaceHardware bool
+	// StatsAddr, when non-empty, serves GET /stats (JSON snapshot) and
+	// GET /healthz on this address.
+	StatsAddr string
+	// WriteTimeout bounds each response flush. Default 10s.
+	WriteTimeout time.Duration
+	// LogInterval emits a periodic one-line stats summary. Zero disables.
+	LogInterval time.Duration
+	// Logger receives the periodic line and lifecycle messages. Nil means
+	// log.Default() when LogInterval is set, silent otherwise.
+	Logger *log.Logger
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logger == nil && cfg.LogInterval > 0 {
+		cfg.Logger = log.Default()
+	}
+	return cfg
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server is a concurrent ALPHA-packet event-ingest service.
+type Server struct {
+	cfg    Config
+	stats  Stats
+	queues []chan *event
+	seq    atomic.Uint64
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	connID uint64
+
+	draining  chan struct{}
+	drainOnce sync.Once
+
+	readersWG sync.WaitGroup
+	workersWG sync.WaitGroup
+	connsWG   sync.WaitGroup
+
+	statsSrv *http.Server
+	statsLn  net.Listener
+}
+
+// New validates the configuration, builds and calibrates the worker
+// pipelines, and returns a server ready to Serve.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		conns:    make(map[*conn]struct{}),
+		draining: make(chan struct{}),
+	}
+	s.stats.start = time.Now()
+	for i := 0; i < cfg.Workers; i++ {
+		p, err := adapt.New(cfg.Pipeline)
+		if err != nil {
+			return nil, fmt.Errorf("server: worker %d: %w", i, err)
+		}
+		if len(cfg.Calibration) > 0 {
+			if err := p.Calibrate(cfg.Calibration); err != nil {
+				return nil, fmt.Errorf("server: worker %d: %w", i, err)
+			}
+		}
+		q := make(chan *event, cfg.QueueDepth)
+		s.queues = append(s.queues, q)
+		s.workersWG.Add(1)
+		go s.worker(p, q)
+	}
+	return s, nil
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown, returning ErrServerClosed
+// on a clean shutdown. The stats endpoint and periodic log line run for the
+// lifetime of the serve loop.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	if s.isDraining() {
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.startStats()
+	stopLog := s.startPeriodicLog()
+	defer stopLog()
+	if l := s.cfg.Logger; l != nil {
+		l.Printf("hepccld: serving on %s (%d workers, queue depth %d, policy %s)",
+			ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.Policy)
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.addConn(nc)
+	}
+}
+
+// Addr returns the listener address, once serving.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) addConn(nc net.Conn) {
+	c := &conn{
+		s:      s,
+		nc:     nc,
+		remote: nc.RemoteAddr().String(),
+		out:    make(chan []byte, 128),
+	}
+	s.mu.Lock()
+	s.connID++
+	c.id = s.connID
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.stats.ConnsTotal.Add(1)
+	s.stats.ConnsActive.Add(1)
+	s.readersWG.Add(1)
+	s.connsWG.Add(1)
+	if s.isDraining() {
+		// Shutdown may already have swept the conn table; make sure this
+		// late arrival's reader unblocks immediately too.
+		nc.SetReadDeadline(time.Now())
+	}
+	go c.readLoop()
+	go c.writeLoop()
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.stats.ConnsActive.Add(-1)
+}
+
+// Shutdown gracefully drains the server: stop accepting, stop reading,
+// process every queued event, flush every response, then close. A second
+// call is a no-op. If ctx expires first, remaining connections are closed
+// and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		close(s.draining)
+	})
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Unblock readers parked in a socket read; their next read error is
+	// treated as end of ingress because draining is closed.
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.readersWG.Wait()
+		for _, q := range s.queues {
+			close(q)
+		}
+		s.workersWG.Wait()
+		s.connsWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		err = ctx.Err()
+	}
+	if s.statsSrv != nil {
+		s.statsSrv.Close()
+	}
+	return err
+}
+
+// startStats serves /stats and /healthz if configured.
+func (s *Server) startStats() {
+	if s.cfg.StatsAddr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.StatsSnapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	ln, err := net.Listen("tcp", s.cfg.StatsAddr)
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("hepccld: stats endpoint: %v", err)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.statsLn = ln
+	s.mu.Unlock()
+	s.statsSrv = &http.Server{Handler: mux}
+	go func() {
+		if err := s.statsSrv.Serve(ln); err != nil &&
+			!errors.Is(err, http.ErrServerClosed) && s.cfg.Logger != nil {
+			s.cfg.Logger.Printf("hepccld: stats endpoint: %v", err)
+		}
+	}()
+}
+
+// StatsAddr returns the stats endpoint's listen address, or nil when the
+// endpoint is disabled or not yet serving.
+func (s *Server) StatsAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.statsLn == nil {
+		return nil
+	}
+	return s.statsLn.Addr()
+}
+
+// startPeriodicLog emits the one-line summary every LogInterval.
+func (s *Server) startPeriodicLog() (stop func()) {
+	if s.cfg.LogInterval <= 0 || s.cfg.Logger == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(s.cfg.LogInterval)
+		defer tick.Stop()
+		var lastOut uint64
+		last := time.Now()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case now := <-tick.C:
+				snap := s.StatsSnapshot()
+				rate := float64(snap.EventsOut-lastOut) / now.Sub(last).Seconds()
+				s.cfg.Logger.Printf(
+					"hepccld: in=%d out=%d (%.0f ev/s) dropped=%d bad_pkts=%d skipped=%dB conns=%d hwm=%d p50=%dµs p99=%dµs",
+					snap.EventsIn, snap.EventsOut, rate, snap.Dropped,
+					snap.BadPackets, snap.SkippedBytes, snap.ConnsActive,
+					snap.QueueHWM, snap.Latency.P50Us, snap.Latency.P99Us)
+				lastOut = snap.EventsOut
+				last = now
+			}
+		}
+	}()
+	return func() { close(stopCh) }
+}

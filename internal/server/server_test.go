@@ -1,0 +1,536 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// testConfig is a cheap 1D pipeline: 4 ASICs, 4 samples — fast enough for
+// race-enabled runs.
+func testConfig() adapt.Config {
+	cfg := adapt.DefaultADAPT()
+	cfg.ASICs = 4
+	cfg.SamplesPerChannel = 4
+	return cfg
+}
+
+// startServer builds, serves on an ephemeral port, and tears down with t.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// makeEvents digitizes n tracker events for cfg.
+func makeEvents(t testing.TB, cfg adapt.Config, n int, seed uint64) [][]adapt.Packet {
+	t.Helper()
+	rng := detector.NewRNG(seed)
+	dig := detector.DefaultDigitizer()
+	dig.Samples = cfg.SamplesPerChannel
+	tracker := detector.DefaultTracker()
+	tracker.Channels = cfg.ASICs * adapt.ChannelsPerASIC
+	tracker.Threshold = 0
+	events := make([][]adapt.Packet, n)
+	for i := range events {
+		ev, err := adapt.GenerateEvent(tracker.Event(rng).Values, cfg.ASICs,
+			uint32(i), uint64(i), dig, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+// readAllRecords consumes downlink records until EOF.
+func readAllRecords(t testing.TB, r io.Reader) []adapt.EventRecord {
+	t.Helper()
+	var out []adapt.EventRecord
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return out
+			}
+			t.Fatalf("record header: %v", err)
+		}
+		n := int(binary.BigEndian.Uint32(hdr[4:]))
+		body := make([]byte, 8+22*n)
+		copy(body, hdr[:])
+		if _, err := io.ReadFull(r, body[8:]); err != nil {
+			t.Fatalf("record body: %v", err)
+		}
+		rec, err := adapt.UnmarshalEventRecord(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// sendEvents writes events over the wire and half-closes.
+func sendEvents(t testing.TB, nc net.Conn, events [][]adapt.Packet) {
+	t.Helper()
+	sw := adapt.NewStreamWriter(nc)
+	for _, ev := range events {
+		if err := sw.WriteEvent(ev); err != nil {
+			t.Errorf("write event: %v", err)
+			return
+		}
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{Pipeline: cfg, Workers: 2, QueueDepth: 16, Policy: PolicyBlock})
+	const conns, perConn = 3, 40
+	events := makeEvents(t, cfg, perConn, 99)
+
+	var wg sync.WaitGroup
+	recs := make([][]adapt.EventRecord, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer nc.Close()
+			go sendEvents(t, nc, events)
+			recs[c] = readAllRecords(t, nc)
+		}(c)
+	}
+	wg.Wait()
+
+	for c := 0; c < conns; c++ {
+		if len(recs[c]) != perConn {
+			t.Fatalf("conn %d: got %d records, want %d", c, len(recs[c]), perConn)
+		}
+		seen := make(map[uint32]bool)
+		for _, r := range recs[c] {
+			seen[r.Event] = true
+		}
+		for i := 0; i < perConn; i++ {
+			if !seen[uint32(i)] {
+				t.Fatalf("conn %d: missing record for event %d", c, i)
+			}
+		}
+	}
+	snap := s.StatsSnapshot()
+	if snap.EventsIn != conns*perConn || snap.EventsOut != conns*perConn {
+		t.Fatalf("stats in=%d out=%d, want %d", snap.EventsIn, snap.EventsOut, conns*perConn)
+	}
+	if snap.Dropped != 0 || snap.BadEvents != 0 || snap.ReadErrors != 0 {
+		t.Fatalf("unexpected failures in %+v", snap.CounterSnapshot)
+	}
+	if snap.Latency.Count != conns*perConn {
+		t.Fatalf("latency count %d, want %d", snap.Latency.Count, conns*perConn)
+	}
+}
+
+// TestServerRecordsMatchPipeline verifies the served records equal what a
+// local pipeline produces for the same packets.
+func TestServerRecordsMatchPipeline(t *testing.T) {
+	cfg := testConfig()
+	_, addr := startServer(t, Config{Pipeline: cfg, QueueDepth: 8, Policy: PolicyBlock})
+	events := makeEvents(t, cfg, 10, 7)
+
+	p, err := adapt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[uint32]adapt.EventRecord)
+	for _, ev := range events {
+		var rec adapt.EventRecord
+		if err := p.ServeEvent(ev, &rec); err != nil {
+			t.Fatal(err)
+		}
+		rec.Islands = append([]adapt.IslandRecord(nil), rec.Islands...)
+		want[rec.Event] = rec
+	}
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	go sendEvents(t, nc, events)
+	for _, got := range readAllRecords(t, nc) {
+		w, ok := want[got.Event]
+		if !ok {
+			t.Fatalf("unexpected event %d", got.Event)
+		}
+		if len(got.Islands) != len(w.Islands) {
+			t.Fatalf("event %d: %d islands, want %d", got.Event, len(got.Islands), len(w.Islands))
+		}
+		for i := range got.Islands {
+			if got.Islands[i] != w.Islands[i] {
+				t.Fatalf("event %d island %d: %+v, want %+v", got.Event, i, got.Islands[i], w.Islands[i])
+			}
+		}
+	}
+}
+
+func TestServerDropPolicy(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 1, Policy: PolicyDrop, PaceHardware: true,
+	})
+	const n = 60
+	events := makeEvents(t, cfg, n, 3)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	go sendEvents(t, nc, events)
+	recs := readAllRecords(t, nc)
+
+	snap := s.StatsSnapshot()
+	if snap.EventsIn != n {
+		t.Fatalf("events in %d, want %d", snap.EventsIn, n)
+	}
+	if snap.Dropped == 0 {
+		t.Fatal("burst into a depth-1 paced queue must drop events")
+	}
+	if snap.EventsOut+snap.Dropped+snap.BadEvents != n {
+		t.Fatalf("in=%d != out=%d + dropped=%d + bad=%d",
+			snap.EventsIn, snap.EventsOut, snap.Dropped, snap.BadEvents)
+	}
+	if uint64(len(recs)) != snap.EventsOut {
+		t.Fatalf("client got %d records, server says %d", len(recs), snap.EventsOut)
+	}
+}
+
+func TestServerBlockPolicy(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 1, Policy: PolicyBlock, PaceHardware: true,
+	})
+	const n = 30
+	events := makeEvents(t, cfg, n, 4)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	go sendEvents(t, nc, events)
+	recs := readAllRecords(t, nc)
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d (block policy must not lose events)", len(recs), n)
+	}
+	// One worker, one connection: FIFO order is preserved end to end.
+	for i, r := range recs {
+		if r.Event != uint32(i) {
+			t.Fatalf("record %d is event %d, want %d", i, r.Event, i)
+		}
+	}
+	if snap := s.StatsSnapshot(); snap.Dropped != 0 {
+		t.Fatalf("block policy dropped %d events", snap.Dropped)
+	}
+}
+
+// TestServerGracefulShutdownMidLoad drives continuous load from several
+// connections, shuts down mid-stream, and checks every accepted event is
+// accounted for. Run under -race this also exercises reader/worker/writer
+// teardown ordering.
+func TestServerGracefulShutdownMidLoad(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(Config{Pipeline: cfg, Workers: 2, QueueDepth: 8, Policy: PolicyBlock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+
+	const conns = 3
+	events := makeEvents(t, cfg, 50, 5)
+	received := make([]int, conns)
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer nc.Close()
+			go func() {
+				sw := adapt.NewStreamWriter(nc)
+				for i := 0; ; i++ {
+					if err := sw.WriteEvent(events[i%len(events)]); err != nil {
+						return // server went away mid-stream; expected
+					}
+				}
+			}()
+			var hdr [8]byte
+			for {
+				if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+					return
+				}
+				n := int(binary.BigEndian.Uint32(hdr[4:]))
+				if _, err := io.ReadFull(nc, make([]byte, 22*n)); err != nil {
+					return
+				}
+				received[c]++
+			}
+		}(c)
+	}
+
+	time.Sleep(100 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+	wg.Wait()
+
+	snap := s.StatsSnapshot()
+	if snap.EventsIn == 0 {
+		t.Fatal("no events processed before shutdown")
+	}
+	if snap.EventsOut+snap.Dropped+snap.BadEvents != snap.EventsIn {
+		t.Fatalf("in=%d != out=%d + dropped=%d + bad=%d",
+			snap.EventsIn, snap.EventsOut, snap.Dropped, snap.BadEvents)
+	}
+	var got uint64
+	for c := 0; c < conns; c++ {
+		got += uint64(received[c])
+	}
+	// Clients may have missed trailing responses if their conn died first,
+	// but can never see more than the server sent.
+	if got > snap.EventsOut {
+		t.Fatalf("clients saw %d records, server sent %d", got, snap.EventsOut)
+	}
+	if snap.ConnsActive != 0 {
+		t.Fatalf("%d connections still active after shutdown", snap.ConnsActive)
+	}
+}
+
+func TestServeAfterShutdown(t *testing.T) {
+	s, err := New(Config{Pipeline: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ListenAndServe("127.0.0.1:0"); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("got %v, want ErrServerClosed", err)
+	}
+}
+
+// TestServerBadInput feeds garbage, a corrupted frame, an interleaved event,
+// and then a valid event; the valid event must still be served and the
+// failure counters must reflect each fault.
+func TestServerBadInput(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{Pipeline: cfg, QueueDepth: 8, Policy: PolicyBlock})
+	events := makeEvents(t, cfg, 2, 11)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	// Link garbage before anything parses.
+	if _, err := nc.Write([]byte{0xde, 0xad, 0xbe, 0xef}); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted frame: valid start, flipped payload byte.
+	frame, err := events[0][0].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-3] ^= 0xFF
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// An interleaved event: first packet of event 0, then a packet of
+	// event 1 — assembly must fail without killing the connection.
+	sw := adapt.NewStreamWriter(nc)
+	if err := sw.WritePacket(&events[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WritePacket(&events[1][0]); err != nil {
+		t.Fatal(err)
+	}
+	// Now a complete, valid event.
+	if err := sw.WriteEvent(events[1]); err != nil {
+		t.Fatal(err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	recs := readAllRecords(t, nc)
+	if len(recs) != 1 || recs[0].Event != 1 {
+		t.Fatalf("got %d records %+v, want 1 record for event 1", len(recs), recs)
+	}
+	snap := s.StatsSnapshot()
+	if snap.SkippedBytes == 0 {
+		t.Fatal("garbage bytes not counted")
+	}
+	if snap.BadPackets == 0 {
+		t.Fatal("corrupted frame not counted")
+	}
+	if snap.IncompleteEvents == 0 {
+		t.Fatal("interleaved event not counted")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 8, Policy: PolicyBlock, StatsAddr: "127.0.0.1:0",
+	})
+	events := makeEvents(t, cfg, 5, 21)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	go sendEvents(t, nc, events)
+	if got := len(readAllRecords(t, nc)); got != 5 {
+		t.Fatalf("got %d records, want 5", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.StatsAddr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("stats endpoint never came up")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	base := "http://" + s.StatsAddr().String()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.EventsIn != 5 || snap.EventsOut != 5 {
+		t.Fatalf("endpoint reports in=%d out=%d, want 5", snap.EventsIn, snap.EventsOut)
+	}
+	if snap.Workers != 1 || snap.QueueDepth != 8 {
+		t.Fatalf("endpoint reports workers=%d depth=%d", snap.Workers, snap.QueueDepth)
+	}
+	hz, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", hz.StatusCode)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Pipeline: adapt.Config{}}); err == nil {
+		t.Fatal("zero pipeline config must fail")
+	}
+}
+
+func TestOverflowPolicyString(t *testing.T) {
+	if PolicyDrop.String() != "drop" || PolicyBlock.String() != "block" {
+		t.Fatalf("got %q, %q", PolicyDrop.String(), PolicyBlock.String())
+	}
+}
+
+func TestLatencyHistogram(t *testing.T) {
+	var h latencyHist
+	for us := uint64(0); us < 1<<20; us = us*2 + 1 {
+		b := bucketOf(us)
+		if b < 0 || b >= len(h.buckets) {
+			t.Fatalf("bucketOf(%d) = %d out of range", us, b)
+		}
+		if up := bucketUpper(b); us > up {
+			t.Fatalf("us %d above its bucket upper bound %d (bucket %d)", us, up, b)
+		}
+		if us >= 4 {
+			// Log-scale guarantee: the bound overestimates by < 25%.
+			if up := bucketUpper(b); float64(up) > float64(us)*1.25+1 {
+				t.Fatalf("bucketUpper(%d)=%d too loose for %d", b, up, us)
+			}
+		}
+	}
+	for _, ms := range []int{1, 1, 2, 2, 2, 3, 10, 50} {
+		h.observe(time.Duration(ms) * time.Millisecond)
+	}
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 > p99 {
+		t.Fatalf("p50 %d > p99 %d", p50, p99)
+	}
+	if p50 < 1000 || p50 > 3000 {
+		t.Fatalf("p50 %dµs implausible for samples around 2ms", p50)
+	}
+	if p99 < 10000 {
+		t.Fatalf("p99 %dµs must reflect the 50ms tail (>= max bucket of 10ms sample)", p99)
+	}
+}
+
+// TestQueueSharding checks round-robin placement over multiple workers.
+func TestQueueSharding(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{Pipeline: cfg, Workers: 3, QueueDepth: 4, Policy: PolicyBlock})
+	events := makeEvents(t, cfg, 9, 8)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	go sendEvents(t, nc, events)
+	if got := len(readAllRecords(t, nc)); got != 9 {
+		t.Fatalf("got %d records, want 9", got)
+	}
+	if snap := s.StatsSnapshot(); len(snap.QueueLens) != 3 {
+		t.Fatalf("expected 3 worker queues, got %d", len(snap.QueueLens))
+	}
+}

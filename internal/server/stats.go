@@ -1,0 +1,211 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHist is a lock-free log-scale histogram of event latencies
+// (assembly → response handoff). Each power-of-two octave of microseconds is
+// split into four sub-buckets, giving ~19% worst-case quantile error with a
+// fixed 256-counter footprint.
+type latencyHist struct {
+	buckets [256]atomic.Uint64
+	count   atomic.Uint64
+	sumUs   atomic.Uint64
+	maxUs   atomic.Uint64
+}
+
+// bucketOf maps a microsecond latency to its histogram bucket.
+func bucketOf(us uint64) int {
+	if us < 4 {
+		return int(us) // buckets 0..3 are exact
+	}
+	exp := bits.Len64(us) - 1        // top bit position, >= 2
+	sub := (us >> (exp - 2)) & 3     // next two bits
+	return int(4*(exp-1)) + int(sub) // 4 sub-buckets per octave
+}
+
+// bucketUpper returns the inclusive upper bound (µs) of a bucket.
+func bucketUpper(b int) uint64 {
+	if b < 4 {
+		return uint64(b)
+	}
+	exp := b/4 + 1
+	sub := uint64(b%4) + 1
+	return (1 << exp) + sub<<(exp-2) - 1
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	b := bucketOf(us)
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumUs.Add(us)
+	for {
+		old := h.maxUs.Load()
+		if us <= old || h.maxUs.CompareAndSwap(old, us) {
+			break
+		}
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th sample.
+func (h *latencyHist) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for b := range h.buckets {
+		cum += h.buckets[b].Load()
+		if cum > target {
+			return bucketUpper(b)
+		}
+	}
+	return h.maxUs.Load()
+}
+
+// counters is the shared shape of global and per-connection statistics.
+// All fields are atomic; each is updated by exactly one logical stage.
+type counters struct {
+	EventsIn         atomic.Uint64 // events fully assembled
+	EventsOut        atomic.Uint64 // responses handed to a writer
+	Dropped          atomic.Uint64 // lost to a full queue (or shutdown)
+	BadEvents        atomic.Uint64 // events the pipeline rejected
+	IncompleteEvents atomic.Uint64 // assembly failures (missing/interleaved)
+	BadPackets       atomic.Uint64 // frames failing validation
+	SkippedBytes     atomic.Uint64 // link garbage skipped while resyncing
+	BytesOut         atomic.Uint64 // response bytes written
+	ReadErrors       atomic.Uint64 // transport faults surfaced by readers
+}
+
+// Stats aggregates the server-wide counters and derived gauges.
+type Stats struct {
+	counters
+	ConnsTotal  atomic.Uint64
+	ConnsActive atomic.Int64
+	QueueHWM    atomic.Int64 // high-water mark across all shards
+	latency     latencyHist
+	start       time.Time
+}
+
+func (st *Stats) observeQueueDepth(depth int) {
+	d := int64(depth)
+	for {
+		old := st.QueueHWM.Load()
+		if d <= old || st.QueueHWM.CompareAndSwap(old, d) {
+			return
+		}
+	}
+}
+
+// LatencySnapshot summarizes the latency distribution in microseconds.
+type LatencySnapshot struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  uint64  `json:"p50_us"`
+	P90Us  uint64  `json:"p90_us"`
+	P99Us  uint64  `json:"p99_us"`
+	MaxUs  uint64  `json:"max_us"`
+}
+
+// CounterSnapshot is the JSON form of a counters block.
+type CounterSnapshot struct {
+	EventsIn         uint64 `json:"events_in"`
+	EventsOut        uint64 `json:"events_out"`
+	Dropped          uint64 `json:"dropped"`
+	BadEvents        uint64 `json:"bad_events"`
+	IncompleteEvents uint64 `json:"incomplete_events"`
+	BadPackets       uint64 `json:"bad_packets"`
+	SkippedBytes     uint64 `json:"skipped_bytes"`
+	BytesOut         uint64 `json:"bytes_out"`
+	ReadErrors       uint64 `json:"read_errors"`
+}
+
+func (c *counters) snapshot() CounterSnapshot {
+	return CounterSnapshot{
+		EventsIn:         c.EventsIn.Load(),
+		EventsOut:        c.EventsOut.Load(),
+		Dropped:          c.Dropped.Load(),
+		BadEvents:        c.BadEvents.Load(),
+		IncompleteEvents: c.IncompleteEvents.Load(),
+		BadPackets:       c.BadPackets.Load(),
+		SkippedBytes:     c.SkippedBytes.Load(),
+		BytesOut:         c.BytesOut.Load(),
+		ReadErrors:       c.ReadErrors.Load(),
+	}
+}
+
+// ConnSnapshot is one active connection's statistics.
+type ConnSnapshot struct {
+	ID     uint64 `json:"id"`
+	Remote string `json:"remote"`
+	CounterSnapshot
+}
+
+// Snapshot is the JSON document served by the stats endpoint.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ConnsActive   int64   `json:"conns_active"`
+	ConnsTotal    uint64  `json:"conns_total"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueLens     []int   `json:"queue_lens"`
+	QueueHWM      int64   `json:"queue_hwm"`
+	LossFraction  float64 `json:"loss_fraction"`
+	CounterSnapshot
+	Latency LatencySnapshot `json:"latency"`
+	Conns   []ConnSnapshot  `json:"conns"`
+}
+
+// StatsSnapshot returns a consistent-enough view of the server statistics.
+// Counters are read individually, so totals may be skewed by in-flight
+// events; the loss fraction is computed from the values read.
+func (s *Server) StatsSnapshot() Snapshot {
+	st := &s.stats
+	snap := Snapshot{
+		UptimeSeconds:   time.Since(st.start).Seconds(),
+		ConnsActive:     st.ConnsActive.Load(),
+		ConnsTotal:      st.ConnsTotal.Load(),
+		Workers:         len(s.queues),
+		QueueDepth:      s.cfg.QueueDepth,
+		QueueHWM:        st.QueueHWM.Load(),
+		CounterSnapshot: st.counters.snapshot(),
+	}
+	for _, q := range s.queues {
+		snap.QueueLens = append(snap.QueueLens, len(q))
+	}
+	if snap.EventsIn > 0 {
+		snap.LossFraction = float64(snap.Dropped) / float64(snap.EventsIn)
+	}
+	h := &st.latency
+	snap.Latency = LatencySnapshot{
+		Count: h.count.Load(),
+		P50Us: h.quantile(0.50),
+		P90Us: h.quantile(0.90),
+		P99Us: h.quantile(0.99),
+		MaxUs: h.maxUs.Load(),
+	}
+	if snap.Latency.Count > 0 {
+		snap.Latency.MeanUs = float64(h.sumUs.Load()) / float64(snap.Latency.Count)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		snap.Conns = append(snap.Conns, ConnSnapshot{
+			ID:              c.id,
+			Remote:          c.remote,
+			CounterSnapshot: c.stats.snapshot(),
+		})
+	}
+	s.mu.Unlock()
+	return snap
+}

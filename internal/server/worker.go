@@ -1,0 +1,65 @@
+package server
+
+import (
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// worker drains one derandomizer shard through its own calibrated pipeline.
+// Runs until the shard's queue is closed and empty (graceful drain).
+func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
+	defer s.workersWG.Done()
+	var rec adapt.EventRecord
+	var interval time.Duration
+	if s.cfg.PaceHardware {
+		// Serve no faster than the modeled FPGA pipeline: one event per
+		// EventIntervalCycles at the design clock. This makes the server's
+		// loss-vs-depth behaviour directly comparable to E14.
+		interval = time.Duration(float64(time.Second) / p.EventsPerSecond())
+	}
+	// Absolute service schedule: each event's service slot is one interval
+	// after the previous one. Short sleeps overshoot badly, so the worker
+	// sleeps only when the schedule runs ahead by more than sleepSlack and
+	// then serves the queued backlog back-to-back — exactly how a fixed-rate
+	// derandomizer drains. Slots are banked only while the queue is non-empty:
+	// a receive that had to wait means the queue went idle, and the schedule
+	// restarts from now.
+	const sleepSlack = 200 * time.Microsecond
+	var due time.Time
+	idle := time.Now()
+	for ev := range queue {
+		if interval > 0 {
+			now := time.Now()
+			if now.Sub(idle) > 20*time.Microsecond {
+				due = now // queue was empty; unused slots are not banked
+			}
+			if wait := due.Sub(now); wait > sleepSlack {
+				time.Sleep(wait)
+			}
+			due = due.Add(interval)
+		}
+		var err error
+		if s.cfg.FullPipeline {
+			var res *adapt.EventResult
+			if res, err = p.ProcessEvent(ev.packets); err == nil {
+				rec = adapt.RecordOf(res)
+			}
+		} else {
+			err = p.ServeEvent(ev.packets, &rec)
+		}
+		if err != nil {
+			ev.c.stats.BadEvents.Add(1)
+			s.stats.BadEvents.Add(1)
+		} else {
+			buf := bufPool.Get().([]byte)
+			ev.c.respond(rec.AppendTo(buf[:0]))
+			ev.c.stats.EventsOut.Add(1)
+			s.stats.EventsOut.Add(1)
+		}
+		s.stats.latency.observe(time.Since(ev.enqueued))
+		ev.c.inflight.Done()
+		putEvent(ev)
+		idle = time.Now()
+	}
+}
