@@ -56,12 +56,34 @@ func run(args []string, out io.Writer) error {
 		calibration = fs.Int("calibration", 20, "pedestal calibration events per worker at startup")
 		seed        = fs.Uint64("seed", 1, "calibration workload seed")
 		logEvery    = fs.Duration("log-interval", 5*time.Second, "periodic stats log interval (0 disables)")
+
+		idleTimeout = fs.Duration("idle-timeout", 0,
+			"close connections idle between events for this long (0 disables)")
+		assemblyTimeout = fs.Duration("assembly-timeout", 0,
+			"bound on assembling one event once its first byte arrives (0 disables)")
+		breakerBad = fs.Int("breaker-bad-packets", 0,
+			"cut a connection after this many bad packets inside -breaker-window (0 disables)")
+		breakerWindow = fs.Duration("breaker-window", 0,
+			"sliding window for -breaker-bad-packets (0 uses the server default)")
+		degradedLoss = fs.Float64("degraded-loss", 0,
+			"recent loss fraction above which /healthz reports degraded (0 uses the default)")
+		overloadLoss = fs.Float64("overload-loss", 0,
+			"recent loss fraction above which /healthz reports overloaded, HTTP 503 (0 uses the default)")
+		degradedResync = fs.Float64("degraded-resync", 0,
+			"recent bad-packets-per-event fraction above which /healthz reports degraded (0 uses the default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := buildConfig(*configName, *samples, *workers, *queue, *policyName,
-		*paceHW, *full, *calibration, *seed)
+	cfg, err := buildConfig(daemonOpts{
+		config: *configName, samples: *samples, workers: *workers, queue: *queue,
+		policy: *policyName, paceHW: *paceHW, full: *full,
+		calibration: *calibration, seed: *seed,
+		idleTimeout: *idleTimeout, assemblyTimeout: *assemblyTimeout,
+		breakerBadPackets: *breakerBad, breakerWindow: *breakerWindow,
+		degradedLoss: *degradedLoss, overloadLoss: *overloadLoss,
+		degradedResync: *degradedResync,
+	})
 	if err != nil {
 		return err
 	}
@@ -94,42 +116,83 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// daemonOpts carries the resolved flag values buildConfig turns into a
+// server configuration.
+type daemonOpts struct {
+	config      string
+	samples     int
+	workers     int
+	queue       int
+	policy      string
+	paceHW      bool
+	full        bool
+	calibration int
+	seed        uint64
+
+	idleTimeout       time.Duration
+	assemblyTimeout   time.Duration
+	breakerBadPackets int
+	breakerWindow     time.Duration
+	degradedLoss      float64
+	overloadLoss      float64
+	degradedResync    float64
+}
+
 // buildConfig resolves flags into a server configuration.
-func buildConfig(configName string, samples, workers, queue int, policyName string,
-	paceHW, full bool, calibration int, seed uint64) (server.Config, error) {
+func buildConfig(o daemonOpts) (server.Config, error) {
 	var pcfg adapt.Config
-	switch configName {
+	switch o.config {
 	case "adapt":
 		pcfg = adapt.DefaultADAPT()
 	case "cta":
 		pcfg = adapt.DefaultCTA()
 	default:
-		return server.Config{}, fmt.Errorf("unknown -config %q", configName)
+		return server.Config{}, fmt.Errorf("unknown -config %q", o.config)
 	}
-	if samples > 0 {
-		pcfg.SamplesPerChannel = samples
+	if o.samples > 0 {
+		pcfg.SamplesPerChannel = o.samples
 	}
 	var policy server.OverflowPolicy
-	switch policyName {
+	switch o.policy {
 	case "drop":
 		policy = server.PolicyDrop
 	case "block":
 		policy = server.PolicyBlock
 	default:
-		return server.Config{}, fmt.Errorf("unknown -policy %q", policyName)
+		return server.Config{}, fmt.Errorf("unknown -policy %q", o.policy)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"-degraded-loss", o.degradedLoss},
+		{"-overload-loss", o.overloadLoss},
+		{"-degraded-resync", o.degradedResync},
+	} {
+		if p.v < 0 || p.v >= 1 {
+			return server.Config{}, fmt.Errorf("%s = %g outside [0, 1)", p.name, p.v)
+		}
 	}
 	cfg := server.Config{
 		Pipeline:     pcfg,
-		Workers:      workers,
-		QueueDepth:   queue,
+		Workers:      o.workers,
+		QueueDepth:   o.queue,
 		Policy:       policy,
-		PaceHardware: paceHW,
-		FullPipeline: full,
+		PaceHardware: o.paceHW,
+		FullPipeline: o.full,
+
+		IdleTimeout:        o.idleTimeout,
+		AssemblyTimeout:    o.assemblyTimeout,
+		BreakerBadPackets:  o.breakerBadPackets,
+		BreakerWindow:      o.breakerWindow,
+		DegradedLossRate:   o.degradedLoss,
+		OverloadLossRate:   o.overloadLoss,
+		DegradedResyncRate: o.degradedResync,
 	}
-	if calibration > 0 {
+	if o.calibration > 0 {
 		dig := detector.DefaultDigitizer()
 		dig.Samples = pcfg.SamplesPerChannel
-		cal, err := adapt.GeneratePedestalEvents(calibration, pcfg.ASICs, dig, detector.NewRNG(seed))
+		cal, err := adapt.GeneratePedestalEvents(o.calibration, pcfg.ASICs, dig, detector.NewRNG(o.seed))
 		if err != nil {
 			return server.Config{}, err
 		}

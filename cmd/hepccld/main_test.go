@@ -4,12 +4,16 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/server"
 )
 
 func TestBuildConfigCTA(t *testing.T) {
-	cfg, err := buildConfig("cta", 4, 2, 32, "drop", true, false, 10, 1)
+	cfg, err := buildConfig(daemonOpts{
+		config: "cta", samples: 4, workers: 2, queue: 32, policy: "drop",
+		paceHW: true, calibration: 10, seed: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +44,9 @@ func TestBuildConfigCTA(t *testing.T) {
 }
 
 func TestBuildConfigADAPTKeepsSamples(t *testing.T) {
-	cfg, err := buildConfig("adapt", 0, 1, 8, "block", false, true, 0, 1)
+	cfg, err := buildConfig(daemonOpts{
+		config: "adapt", workers: 1, queue: 8, policy: "block", full: true, seed: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +61,51 @@ func TestBuildConfigADAPTKeepsSamples(t *testing.T) {
 	}
 }
 
+// TestBuildConfigHardening: the fault-tolerance flags must flow through to
+// the server configuration verbatim.
+func TestBuildConfigHardening(t *testing.T) {
+	cfg, err := buildConfig(daemonOpts{
+		config: "adapt", workers: 1, queue: 8, policy: "drop", seed: 1,
+		idleTimeout:       90 * time.Second,
+		assemblyTimeout:   2 * time.Second,
+		breakerBadPackets: 512,
+		breakerWindow:     3 * time.Second,
+		degradedLoss:      0.02,
+		overloadLoss:      0.2,
+		degradedResync:    0.07,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.IdleTimeout != 90*time.Second || cfg.AssemblyTimeout != 2*time.Second {
+		t.Fatalf("timeouts = %v/%v", cfg.IdleTimeout, cfg.AssemblyTimeout)
+	}
+	if cfg.BreakerBadPackets != 512 || cfg.BreakerWindow != 3*time.Second {
+		t.Fatalf("breaker = %d/%v", cfg.BreakerBadPackets, cfg.BreakerWindow)
+	}
+	if cfg.DegradedLossRate != 0.02 || cfg.OverloadLossRate != 0.2 || cfg.DegradedResyncRate != 0.07 {
+		t.Fatalf("health thresholds = %g/%g/%g",
+			cfg.DegradedLossRate, cfg.OverloadLossRate, cfg.DegradedResyncRate)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}
+
 func TestBuildConfigErrors(t *testing.T) {
-	if _, err := buildConfig("nope", 4, 1, 8, "drop", false, false, 0, 1); err == nil ||
+	if _, err := buildConfig(daemonOpts{config: "nope", samples: 4, workers: 1, queue: 8, policy: "drop", seed: 1}); err == nil ||
 		!strings.Contains(err.Error(), "-config") {
 		t.Fatalf("bad config name: got %v", err)
 	}
-	if _, err := buildConfig("cta", 4, 1, 8, "spill", false, false, 0, 1); err == nil ||
+	if _, err := buildConfig(daemonOpts{config: "cta", samples: 4, workers: 1, queue: 8, policy: "spill", seed: 1}); err == nil ||
 		!strings.Contains(err.Error(), "-policy") {
 		t.Fatalf("bad policy name: got %v", err)
+	}
+	if _, err := buildConfig(daemonOpts{config: "cta", workers: 1, queue: 8, policy: "drop", overloadLoss: 1.5}); err == nil ||
+		!strings.Contains(err.Error(), "-overload-loss") {
+		t.Fatalf("out-of-range threshold: got %v", err)
 	}
 }
 
@@ -72,5 +115,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("unknown flag must fail")
+	}
+	if err := run([]string{"-degraded-loss", "2"}, io.Discard); err == nil {
+		t.Fatal("out-of-range health threshold must fail before listening")
 	}
 }

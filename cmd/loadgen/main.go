@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/chaos"
 	"github.com/wustl-adapt/hepccl/internal/detector"
 	"github.com/wustl-adapt/hepccl/internal/grid"
 )
@@ -44,6 +45,12 @@ type connResult struct {
 	received int
 	islands  int
 	err      error
+
+	// Fault accounting, populated on the chaos path.
+	corrupted   int // events with at least one injected frame fault
+	partials    int // events cut mid-assembly by a deliberate or real disconnect
+	reconnects  int // connections re-established after a cut
+	dialRetries int // extra dial attempts absorbed by backoff
 }
 
 func run(args []string, out io.Writer) error {
@@ -63,6 +70,14 @@ func run(args []string, out io.Writer) error {
 		burst      = fs.Duration("burst", 2*time.Millisecond, "pacing granularity: events due within this window are sent as one burst")
 		minRate    = fs.Float64("min-rate", 0, "fail unless the served rate reaches this many events/s")
 		statsURL   = fs.String("stats-url", "", "hepccld stats endpoint to fetch and print after the run")
+
+		corrupt = fs.Float64("corrupt", 0,
+			"per-frame fault probability, split evenly between bit flips and truncations")
+		disconnect = fs.Float64("disconnect", 0,
+			"per-event probability of cutting the connection mid-event and reconnecting")
+		faultSeed = fs.Uint64("fault-seed", 0, "fault-injection seed (0 derives from -seed)")
+		dialTries = fs.Int("dial-retries", 5,
+			"connection attempts per (re)connect, with exponential backoff and jitter")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,17 +85,31 @@ func run(args []string, out io.Writer) error {
 	if *events < 1 || *conns < 1 || *conns > *events {
 		return fmt.Errorf("need events >= conns >= 1 (got %d, %d)", *events, *conns)
 	}
+	if *corrupt < 0 || *corrupt >= 1 || *disconnect < 0 || *disconnect >= 1 {
+		return fmt.Errorf("-corrupt and -disconnect must be in [0, 1): got %g, %g", *corrupt, *disconnect)
+	}
+	if *dialTries < 1 {
+		return fmt.Errorf("-dial-retries must be >= 1, got %d", *dialTries)
+	}
+	if *faultSeed == 0 {
+		*faultSeed = *seed + 0xC4A05
+	}
+	useChaos := *corrupt > 0 || *disconnect > 0
 
 	cfg, err := pipelineConfig(*configName, *samples)
 	if err != nil {
 		return err
 	}
-	streams, wireBytes, err := digitizeTemplates(cfg, *templates, *seed)
+	templs, wireBytes, err := digitizeTemplates(cfg, *templates, *seed)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "loadgen: %d events to %s over %d conns, target %s (%s), %d B/event\n",
 		*events, *addr, *conns, rateName(*rate), arrivalName(*poisson), wireBytes)
+	if useChaos {
+		fmt.Fprintf(out, "chaos:   corrupt %.3g%%/frame, disconnect %.3g%%/event, fault seed %d\n",
+			100**corrupt, 100**disconnect, *faultSeed)
+	}
 
 	results := make([]connResult, *conns)
 	var wg sync.WaitGroup
@@ -99,8 +128,20 @@ func run(args []string, out io.Writer) error {
 			// Stagger the connections across the pacing window so their
 			// bursts interleave instead of hitting the daemon in lockstep.
 			phase := time.Duration(id) * *burst / time.Duration(*conns)
-			res, sd, rd := driveConn(*addr, streams, share, perConn, *poisson, phase,
-				detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst)
+			var res connResult
+			var sd, rd time.Duration
+			if useChaos {
+				res, sd, rd = driveChaosConn(*addr, templs, share, perConn, *poisson, phase,
+					detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst, chaosPlan{
+						corrupt:     *corrupt,
+						disconnect:  *disconnect,
+						seed:        *faultSeed + uint64(id),
+						dialRetries: *dialTries,
+					})
+			} else {
+				res, sd, rd = driveConn(*addr, templs, share, perConn, *poisson, phase,
+					detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst)
+			}
 			durMu.Lock()
 			if sd > sendDur {
 				sendDur = sd
@@ -120,6 +161,10 @@ func run(args []string, out io.Writer) error {
 		total.sent += r.sent
 		total.received += r.received
 		total.islands += r.islands
+		total.corrupted += r.corrupted
+		total.partials += r.partials
+		total.reconnects += r.reconnects
+		total.dialRetries += r.dialRetries
 		if r.err != nil && total.err == nil {
 			total.err = fmt.Errorf("conn %d: %w", i, r.err)
 		}
@@ -133,6 +178,13 @@ func run(args []string, out io.Writer) error {
 		total.received, total.islands, recvDur.Seconds(), served)
 	fmt.Fprintf(out, "lost     %d events (%.3f%%), wall %.2fs\n",
 		lost, 100*float64(lost)/float64(total.sent), wall.Seconds())
+	if useChaos {
+		// Under clean-kill faults every lost event has exactly one cause, so
+		// this line lets the operator check lost == corrupted + partials.
+		fmt.Fprintf(out, "faults   %d corrupted + %d partials = %d explained, %d reconnects (%d dial retries)\n",
+			total.corrupted, total.partials, total.corrupted+total.partials,
+			total.reconnects, total.dialRetries)
+	}
 	if total.err != nil {
 		return total.err
 	}
@@ -177,32 +229,47 @@ func pipelineConfig(name string, samples int) (adapt.Config, error) {
 	return cfg, nil
 }
 
+// template is one pre-serialized detector event. stream is the whole event's
+// wire image (the zero-copy fast path); frames are its per-packet subslices,
+// which the chaos path needs to aim faults at frame boundaries.
+type template struct {
+	stream []byte
+	frames [][]byte
+}
+
 // digitizeTemplates pre-serializes n distinct detector events so the send
 // loop costs only socket writes. Event ids cycle 0..n-1.
-func digitizeTemplates(cfg adapt.Config, n int, seed uint64) ([][]byte, int, error) {
+func digitizeTemplates(cfg adapt.Config, n int, seed uint64) ([]template, int, error) {
 	rng := detector.NewRNG(seed)
 	dig := detector.DefaultDigitizer()
 	dig.Samples = cfg.SamplesPerChannel
-	streams := make([][]byte, n)
+	templs := make([]template, n)
 	wire := 0
-	for i := range streams {
+	for i := range templs {
 		truth := makeTruth(cfg, rng)
 		packets, err := adapt.GenerateEvent(truth, cfg.ASICs, uint32(i), uint64(i)*1000, dig, rng)
 		if err != nil {
 			return nil, 0, err
 		}
 		var buf []byte
+		offsets := make([]int, 0, len(packets)+1)
 		for p := range packets {
+			offsets = append(offsets, len(buf))
 			b, err := packets[p].Marshal()
 			if err != nil {
 				return nil, 0, err
 			}
 			buf = append(buf, b...)
 		}
-		streams[i] = buf
+		offsets = append(offsets, len(buf))
+		frames := make([][]byte, len(packets))
+		for p := range frames {
+			frames[p] = buf[offsets[p]:offsets[p+1]]
+		}
+		templs[i] = template{stream: buf, frames: frames}
 		wire = len(buf)
 	}
-	return streams, wire, nil
+	return templs, wire, nil
 }
 
 // makeTruth builds one event's true photo-electron image.
@@ -225,7 +292,7 @@ func makeTruth(cfg adapt.Config, rng *detector.RNG) []grid.Value {
 // driveConn sends `share` events down one connection at perConn events/s
 // (shifted by phase) and reads downlink records until the server closes the
 // stream.
-func driveConn(addr string, streams [][]byte, share int, perConn float64,
+func driveConn(addr string, templs []template, share int, perConn float64,
 	poisson bool, phase time.Duration, rng *detector.RNG,
 	timeout, burst time.Duration) (connResult, time.Duration, time.Duration) {
 	var res connResult
@@ -281,7 +348,7 @@ func driveConn(addr string, streams [][]byte, share int, perConn float64,
 					time.Sleep(sleep)
 				}
 			}
-			batch = append(batch, streams[i%len(streams)])
+			batch = append(batch, templs[i%len(templs)].stream)
 			if len(batch) == cap(batch) {
 				if err := flush(); err != nil {
 					writeErr <- fmt.Errorf("write event %d: %w", i, err)
@@ -298,6 +365,191 @@ func driveConn(addr string, streams [][]byte, share int, perConn float64,
 		res.err = werr
 	}
 	return res, sendDur, recvDur
+}
+
+// chaosPlan configures the fault-injecting drive path of one connection.
+type chaosPlan struct {
+	corrupt     float64 // per-frame fault probability (half flips, half truncations)
+	disconnect  float64 // per-event probability of a deliberate mid-event cut
+	seed        uint64  // frame-injector seed (distinct per connection)
+	dialRetries int     // dial attempts per (re)connect
+}
+
+// dialRetry dials with exponential backoff plus jitter, as a field client
+// facing a daemon that may be restarting would. It returns the connection and
+// how many extra attempts the backoff absorbed.
+func dialRetry(addr string, timeout time.Duration, rng *detector.RNG, attempts int) (net.Conn, int, error) {
+	backoff := 10 * time.Millisecond
+	for try := 0; ; try++ {
+		nc, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return nc, try, nil
+		}
+		if try+1 >= attempts {
+			return nil, try, fmt.Errorf("dial after %d attempts: %w", try+1, err)
+		}
+		// Full jitter in [backoff/2, 3*backoff/2): staggered retries avoid a
+		// reconnect stampede when every connection lost the daemon at once.
+		time.Sleep(backoff/2 + time.Duration(rng.Float64()*float64(backoff)))
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+// driveChaosConn is driveConn's fault-injecting sibling: it paces the same
+// workload but writes frame by frame through a chaos.FrameInjector, cuts the
+// connection mid-event with the configured probability, and reconnects with
+// backoff. Each connection segment gets its own record-reader goroutine so
+// responses to in-flight events are still counted after a cut.
+func driveChaosConn(addr string, templs []template, share int, perConn float64,
+	poisson bool, phase time.Duration, rng *detector.RNG,
+	timeout, burst time.Duration, plan chaosPlan) (connResult, time.Duration, time.Duration) {
+	var res connResult
+	start := time.Now()
+
+	// Private frame copies: event ids are patched in place per event, and the
+	// templates are shared across connection goroutines.
+	frames := make([][][]byte, len(templs))
+	for i, tp := range templs {
+		cp := make([][]byte, len(tp.frames))
+		for j, f := range tp.frames {
+			cp[j] = append([]byte(nil), f...)
+		}
+		frames[i] = cp
+	}
+	inj := chaos.NewFrameInjector(chaos.FrameConfig{
+		Seed:     plan.seed,
+		BitFlip:  plan.corrupt / 2,
+		Truncate: plan.corrupt / 2,
+	})
+
+	// One reader goroutine per connection segment; all are joined at the end
+	// so records that arrive after a cut still count.
+	type segResult struct {
+		records, islands int
+		err              error
+	}
+	var segs []chan segResult
+	connect := func() (net.Conn, error) {
+		nc, retries, err := dialRetry(addr, timeout, rng, plan.dialRetries)
+		res.dialRetries += retries
+		if err != nil {
+			return nil, err
+		}
+		done := make(chan segResult, 1)
+		segs = append(segs, done)
+		go func() {
+			r, n, err := readRecords(nc, timeout)
+			nc.Close()
+			done <- segResult{r, n, err}
+		}()
+		return nc, nil
+	}
+	finish := func(sendDur time.Duration) (connResult, time.Duration, time.Duration) {
+		for _, done := range segs {
+			sr := <-done
+			res.received += sr.records
+			res.islands += sr.islands
+			if sr.err != nil && res.err == nil {
+				res.err = sr.err
+			}
+		}
+		return res, sendDur, time.Since(start)
+	}
+	halfClose := func(nc net.Conn) {
+		// A clean FIN lets buffered packets arrive before the server sees EOF.
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		} else {
+			nc.Close()
+		}
+	}
+
+	nc, err := connect()
+	if err != nil {
+		res.err = err
+		return finish(time.Since(start))
+	}
+
+	ahead := phase
+	for i := 0; i < share; i++ {
+		if perConn > 0 {
+			if poisson {
+				ahead += time.Duration(rng.Exp(1/perConn) * float64(time.Second))
+			} else {
+				ahead = phase + time.Duration(float64(i)/perConn*float64(time.Second))
+			}
+			if sleep := ahead - time.Since(start); sleep > burst {
+				time.Sleep(sleep)
+			}
+		}
+		ev := frames[i%len(frames)]
+		for _, f := range ev {
+			if err := adapt.PatchFrameEventID(f, uint32(i)); err != nil {
+				res.err = err
+				return finish(time.Since(start))
+			}
+		}
+		res.sent++
+		nc.SetWriteDeadline(time.Now().Add(timeout))
+
+		if plan.disconnect > 0 && rng.Float64() < plan.disconnect {
+			// Deliberate mid-event cut: at least one full frame, never all.
+			k := 1
+			if len(ev) > 1 {
+				k += rng.Intn(len(ev) - 1)
+			}
+			for j := 0; j < k; j++ {
+				if _, err := nc.Write(ev[j]); err != nil {
+					break // the cut was coming anyway
+				}
+			}
+			halfClose(nc)
+			res.partials++
+			res.reconnects++
+			if nc, err = connect(); err != nil {
+				res.err = err
+				return finish(time.Since(start))
+			}
+			continue
+		}
+
+		hit := false
+		var werr error
+	frameLoop:
+		for _, f := range ev {
+			chunks, fault := inj.Mutate(f)
+			if fault != chaos.FaultNone {
+				hit = true
+			}
+			for _, c := range chunks {
+				if _, err := nc.Write(c); err != nil {
+					werr = err
+					break frameLoop
+				}
+			}
+		}
+		if hit {
+			res.corrupted++
+		}
+		if werr != nil {
+			// Unplanned loss (e.g. the server cut us): the event is partial
+			// unless a fault already killed it; reconnect and press on.
+			if !hit {
+				res.partials++
+			}
+			res.reconnects++
+			nc.Close()
+			if nc, err = connect(); err != nil {
+				res.err = err
+				return finish(time.Since(start))
+			}
+		}
+	}
+	sendDur := time.Since(start)
+	halfClose(nc)
+	return finish(sendDur)
 }
 
 // readRecords consumes downlink records until EOF, returning counts.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"io"
 	"net"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/detector"
 	"github.com/wustl-adapt/hepccl/internal/server"
 )
 
@@ -42,15 +44,25 @@ func TestDigitizeTemplatesRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 3
-	streams, wire, err := digitizeTemplates(cfg, n, 1)
+	templs, wire, err := digitizeTemplates(cfg, n, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, stream := range streams {
-		if len(stream) != wire {
-			t.Fatalf("template %d is %d bytes, reported %d", i, len(stream), wire)
+	for i, tp := range templs {
+		if len(tp.stream) != wire {
+			t.Fatalf("template %d is %d bytes, reported %d", i, len(tp.stream), wire)
 		}
-		sr := adapt.NewStreamReader(bytes.NewReader(stream))
+		if len(tp.frames) != cfg.ASICs {
+			t.Fatalf("template %d has %d frames, want %d", i, len(tp.frames), cfg.ASICs)
+		}
+		total := 0
+		for _, f := range tp.frames {
+			total += len(f)
+		}
+		if total != len(tp.stream) {
+			t.Fatalf("template %d frames cover %d of %d bytes", i, total, len(tp.stream))
+		}
+		sr := adapt.NewStreamReader(bytes.NewReader(tp.stream))
 		packets, err := sr.ReadEvent(cfg.ASICs)
 		if err != nil {
 			t.Fatalf("template %d: %v", i, err)
@@ -111,6 +123,53 @@ func TestRunRejectsBadArgs(t *testing.T) {
 	if err := run([]string{"-bogus"}, io.Discard); err == nil {
 		t.Fatal("unknown flag must fail")
 	}
+	if err := run([]string{"-corrupt", "1.5"}, io.Discard); err == nil {
+		t.Fatal("corrupt probability >= 1 must fail")
+	}
+	if err := run([]string{"-disconnect", "-0.1"}, io.Discard); err == nil {
+		t.Fatal("negative disconnect probability must fail")
+	}
+	if err := run([]string{"-dial-retries", "0"}, io.Discard); err == nil {
+		t.Fatal("zero dial retries must fail")
+	}
+}
+
+// TestDialRetryBacksOff: a dead address burns through the attempt budget with
+// sleeps in between; a live address succeeds immediately with zero retries.
+func TestDialRetryBacksOff(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // now guaranteed dead
+
+	rng := detector.NewRNG(1)
+	start := time.Now()
+	if _, retries, err := dialRetry(addr, time.Second, rng, 3); err == nil {
+		t.Fatal("dialing a closed port must eventually fail")
+	} else if retries != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", retries)
+	}
+	// Two backoff sleeps: >= 10/2 + 20/2 ms even with minimal jitter.
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("3 attempts finished in %v; backoff sleeps missing", elapsed)
+	}
+
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go ln2.Accept()
+	nc, retries, err := dialRetry(ln2.Addr().String(), time.Second, rng, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+	if retries != 0 {
+		t.Fatalf("live address took %d retries", retries)
+	}
 }
 
 // TestLoadgenEndToEnd runs the generator against an in-process daemon with
@@ -161,5 +220,71 @@ func TestLoadgenEndToEnd(t *testing.T) {
 	if snap.EventsIn != 60 || snap.EventsOut != 60 || snap.Dropped != 0 {
 		t.Fatalf("server counted in=%d out=%d dropped=%d, want 60/60/0",
 			snap.EventsIn, snap.EventsOut, snap.Dropped)
+	}
+}
+
+// TestLoadgenChaosAccounting runs the fault-injecting path against an
+// in-process daemon and balances the books: with clean-kill faults and the
+// blocking policy, every offered event is either served or incomplete, and
+// the incomplete count equals the generator's corrupted + partial tally.
+func TestLoadgenChaosAccounting(t *testing.T) {
+	pcfg, err := pipelineConfig("adapt", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Pipeline:   pcfg,
+		Workers:    1,
+		QueueDepth: 8,
+		Policy:     server.PolicyBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+		<-done
+	})
+
+	const offered = 400
+	var out bytes.Buffer
+	err = run([]string{
+		"-addr", ln.Addr().String(),
+		"-config", "adapt", "-samples", "4",
+		"-events", "400", "-conns", "2", "-rate", "0",
+		"-templates", "4", "-timeout", "10s",
+		"-corrupt", "0.01", "-disconnect", "0.05", "-fault-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "faults   ") {
+		t.Fatalf("chaos run must report a fault summary:\n%s", out.String())
+	}
+	snap := srv.StatsSnapshot()
+	if snap.EventsIn != snap.EventsOut || snap.Dropped != 0 || snap.BadEvents != 0 {
+		t.Fatalf("block policy must serve everything assembled: %+v", snap.CounterSnapshot)
+	}
+	if got := snap.EventsOut + snap.IncompleteEvents; got != offered {
+		t.Fatalf("served %d + incomplete %d = %d, want every offered event (%d)\n%s",
+			snap.EventsOut, snap.IncompleteEvents, got, offered, out.String())
+	}
+	if snap.IncompleteEvents == 0 {
+		t.Fatalf("seed 7 at these probabilities must kill at least one event:\n%s", out.String())
+	}
+	// The generator's own books must agree with the server's.
+	lost := offered - int(snap.EventsOut)
+	if want := fmt.Sprintf("= %d explained", lost); !strings.Contains(out.String(), want) {
+		t.Fatalf("fault summary does not explain the %d lost events:\n%s", lost, out.String())
 	}
 }

@@ -2,6 +2,7 @@ package adapt
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -41,6 +42,77 @@ func FuzzStreamReader(f *testing.F) {
 			if _, err := q.Unmarshal(re); err != nil {
 				t.Fatalf("returned packet does not re-validate: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzStreamReaderResync is the resynchronization contract under arbitrary
+// link corruption: the reader never panics, never iterates without consuming
+// input (progress), and its skipped-byte accounting is exact — at clean EOF
+// every input byte is either part of a returned packet or counted in
+// SkippedBytes, so a server can account for all traffic on a hostile link.
+func FuzzStreamReaderResync(f *testing.F) {
+	var p Packet
+	p.Header = Header{ASIC: 0, Event: 7, SamplesPerChannel: 1}
+	for ch := 0; ch < ChannelsPerASIC; ch++ {
+		p.Samples[ch] = []int32{100}
+	}
+	frame, err := p.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	corrupt := append([]byte(nil), frame...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	f.Add(append(append([]byte{0xA1, 0xFA, 0x00}, corrupt...), frame...))
+	f.Add(append(append([]byte(nil), frame...), frame[:9]...))
+	f.Add(bytes.Repeat([]byte{0xA1}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// minWire is the smallest valid frame (SamplesPerChannel = 0), hence
+		// the strongest bound on how many packets the input can contain.
+		const minWire = headerBytes + 2
+		maxIters := len(data)/minWire + 2
+
+		// Phase 1: packet scanning with exact byte accounting.
+		sr := NewStreamReader(bytes.NewReader(data))
+		consumed := 0
+		iters := 0
+		for {
+			pkt, err := sr.ReadPacket()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("non-EOF error from an in-memory stream: %v", err)
+			}
+			if iters++; iters > maxIters {
+				t.Fatalf("no progress: %d packets from %d bytes", iters, len(data))
+			}
+			consumed += pkt.WireSize()
+		}
+		if consumed+sr.SkippedBytes != len(data) {
+			t.Fatalf("accounting: %d consumed + %d skipped != %d input bytes",
+				consumed, sr.SkippedBytes, len(data))
+		}
+
+		// Phase 2: event assembly over the same bytes must also terminate
+		// with bounded iterations and without panicking.
+		sr = NewStreamReader(bytes.NewReader(data))
+		var dst []Packet
+		for iters = 0; ; iters++ {
+			if iters > maxIters {
+				t.Fatalf("event assembly made no progress on %d bytes", len(data))
+			}
+			got, err := sr.ReadEventInto(dst, 3)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrIncompleteEvent) {
+					t.Fatalf("unexpected assembly error kind: %v", err)
+				}
+				continue
+			}
+			dst = got
 		}
 	})
 }

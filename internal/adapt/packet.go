@@ -144,6 +144,18 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 	return total, nil
 }
 
+// PatchFrameEventID rewrites the event-id field of a marshaled frame in
+// place and refolds the trailing checksum, so load generators can reuse one
+// serialized event instead of re-marshaling per event id.
+func PatchFrameEventID(frame []byte, event uint32) error {
+	if len(frame) < headerBytes+2 {
+		return fmt.Errorf("adapt: frame too short to patch (%d bytes)", len(frame))
+	}
+	binary.BigEndian.PutUint32(frame[4:], event)
+	binary.BigEndian.PutUint16(frame[len(frame)-2:], checksum(frame[:len(frame)-2]))
+	return nil
+}
+
 // checksum is a 16-bit additive checksum (ones'-complement style sum of
 // 16-bit words, with a trailing odd byte zero-padded). The hot loop folds
 // eight bytes per iteration; a uint64 accumulator cannot overflow below

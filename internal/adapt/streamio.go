@@ -62,11 +62,22 @@ type StreamReader struct {
 	pending []byte
 	off     int // consumed prefix of pending
 	frame   []byte
+	// held retains a valid packet that interrupted an event assembly (it
+	// belongs to a later event); the next assembly starts from it instead of
+	// re-reading the wire, so one lost packet costs exactly one event.
+	held    Packet
+	hasHeld bool
 	// SkippedBytes counts bytes discarded while searching for a valid
 	// packet (link noise, corrupted frames).
 	SkippedBytes int
 	// BadPackets counts frames that had a magic word but failed validation.
 	BadPackets int
+	// BadPacketBudget, when positive, bounds how many corrupted frames one
+	// ReadPacket call will hunt past before returning ErrResyncStorm. Zero
+	// hunts until a valid packet or end of stream. The error is recoverable
+	// — a later call resumes the hunt — but it returns control to the
+	// caller, which a pure-garbage link would otherwise never do.
+	BadPacketBudget int
 }
 
 // NewStreamReader returns a reader over r.
@@ -80,6 +91,7 @@ func (sr *StreamReader) Reset(r io.Reader) {
 	sr.r.Reset(r)
 	sr.pending = sr.pending[:0]
 	sr.off = 0
+	sr.hasHeld = false
 	sr.SkippedBytes = 0
 	sr.BadPackets = 0
 }
@@ -191,6 +203,7 @@ func (sr *StreamReader) ReadPacket() (*Packet, error) {
 // parsed samples alias p's previous backing arrays; callers that retain
 // packets across calls must use distinct Packet values.
 func (sr *StreamReader) ReadPacketInto(p *Packet) error {
+	bad := 0
 	for {
 		// Hunt for the magic word.
 		b0, err := sr.readByte()
@@ -247,6 +260,9 @@ func (sr *StreamReader) ReadPacketInto(p *Packet) error {
 			sr.BadPackets++
 			sr.pushBack(frame[2:])
 			sr.SkippedBytes += 2
+			if bad++; sr.BadPacketBudget > 0 && bad >= sr.BadPacketBudget {
+				return fmt.Errorf("%w: %d corrupted frames in one read", ErrResyncStorm, bad)
+			}
 			continue
 		}
 		return nil
@@ -257,6 +273,11 @@ func (sr *StreamReader) ReadPacketInto(p *Packet) error {
 // the stream ended or packets were missing.
 var ErrIncompleteEvent = errors.New("adapt: incomplete event")
 
+// ErrResyncStorm is returned when a read exhausts StreamReader.
+// BadPacketBudget without finding a valid packet. The stream is still
+// usable; the caller decides whether to keep hunting or cut the link.
+var ErrResyncStorm = errors.New("adapt: resync storm")
+
 // ReadEvent collects the next `asics` packets that share one event id.
 // Packets from other events encountered mid-assembly are an error (the
 // readout interleaves per event).
@@ -266,6 +287,13 @@ func (sr *StreamReader) ReadEvent(asics int) ([]Packet, error) {
 
 // ReadEventInto is ReadEvent with storage reuse: dst's backing array (and the
 // sample arrays of the packets it holds) are recycled when capacity allows.
+//
+// When assembly is interrupted by a valid packet carrying a different event
+// id, ErrIncompleteEvent is returned and that packet is retained: the next
+// call starts the new assembly from it. This bounds the damage of a lost or
+// corrupted packet to exactly one event — without retention the interrupting
+// packet would be consumed and every subsequent event would lose its first
+// packet in turn, an unbounded resync cascade.
 func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error) {
 	if asics < 1 {
 		return nil, fmt.Errorf("adapt: ReadEvent needs asics >= 1")
@@ -274,7 +302,10 @@ func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error)
 		dst = make([]Packet, asics)
 	}
 	dst = dst[:asics]
-	if err := sr.ReadPacketInto(&dst[0]); err != nil {
+	if sr.hasHeld {
+		dst[0], sr.held = sr.held, dst[0]
+		sr.hasHeld = false
+	} else if err := sr.ReadPacketInto(&dst[0]); err != nil {
 		return nil, err
 	}
 	for i := 1; i < asics; i++ {
@@ -287,8 +318,12 @@ func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error)
 				ErrIncompleteEvent, i, asics, dst[0].Event, err)
 		}
 		if dst[i].Event != dst[0].Event {
+			// Keep the interrupting packet (swap storage, don't copy) so the
+			// next assembly resumes from it.
+			sr.held, dst[i] = dst[i], sr.held
+			sr.hasHeld = true
 			return nil, fmt.Errorf("%w: event %d interrupted by packet from event %d",
-				ErrIncompleteEvent, dst[0].Event, dst[i].Event)
+				ErrIncompleteEvent, dst[0].Event, sr.held.Event)
 		}
 	}
 	return dst, nil

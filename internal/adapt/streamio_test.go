@@ -176,6 +176,65 @@ func TestReadEventIncomplete(t *testing.T) {
 	}
 }
 
+// TestReadEventResyncAfterLostPacket: a lost packet must cost exactly one
+// event. The packet that interrupts the broken assembly belongs to the next
+// event and must be retained as that event's first packet — without
+// retention, every later event would lose its first packet in turn.
+func TestReadEventResyncAfterLostPacket(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	ev0 := makePackets(t, 3, 0)
+	ev1 := makePackets(t, 3, 1)
+	ev2 := makePackets(t, 3, 2)
+	sw.WritePacket(&ev0[0]) // rest of event 0 lost on the link
+	if err := sw.WriteEvent(ev1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteEvent(ev2); err != nil {
+		t.Fatal(err)
+	}
+	sr := NewStreamReader(&buf)
+	if _, err := sr.ReadEvent(3); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent for the broken event, got %v", err)
+	}
+	var dst []Packet
+	for want := uint32(1); want <= 2; want++ {
+		got, err := sr.ReadEventInto(dst, 3)
+		if err != nil {
+			t.Fatalf("event %d must survive the resync: %v", want, err)
+		}
+		if got[0].Event != want || got[0].ASIC != 0 || got[1].ASIC != 1 || got[2].ASIC != 2 {
+			t.Fatalf("event %d reassembled wrong: id=%d asics=%d,%d,%d",
+				want, got[0].Event, got[0].ASIC, got[1].ASIC, got[2].ASIC)
+		}
+		dst = got
+	}
+	if _, err := sr.ReadEvent(3); err != io.EOF {
+		t.Fatalf("want clean EOF after resync, got %v", err)
+	}
+}
+
+// TestReadEventHeldPacketFlushedAtEOF: a retained interrupting packet at the
+// end of the stream surfaces as one final incomplete event, then clean EOF.
+func TestReadEventHeldPacketFlushedAtEOF(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	ev0 := makePackets(t, 3, 0)
+	ev1 := makePackets(t, 3, 1)
+	sw.WritePacket(&ev0[0])
+	sw.WritePacket(&ev1[0]) // interrupts event 0, then the stream ends
+	sr := NewStreamReader(&buf)
+	if _, err := sr.ReadEvent(3); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent, got %v", err)
+	}
+	if _, err := sr.ReadEvent(3); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("held packet must flush as an incomplete event, got %v", err)
+	}
+	if _, err := sr.ReadEvent(3); err != io.EOF {
+		t.Fatalf("want clean EOF, got %v", err)
+	}
+}
+
 // Property: any packet sequence round-trips through the stream, even with
 // random garbage injected between packets.
 func TestStreamRoundTripProperty(t *testing.T) {
@@ -216,5 +275,55 @@ func TestStreamRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBadPacketBudgetSurfacesStorm: with a budget set, a garbage-only stream
+// returns ErrResyncStorm instead of hunting to EOF, and the stream stays
+// usable afterwards.
+func TestBadPacketBudgetSurfacesStorm(t *testing.T) {
+	good := makePackets(t, 1, 9)[0]
+	frame, err := good.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-3] ^= 0xFF
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		buf.Write(bad)
+	}
+	buf.Write(frame)
+
+	sr := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	sr.BadPacketBudget = 4
+	var p Packet
+	storms := 0
+	for {
+		err := sr.ReadPacketInto(&p)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrResyncStorm) {
+			t.Fatalf("got %v, want ErrResyncStorm", err)
+		}
+		storms++
+		if storms > 10 {
+			t.Fatal("storm error loops without progress")
+		}
+	}
+	if p.Event != 9 {
+		t.Fatalf("recovered event %d, want 9", p.Event)
+	}
+	if storms == 0 {
+		t.Fatal("budget of 4 over 10 bad frames must surface at least one storm")
+	}
+	if sr.BadPackets != 10 {
+		t.Fatalf("BadPackets = %d, want 10", sr.BadPackets)
+	}
+	// Unlimited budget: same stream, no storm errors.
+	sr2 := NewStreamReader(bytes.NewReader(buf.Bytes()))
+	if err := sr2.ReadPacketInto(&p); err != nil {
+		t.Fatalf("unlimited budget errored: %v", err)
 	}
 }

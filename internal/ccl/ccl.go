@@ -101,10 +101,22 @@ func Label(g *grid.Grid, opt Options) (*Result, error) {
 	}
 	mt.Resolve()
 
-	// Final label output (§4.4): index the resolved merge table directly
-	// with each provisional label; no second scan of the pixel data.
-	final := grid.NewLabels(g.Rows(), g.Cols())
-	for i, n := 0, g.Pixels(); i < n; i++ {
+	final, islands := finalize(prov, mt, opt)
+	return &Result{
+		Labels:      final,
+		Provisional: prov,
+		MergeTable:  mt,
+		Groups:      mt.Len(),
+		Islands:     islands,
+	}, nil
+}
+
+// finalize produces the final label output (§4.4) from a resolved merge
+// table: index the table directly with each provisional label; no second scan
+// of the pixel data. Shared by Label and Result.Repair.
+func finalize(prov *grid.Labels, mt *MergeTable, opt Options) (*grid.Labels, int) {
+	final := grid.NewLabels(prov.Rows(), prov.Cols())
+	for i, n := 0, prov.Pixels(); i < n; i++ {
 		final.SetFlat(i, mt.Lookup(prov.AtFlat(i)))
 	}
 	islands := len(mt.Roots())
@@ -117,13 +129,7 @@ func Label(g *grid.Grid, opt Options) (*Result, error) {
 	if opt.CompactLabels {
 		islands = final.Compact()
 	}
-	return &Result{
-		Labels:      final,
-		Provisional: prov,
-		MergeTable:  mt,
-		Groups:      mt.Len(),
-		Islands:     islands,
-	}, nil
+	return final, islands
 }
 
 // scan performs the first pass: raster order, provisional labels, merge-table

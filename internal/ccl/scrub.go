@@ -1,0 +1,139 @@
+package ccl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// This file models single-event-upset (SEU) tolerance for the merge table.
+// On the instrument the table lives in BRAM inside a radiation environment; a
+// particle strike can invert one stored bit between the scan and the readout
+// of the resolved labels. The defense mirrors what radiation-tolerant FPGA
+// designs do: one parity bit per word to detect the flip, and a scrubbing
+// pass that repairs the damaged state — here by rebuilding the equivalence
+// set from the provisional label image, which the upset cannot have touched.
+
+func parityOf(v grid.Label) uint8 { return uint8(bits.OnesCount32(uint32(v)) & 1) }
+
+// InjectSEU flips bit b (mod 32) of group g's entry directly in storage,
+// bypassing the write port so the stored parity bit goes stale — exactly the
+// signature a real upset leaves. It returns the corrupted value. Out-of-range
+// groups are ignored (the strike hit unused silicon) and return 0.
+func (mt *MergeTable) InjectSEU(g grid.Label, b uint) grid.Label {
+	if g < 1 || int(g) >= len(mt.entries) {
+		return 0
+	}
+	mt.entries[g] ^= 1 << (b % 32)
+	return mt.entries[g]
+}
+
+// Scrub sweeps the table and returns the groups whose entries are corrupted,
+// in ascending order (nil when clean). Two independent detectors run per
+// entry:
+//
+//   - parity: the stored parity bit disagrees with the data — catches any
+//     odd number of flipped bits, in particular every single-bit SEU;
+//   - structure: the value violates a table invariant — an allocated group
+//     must hold 1..g (entries never point upward), an unallocated slot must
+//     hold 0. This catches some multi-bit corruption parity misses.
+func (mt *MergeTable) Scrub() []grid.Label {
+	var bad []grid.Label
+	for g := grid.Label(1); int(g) < len(mt.entries); g++ {
+		e := mt.entries[g]
+		corrupt := mt.parity[g] != parityOf(e)
+		if !corrupt {
+			if g < mt.next {
+				corrupt = e < 1 || e > g
+			} else {
+				corrupt = e != 0
+			}
+		}
+		if corrupt {
+			bad = append(bad, g)
+		}
+	}
+	return bad
+}
+
+// RebuildFrom reconstructs the table from a provisional label image and
+// re-resolves it. The provisional image determines the table completely: each
+// group's allocation site carries its own label, and every equivalence the
+// scan recorded is visible as a pixel whose label differs from a scanned
+// neighbor's. Replaying those in raster order reproduces the fault-free
+// table, so a detected SEU is repaired without re-reading the pixel data.
+//
+// prov must be the Provisional result of a scan that used the same
+// connectivity and mode as opt; the rebuilt capacity is unchanged.
+func (mt *MergeTable) RebuildFrom(prov *grid.Labels, opt Options) error {
+	opt = opt.withDefaults()
+	groups := grid.Label(0)
+	for _, l := range prov.Flat() {
+		if l > groups {
+			groups = l
+		}
+	}
+	if int(groups) >= len(mt.entries) {
+		return fmt.Errorf("ccl: rebuild needs %d groups, table capacity %d", groups, mt.Cap())
+	}
+	for g := grid.Label(1); int(g) < len(mt.entries); g++ {
+		if g <= groups {
+			mt.setEntry(g, g)
+		} else {
+			mt.setEntry(g, 0)
+		}
+	}
+	mt.next = groups + 1
+
+	// Replay the scan's equivalence stream. Pixel labels were assigned as
+	// the minimum of the scanned neighbors, so each pixel's own label stands
+	// in for the minL of the original pass and every differing neighbor
+	// yields the same Record/Union call the scan made.
+	offsets := opt.Connectivity.ScanNeighbors()
+	rows, cols := prov.Rows(), prov.Cols()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			l := prov.At(r, c)
+			if l == 0 {
+				continue
+			}
+			for _, o := range offsets {
+				nr, nc := r+o.DR, c+o.DC
+				if nr < 0 || nc < 0 || nc >= cols {
+					continue
+				}
+				n := prov.At(nr, nc)
+				if n == 0 || n == l {
+					continue
+				}
+				if opt.Mode == ModeFixed {
+					mt.Union(n, l)
+				} else {
+					mt.Record(n, l)
+				}
+			}
+		}
+	}
+	mt.Resolve()
+	return nil
+}
+
+// Repair runs the scrubbing pass over r's merge table. When corruption is
+// detected the table is rebuilt from the provisional labels, the final label
+// image is recomputed, and the island count refreshed. It returns the groups
+// found corrupted (nil means the table was clean and nothing changed).
+// opt must match the Options the result was produced with.
+func (r *Result) Repair(opt Options) ([]grid.Label, error) {
+	bad := r.MergeTable.Scrub()
+	if bad == nil {
+		return nil, nil
+	}
+	if err := r.MergeTable.RebuildFrom(r.Provisional, opt); err != nil {
+		return bad, err
+	}
+	opt = opt.withDefaults()
+	r.Labels, r.Islands = finalize(r.Provisional, r.MergeTable, opt)
+	r.Groups = r.MergeTable.Len()
+	return bad, nil
+}

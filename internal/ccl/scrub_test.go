@@ -1,0 +1,190 @@
+package ccl
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+func TestScrubCleanTableIsClean(t *testing.T) {
+	for _, mode := range []Mode{ModeFixed, ModePaper} {
+		res, err := Label(grid.MustParse(workedExample), Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad := res.MergeTable.Scrub(); bad != nil {
+			t.Fatalf("mode %v: clean table reported corrupt groups %v", mode, bad)
+		}
+		bad, err := res.Repair(Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bad != nil {
+			t.Fatalf("mode %v: Repair on a clean result touched groups %v", mode, bad)
+		}
+	}
+}
+
+// TestScrubDetectsEverySingleBitSEU: for every allocated group and every bit
+// position, an injected flip is detected by the parity check and repaired so
+// the final labeling matches the fault-free run exactly.
+func TestScrubDetectsEverySingleBitSEU(t *testing.T) {
+	g := grid.MustParse(workedExample)
+	for _, opt := range []Options{
+		{Connectivity: grid.FourWay, Mode: ModeFixed},
+		{Connectivity: grid.FourWay, Mode: ModePaper},
+		{Connectivity: grid.EightWay, Mode: ModeFixed},
+	} {
+		clean, err := Label(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi := grid.Label(1); int(gi) <= clean.Groups; gi++ {
+			for b := uint(0); b < 32; b++ {
+				res, err := Label(g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res.MergeTable.InjectSEU(gi, b)
+				bad := res.MergeTable.Scrub()
+				if len(bad) != 1 || bad[0] != gi {
+					t.Fatalf("opt %+v flip g=%d b=%d: Scrub = %v, want [%d]", opt, gi, b, bad, gi)
+				}
+				if repaired, err := res.Repair(opt); err != nil {
+					t.Fatalf("opt %+v flip g=%d b=%d: %v", opt, gi, b, err)
+				} else if len(repaired) != 1 {
+					t.Fatalf("Repair reported %v", repaired)
+				}
+				if !res.Labels.Equal(clean.Labels) {
+					t.Fatalf("opt %+v flip g=%d b=%d: repaired labels differ\n%s\nwant\n%s",
+						opt, gi, b, res.Labels, clean.Labels)
+				}
+				if res.Islands != clean.Islands || res.Groups != clean.Groups {
+					t.Fatalf("opt %+v flip g=%d b=%d: islands/groups %d/%d, want %d/%d",
+						opt, gi, b, res.Islands, res.Groups, clean.Islands, clean.Groups)
+				}
+				if rest := res.MergeTable.Scrub(); rest != nil {
+					t.Fatalf("table still corrupt after repair: %v", rest)
+				}
+			}
+		}
+	}
+}
+
+// TestScrubDetectsUnallocatedSlotUpset: a strike on a never-written slot
+// breaks both parity and the all-zero invariant.
+func TestScrubDetectsUnallocatedSlotUpset(t *testing.T) {
+	res, err := Label(grid.MustParse(workedExample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := res.MergeTable
+	if mt.Len() >= mt.Cap() {
+		t.Skip("no unallocated slot to corrupt")
+	}
+	slot := grid.Label(mt.Len() + 1)
+	mt.InjectSEU(slot, 3)
+	bad := mt.Scrub()
+	if len(bad) != 1 || bad[0] != slot {
+		t.Fatalf("Scrub = %v, want [%d]", bad, slot)
+	}
+	if _, err := res.Repair(Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if mt.Entry(slot) != 0 {
+		t.Fatalf("repair left unallocated slot %d at %d", slot, mt.Entry(slot))
+	}
+}
+
+// TestScrubStructuralCatchesDoubleFlip: two flips in one word are invisible
+// to parity, but an entry pointing above its own index violates table
+// structure and is still caught.
+func TestScrubStructuralCatchesDoubleFlip(t *testing.T) {
+	res, err := Label(grid.MustParse(workedExample), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := res.MergeTable
+	g := grid.Label(1) // root: entry == 1
+	mt.InjectSEU(g, 30)
+	mt.InjectSEU(g, 0) // 1 -> huge even-popcount value, parity-consistent
+	if mt.parity[g] != parityOf(mt.entries[g]) {
+		t.Fatal("test premise broken: double flip should preserve parity")
+	}
+	bad := mt.Scrub()
+	if len(bad) != 1 || bad[0] != g {
+		t.Fatalf("Scrub = %v, want [%d]", bad, g)
+	}
+}
+
+// TestRebuildReproducesTable: rebuilding from the provisional image without
+// any fault reproduces the resolved table entry-for-entry.
+func TestRebuildReproducesTable(t *testing.T) {
+	for _, mode := range []Mode{ModeFixed, ModePaper} {
+		opt := Options{Connectivity: grid.FourWay, Mode: mode}
+		res, err := Label(grid.MustParse(workedExample), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.MergeTable.Entries()
+		if err := res.MergeTable.RebuildFrom(res.Provisional, opt); err != nil {
+			t.Fatal(err)
+		}
+		got := res.MergeTable.Entries()
+		if len(got) != len(want) {
+			t.Fatalf("mode %v: rebuilt %d entries, want %d", mode, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("mode %v: entry %d rebuilt as %d, want %d", mode, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRepairRandomGrids: property check over random images — any single
+// injected flip is repaired back to the fault-free labeling.
+func TestRepairRandomGrids(t *testing.T) {
+	rng := detector.NewRNG(0xD06)
+	for trial := 0; trial < 60; trial++ {
+		rows, cols := 2+rng.Intn(9), 2+rng.Intn(9)
+		g := grid.New(rows, cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if rng.Float64() < 0.55 {
+					g.Set(r, c, 1)
+				}
+			}
+		}
+		conn := grid.FourWay
+		if trial%2 == 1 {
+			conn = grid.EightWay
+		}
+		opt := Options{Connectivity: conn, Mode: ModeFixed, CompactLabels: true}
+		clean, err := Label(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clean.Groups == 0 {
+			continue
+		}
+		res, err := Label(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		target := grid.Label(1 + rng.Intn(clean.Groups))
+		res.MergeTable.InjectSEU(target, uint(rng.Intn(32)))
+		bad, err := res.Repair(opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(bad) != 1 || bad[0] != target {
+			t.Fatalf("trial %d: Repair found %v, want [%d]", trial, bad, target)
+		}
+		if !res.Labels.Equal(clean.Labels) {
+			t.Fatalf("trial %d: repaired labels differ from fault-free\n%s\nwant\n%s",
+				trial, res.Labels, clean.Labels)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// ErrInjected is the root of every error this package fabricates; consumers
+// can errors.Is against it to separate injected faults from real ones.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// ErrDisconnect reports an injected mid-stream disconnect.
+var ErrDisconnect = fmt.Errorf("%w: disconnect", ErrInjected)
+
+// Config sets the per-byte fault probabilities of an Injector. All
+// probabilities are independent and rolled per byte, so corruption is a pure
+// function of (seed, byte stream) regardless of I/O chunking. The zero value
+// injects nothing.
+type Config struct {
+	// Seed drives the deterministic RNG. Two injectors with equal configs
+	// corrupt identical streams identically.
+	Seed uint64
+	// BitFlip is the probability a byte has one random bit inverted.
+	BitFlip float64
+	// Drop is the probability a byte is deleted (frame truncation when it
+	// lands inside a frame).
+	Drop float64
+	// Duplicate is the probability a byte is emitted twice.
+	Duplicate float64
+	// Insert is the probability a random garbage byte is emitted before a
+	// byte.
+	Insert float64
+	// Disconnect is the probability, per byte, that the stream fails with
+	// ErrDisconnect at that position.
+	Disconnect float64
+	// Stall is the probability, per byte, of sleeping StallDur (jittered
+	// ±50%) before delivering the byte — slow-link jitter.
+	Stall float64
+	// StallDur is the nominal stall length. Zero disables stalls regardless
+	// of Stall.
+	StallDur time.Duration
+}
+
+// Counts tallies the faults an Injector has fired.
+type Counts struct {
+	BitFlips        uint64
+	DroppedBytes    uint64
+	DuplicatedBytes uint64
+	InsertedBytes   uint64
+	Stalls          uint64
+	Disconnects     uint64
+}
+
+// Injector is the byte-level fault engine. Not safe for concurrent use; give
+// each stream its own.
+type Injector struct {
+	cfg    Config
+	rng    *detector.RNG
+	counts Counts
+}
+
+// NewInjector returns an engine rolling faults with cfg's probabilities.
+func NewInjector(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: detector.NewRNG(cfg.Seed)}
+}
+
+// Counts returns the faults fired so far.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// Corrupt processes src, appending the corrupted rendition to dst and
+// returning it along with the number of src bytes consumed. When a
+// disconnect fault fires at src[n], it returns (dst, n, ErrDisconnect) with
+// all corruption up to byte n applied; the remainder of src is untouched.
+func (in *Injector) Corrupt(dst, src []byte) ([]byte, int, error) {
+	cfg := &in.cfg
+	for i, b := range src {
+		if cfg.Disconnect > 0 && in.rng.Float64() < cfg.Disconnect {
+			in.counts.Disconnects++
+			return dst, i, ErrDisconnect
+		}
+		if cfg.Stall > 0 && cfg.StallDur > 0 && in.rng.Float64() < cfg.Stall {
+			in.counts.Stalls++
+			time.Sleep(time.Duration((0.5 + in.rng.Float64()) * float64(cfg.StallDur)))
+		}
+		if cfg.Drop > 0 && in.rng.Float64() < cfg.Drop {
+			in.counts.DroppedBytes++
+			continue
+		}
+		if cfg.Insert > 0 && in.rng.Float64() < cfg.Insert {
+			in.counts.InsertedBytes++
+			dst = append(dst, byte(in.rng.Uint64()))
+		}
+		if cfg.BitFlip > 0 && in.rng.Float64() < cfg.BitFlip {
+			in.counts.BitFlips++
+			b ^= 1 << (in.rng.Uint64() & 7)
+		}
+		dst = append(dst, b)
+		if cfg.Duplicate > 0 && in.rng.Float64() < cfg.Duplicate {
+			in.counts.DuplicatedBytes++
+			dst = append(dst, b)
+		}
+	}
+	return dst, len(src), nil
+}

@@ -1,0 +1,99 @@
+package chaos
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// Conn is a net.Conn whose read and/or write side passes through fault
+// injection. When a disconnect fault fires on either side, the underlying
+// connection is closed (the peer observes a real teardown) and the fault
+// surfaces as ErrDisconnect locally.
+type Conn struct {
+	nc net.Conn
+	rd *Reader   // nil: reads are transparent
+	wr *Injector // nil: writes are transparent
+	wb []byte    // write-side corruption staging
+}
+
+// WrapConn wraps nc. readCfg and writeCfg independently enable injection per
+// direction; a nil config leaves that direction untouched.
+func WrapConn(nc net.Conn, readCfg, writeCfg *Config) *Conn {
+	c := &Conn{nc: nc}
+	if readCfg != nil {
+		c.rd = NewReader(nc, *readCfg)
+	}
+	if writeCfg != nil {
+		c.wr = NewInjector(*writeCfg)
+	}
+	return c
+}
+
+// ReadCounts returns read-side fault counts (zero value when transparent).
+func (c *Conn) ReadCounts() Counts {
+	if c.rd == nil {
+		return Counts{}
+	}
+	return c.rd.Counts()
+}
+
+// WriteCounts returns write-side fault counts (zero value when transparent).
+func (c *Conn) WriteCounts() Counts {
+	if c.wr == nil {
+		return Counts{}
+	}
+	return c.wr.Counts()
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.rd == nil {
+		return c.nc.Read(p)
+	}
+	n, err := c.rd.Read(p)
+	if errors.Is(err, ErrDisconnect) {
+		c.nc.Close()
+	}
+	return n, err
+}
+
+// Write implements net.Conn. The returned count is the number of source
+// bytes consumed (corruption may change how many reach the wire). On an
+// injected disconnect the corrupted prefix is flushed, the connection is
+// closed, and ErrDisconnect is returned.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.wr == nil {
+		return c.nc.Write(p)
+	}
+	out, n, ierr := c.wr.Corrupt(c.wb[:0], p)
+	c.wb = out[:0] // retain grown staging storage
+	if len(out) > 0 {
+		if _, werr := c.nc.Write(out); werr != nil {
+			return 0, werr
+		}
+	}
+	if ierr != nil {
+		c.nc.Close()
+		return n, ierr
+	}
+	return n, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.nc.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// SetDeadline delegates to the underlying connection.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// SetReadDeadline delegates to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// SetWriteDeadline delegates to the underlying connection.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.nc.SetWriteDeadline(t) }

@@ -1,0 +1,47 @@
+package chaos
+
+import "io"
+
+// Reader passes an io.Reader's bytes through an Injector. After a disconnect
+// fault fires, buffered corrupted bytes are still delivered, then every Read
+// returns ErrDisconnect — the stream is dead, like a reset socket.
+type Reader struct {
+	r   io.Reader
+	in  *Injector
+	raw []byte // staging for underlying reads
+	out []byte // corrupted bytes awaiting delivery
+	off int
+	err error // sticky: ErrDisconnect or the underlying reader's error
+}
+
+// NewReader wraps r with a fresh Injector for cfg.
+func NewReader(r io.Reader, cfg Config) *Reader {
+	return &Reader{r: r, in: NewInjector(cfg), raw: make([]byte, 32<<10)}
+}
+
+// Counts returns the faults fired so far.
+func (cr *Reader) Counts() Counts { return cr.in.Counts() }
+
+// Read implements io.Reader.
+func (cr *Reader) Read(p []byte) (int, error) {
+	for cr.off == len(cr.out) {
+		if cr.err != nil {
+			return 0, cr.err
+		}
+		cr.out, cr.off = cr.out[:0], 0
+		n, err := cr.r.Read(cr.raw)
+		if n > 0 {
+			var cerr error
+			cr.out, _, cerr = cr.in.Corrupt(cr.out, cr.raw[:n])
+			if cerr != nil {
+				cr.err = cerr
+			}
+		}
+		if err != nil && cr.err == nil {
+			cr.err = err
+		}
+	}
+	n := copy(p, cr.out[cr.off:])
+	cr.off += n
+	return n, nil
+}

@@ -32,27 +32,78 @@ func (c *conn) readLoop() {
 	defer c.s.readersWG.Done()
 	s := c.s
 	asics := s.cfg.Pipeline.ASICs
-	sr := adapt.NewStreamReader(c.nc)
+	tr := &timeoutReader{
+		nc:       c.nc,
+		idle:     s.cfg.IdleTimeout,
+		assembly: s.cfg.AssemblyTimeout,
+		draining: s.isDraining,
+	}
+	sr := adapt.NewStreamReader(tr)
+	brk := resyncBreaker{window: s.cfg.BreakerWindow, limit: s.cfg.BreakerBadPackets}
+	if s.cfg.BreakerBadPackets > 0 {
+		// Surface control (ErrResyncStorm) often enough for the breaker to
+		// evaluate even when the link never yields a valid packet.
+		sr.BadPacketBudget = s.cfg.BreakerBadPackets
+	}
 	var lastSkipped, lastBad int
 
-	syncStream := func() {
+	// syncStream publishes the stream reader's resync counters and returns
+	// the new bad packets since the previous call (the breaker's input).
+	syncStream := func() int {
 		if d := sr.SkippedBytes - lastSkipped; d > 0 {
 			c.stats.SkippedBytes.Add(uint64(d))
 			s.stats.SkippedBytes.Add(uint64(d))
 			lastSkipped = sr.SkippedBytes
 		}
-		if d := sr.BadPackets - lastBad; d > 0 {
+		d := sr.BadPackets - lastBad
+		if d > 0 {
 			c.stats.BadPackets.Add(uint64(d))
 			s.stats.BadPackets.Add(uint64(d))
 			lastBad = sr.BadPackets
 		}
+		return d
 	}
 	defer syncStream()
 
 	ev := getEvent()
 	for {
+		tr.MarkBoundary()
 		packets, err := sr.ReadEventInto(ev.packets, asics)
-		syncStream()
+		if bad := syncStream(); bad > 0 && brk.add(time.Now(), bad) {
+			// Resync storm: this link is producing mostly garbage. Cut it
+			// loose rather than burn a reader on an unframeable stream.
+			c.stats.BreakerTrips.Add(1)
+			s.stats.BreakerTrips.Add(1)
+			c.nc.Close()
+			putEvent(ev)
+			c.finishReads()
+			return
+		}
+		if err != nil {
+			// A read-deadline timeout ends the connection no matter where
+			// assembly stood (it may arrive wrapped in ErrIncompleteEvent
+			// when it struck mid-event).
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if !s.isDraining() {
+					if tr.started {
+						// The deadline cut a half-assembled event.
+						c.stats.IncompleteEvents.Add(1)
+						s.stats.IncompleteEvents.Add(1)
+					}
+					if tr.active() {
+						c.stats.IdleTimeouts.Add(1)
+						s.stats.IdleTimeouts.Add(1)
+					} else {
+						c.stats.ReadErrors.Add(1)
+						s.stats.ReadErrors.Add(1)
+					}
+				}
+				putEvent(ev)
+				c.finishReads()
+				return
+			}
+		}
 		switch {
 		case err == nil:
 			ev.packets = packets
@@ -73,13 +124,17 @@ func (c *conn) readLoop() {
 			// the cause was a transport fault, the next read surfaces it.
 			c.stats.IncompleteEvents.Add(1)
 			s.stats.IncompleteEvents.Add(1)
+		case errors.Is(err, adapt.ErrResyncStorm):
+			// Bad-packet budget exhausted without a valid frame. The
+			// counters were synced above and the breaker already had its
+			// chance to trip; if it didn't, keep hunting.
 		case errors.Is(err, io.EOF):
 			// Clean end of stream.
 			putEvent(ev)
 			c.finishReads()
 			return
 		default:
-			// Transport fault — or our own read deadline during drain.
+			// Transport fault (timeouts were classified above).
 			if !s.isDraining() {
 				c.stats.ReadErrors.Add(1)
 				s.stats.ReadErrors.Add(1)
@@ -89,6 +144,77 @@ func (c *conn) readLoop() {
 			return
 		}
 	}
+}
+
+// timeoutReader arms the connection's read deadline according to where event
+// assembly stands: between events (MarkBoundary called, no byte delivered
+// since) the idle timeout applies; once an event's first byte arrives the
+// assembly timeout bounds the whole event. Either duration being zero
+// disables that deadline. The boundary is approximate when the stream reader
+// buffers ahead, which only ever errs toward the stricter assembly deadline.
+type timeoutReader struct {
+	nc       net.Conn
+	idle     time.Duration
+	assembly time.Duration
+	draining func() bool
+	started  bool
+	deadline time.Time // absolute assembly deadline for the current event
+}
+
+// active reports whether the reader arms deadlines at all, so the read loop
+// can attribute timeout errors to it.
+func (tr *timeoutReader) active() bool { return tr.idle > 0 || tr.assembly > 0 }
+
+// MarkBoundary declares that the next delivered byte starts a new event.
+func (tr *timeoutReader) MarkBoundary() { tr.started = false }
+
+func (tr *timeoutReader) Read(p []byte) (int, error) {
+	if tr.active() && !tr.draining() {
+		// During drain the shutdown path has armed an immediate deadline;
+		// leave it in place.
+		var d time.Time
+		if !tr.started {
+			if tr.idle > 0 {
+				d = time.Now().Add(tr.idle)
+			}
+		} else if tr.assembly > 0 {
+			d = tr.deadline
+		}
+		if err := tr.nc.SetReadDeadline(d); err != nil {
+			return 0, err
+		}
+	}
+	n, err := tr.nc.Read(p)
+	if n > 0 && !tr.started {
+		tr.started = true
+		if tr.assembly > 0 {
+			tr.deadline = time.Now().Add(tr.assembly)
+		}
+	}
+	return n, err
+}
+
+// resyncBreaker trips when more than limit bad packets land within one
+// sliding window — the storm signature of a peer whose framing will never
+// recover.
+type resyncBreaker struct {
+	window time.Duration
+	limit  int
+	start  time.Time
+	n      int
+}
+
+// add accounts d more bad packets at time now and reports whether the
+// breaker trips. A zero limit disables the breaker.
+func (b *resyncBreaker) add(now time.Time, d int) bool {
+	if b.limit <= 0 {
+		return false
+	}
+	if b.start.IsZero() || now.Sub(b.start) > b.window {
+		b.start, b.n = now, 0
+	}
+	b.n += d
+	return b.n > b.limit
 }
 
 // finishReads arranges for the writer to terminate once every event this
@@ -167,9 +293,19 @@ func (w *deadlineWriter) Flush() error {
 		return nil
 	}
 	if w.timeout > 0 {
-		w.nc.SetWriteDeadline(time.Now().Add(w.timeout))
+		if err := w.nc.SetWriteDeadline(time.Now().Add(w.timeout)); err != nil {
+			w.buf = w.buf[:0]
+			return err
+		}
 	}
 	_, err := w.nc.Write(w.buf)
 	w.buf = w.buf[:0]
+	if w.timeout > 0 {
+		// Clear the deadline after a successful flush so it cannot fire
+		// spuriously during a later long idle stretch.
+		if cerr := w.nc.SetWriteDeadline(time.Time{}); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }

@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// TestIdleTimeoutClosesConnection: a client that connects and goes silent is
+// reaped by the idle deadline and counted, without disturbing active clients.
+func TestIdleTimeoutClosesConnection(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 8, Policy: PolicyBlock,
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Silence. The server must hang up on us.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := nc.Read(buf); err == nil {
+		t.Fatal("server never closed an idle connection")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.StatsSnapshot().IdleTimeouts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle timeout not counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := s.StatsSnapshot()
+	if snap.ReadErrors != 0 {
+		t.Fatalf("idle reap miscounted as read error: %+v", snap.CounterSnapshot)
+	}
+}
+
+// TestAssemblyTimeoutReapsHalfEvent: a client that dies mid-event must not
+// hold a reader goroutine beyond the assembly deadline.
+func TestAssemblyTimeoutReapsHalfEvent(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 8, Policy: PolicyBlock,
+		IdleTimeout:     time.Hour, // only the assembly deadline may fire
+		AssemblyTimeout: 50 * time.Millisecond,
+	})
+	events := makeEvents(t, cfg, 1, 5)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	sw := adapt.NewStreamWriter(nc)
+	// First packet only; then stall forever.
+	if err := sw.WritePacket(&events[0][0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.StatsSnapshot().IdleTimeouts == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("assembly timeout never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestBreakerTripsOnGarbageStorm: a connection spewing unframeable bytes is
+// cut by the resync breaker instead of being resynced forever.
+func TestBreakerTripsOnGarbageStorm(t *testing.T) {
+	cfg := testConfig()
+	s, addr := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 8, Policy: PolicyBlock,
+		BreakerBadPackets: 5, BreakerWindow: 10 * time.Second,
+	})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Valid headers with corrupt payloads parse as bad packets (checksum
+	// failures) — the breaker's trigger.
+	events := makeEvents(t, cfg, 1, 7)
+	frame, err := events[0][0].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-3] ^= 0xFF
+	go func() {
+		for i := 0; i < 1000; i++ {
+			if _, err := nc.Write(frame); err != nil {
+				return // breaker closed the conn: expected
+			}
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.StatsSnapshot().BreakerTrips == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.StatsSnapshot().BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", s.StatsSnapshot().BreakerTrips)
+	}
+}
+
+func TestResyncBreakerWindowSlides(t *testing.T) {
+	b := resyncBreaker{window: 100 * time.Millisecond, limit: 10}
+	now := time.Now()
+	if b.add(now, 10) {
+		t.Fatal("breaker tripped at the limit, must require exceeding it")
+	}
+	if !b.add(now.Add(50*time.Millisecond), 1) {
+		t.Fatal("breaker did not trip past the limit inside the window")
+	}
+	b = resyncBreaker{window: 100 * time.Millisecond, limit: 10}
+	b.add(now, 10)
+	if b.add(now.Add(200*time.Millisecond), 1) {
+		t.Fatal("stale window must reset the count")
+	}
+	var off resyncBreaker
+	if off.add(now, 1<<30) {
+		t.Fatal("zero limit must disable the breaker")
+	}
+}
+
+// TestHealthzDegradedAndOverloaded drives the health evaluation directly
+// through the server counters and checks both the verdicts and the HTTP
+// status codes.
+func TestHealthzDegradedAndOverloaded(t *testing.T) {
+	cfg := testConfig()
+	s, _ := startServer(t, Config{
+		Pipeline: cfg, QueueDepth: 8, Policy: PolicyDrop, StatsAddr: "127.0.0.1:0",
+	})
+	var statsAddr net.Addr
+	for i := 0; i < 100 && statsAddr == nil; i++ {
+		statsAddr = s.StatsAddr()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if statsAddr == nil {
+		t.Fatal("stats endpoint never came up")
+	}
+	get := func() (HealthState, int) {
+		resp, err := http.Get(fmt.Sprintf("http://%s/healthz", statsAddr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body [64]byte
+		n, _ := resp.Body.Read(body[:])
+		return HealthState(strings.TrimSpace(string(body[:n]))), resp.StatusCode
+	}
+
+	if st, code := get(); st != HealthOK || code != http.StatusOK {
+		t.Fatalf("idle server: %q %d, want ok 200", st, code)
+	}
+
+	// 2%% recent loss: degraded, still HTTP 200.
+	s.stats.EventsIn.Add(1000)
+	s.stats.Dropped.Add(20)
+	time.Sleep(healthMinWindow + 20*time.Millisecond)
+	if st, code := get(); st != HealthDegraded || code != http.StatusOK {
+		t.Fatalf("2%% loss: %q %d, want degraded 200", st, code)
+	}
+
+	// 20%% recent loss: overloaded, HTTP 503.
+	s.stats.EventsIn.Add(1000)
+	s.stats.Dropped.Add(200)
+	time.Sleep(healthMinWindow + 20*time.Millisecond)
+	if st, code := get(); st != HealthOverloaded || code != http.StatusServiceUnavailable {
+		t.Fatalf("20%% loss: %q %d, want overloaded 503", st, code)
+	}
+
+	// Clean window again: recovery to ok.
+	s.stats.EventsIn.Add(10000)
+	time.Sleep(healthMinWindow + 20*time.Millisecond)
+	if st, code := get(); st != HealthOK || code != http.StatusOK {
+		t.Fatalf("clean window: %q %d, want ok 200", st, code)
+	}
+
+	// Resync storm without drops: degraded.
+	s.stats.EventsIn.Add(1000)
+	s.stats.BadPackets.Add(500)
+	time.Sleep(healthMinWindow + 20*time.Millisecond)
+	if st, _ := get(); st != HealthDegraded {
+		t.Fatalf("resync storm: %q, want degraded", st)
+	}
+}
+
+// deadlineConn records SetWriteDeadline calls for the flush test.
+type deadlineConn struct {
+	net.Conn  // nil; only the methods below are used
+	deadlines []time.Time
+	failSet   bool
+	wrote     int
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) { d.wrote += len(p); return len(p), nil }
+
+func (d *deadlineConn) SetWriteDeadline(t time.Time) error {
+	if d.failSet {
+		return errors.New("boom")
+	}
+	d.deadlines = append(d.deadlines, t)
+	return nil
+}
+
+// TestDeadlineWriterClearsDeadline: each successful flush must arm then clear
+// the write deadline, and SetWriteDeadline failures must surface.
+func TestDeadlineWriterClearsDeadline(t *testing.T) {
+	dc := &deadlineConn{}
+	w := newDeadlineWriter(dc, time.Second)
+	if _, err := w.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if dc.wrote != 3 {
+		t.Fatalf("wrote %d bytes, want 3", dc.wrote)
+	}
+	if len(dc.deadlines) != 2 {
+		t.Fatalf("got %d SetWriteDeadline calls, want arm+clear", len(dc.deadlines))
+	}
+	if dc.deadlines[0].IsZero() || !dc.deadlines[1].IsZero() {
+		t.Fatalf("deadline sequence %v: want non-zero arm then zero clear", dc.deadlines)
+	}
+	// An empty flush must not touch the deadline.
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dc.deadlines) != 2 {
+		t.Fatal("empty flush touched the write deadline")
+	}
+	// A failing SetWriteDeadline must surface instead of being ignored.
+	dc.failSet = true
+	w.Write([]byte("x"))
+	if err := w.Flush(); err == nil {
+		t.Fatal("SetWriteDeadline failure swallowed")
+	}
+}
+
+// flakyListener feeds Accept a burst of timeout errors, then a permanent
+// error, so the backoff path and the give-up path are both exercised.
+type flakyListener struct {
+	timeouts int
+	closed   chan struct{}
+}
+
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "simulated accept timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+var errPermanent = errors.New("permanent accept failure")
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.timeouts > 0 {
+		l.timeouts--
+		return nil, timeoutErr{}
+	}
+	return nil, errPermanent
+}
+
+func (l *flakyListener) Close() error {
+	select {
+	case <-l.closed:
+	default:
+		close(l.closed)
+	}
+	return nil
+}
+
+func (l *flakyListener) Addr() net.Addr { return &net.TCPAddr{IP: net.IPv4zero} }
+
+// TestAcceptBackoffRetriesTimeouts: timeout errors are retried with growing
+// sleeps; only the permanent error ends Serve.
+func TestAcceptBackoffRetriesTimeouts(t *testing.T) {
+	s, err := New(Config{Pipeline: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	ln := &flakyListener{timeouts: 3, closed: make(chan struct{})}
+	start := time.Now()
+	err = s.Serve(ln)
+	elapsed := time.Since(start)
+	if !errors.Is(err, errPermanent) {
+		t.Fatalf("Serve returned %v, want the permanent error", err)
+	}
+	// 3 retries at 5+10+20ms minimum.
+	if elapsed < 35*time.Millisecond {
+		t.Fatalf("Serve returned after %v; backoff sleeps missing", elapsed)
+	}
+}

@@ -43,6 +43,32 @@ type Config struct {
 	StatsAddr string
 	// WriteTimeout bounds each response flush. Default 10s.
 	WriteTimeout time.Duration
+	// IdleTimeout closes a connection that delivers no data between events
+	// for this long. Zero disables (the seed behavior).
+	IdleTimeout time.Duration
+	// AssemblyTimeout bounds the wall-clock time one event may spend
+	// assembling once its first byte arrives, so a client that dies
+	// mid-event cannot hold packets (and a reader goroutine) forever.
+	// Zero disables.
+	AssemblyTimeout time.Duration
+	// BreakerBadPackets arms the resync-storm circuit breaker: a connection
+	// that produces more than this many bad packets within BreakerWindow is
+	// closed, on the theory that its framing is unrecoverably wedged or the
+	// peer is garbage. Zero disables.
+	BreakerBadPackets int
+	// BreakerWindow is the breaker's sliding window. Default 1s when
+	// BreakerBadPackets is set.
+	BreakerWindow time.Duration
+	// DegradedLossRate is the recent drop fraction (dropped/assembled) at
+	// which /healthz reports "degraded". Default 0.01.
+	DegradedLossRate float64
+	// OverloadLossRate is the recent drop fraction at which /healthz
+	// reports "overloaded" with HTTP 503. Default 0.10.
+	OverloadLossRate float64
+	// DegradedResyncRate is the recent fraction of assembly attempts lost
+	// to resync (bad packets + incomplete events vs events assembled) at
+	// which /healthz reports "degraded". Default 0.05.
+	DegradedResyncRate float64
 	// LogInterval emits a periodic one-line stats summary. Zero disables.
 	LogInterval time.Duration
 	// Logger receives the periodic line and lifecycle messages. Nil means
@@ -59,6 +85,18 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.BreakerBadPackets > 0 && cfg.BreakerWindow <= 0 {
+		cfg.BreakerWindow = time.Second
+	}
+	if cfg.DegradedLossRate <= 0 {
+		cfg.DegradedLossRate = 0.01
+	}
+	if cfg.OverloadLossRate <= 0 {
+		cfg.OverloadLossRate = 0.10
+	}
+	if cfg.DegradedResyncRate <= 0 {
+		cfg.DegradedResyncRate = 0.05
 	}
 	if cfg.Logger == nil && cfg.LogInterval > 0 {
 		cfg.Logger = log.Default()
@@ -90,6 +128,8 @@ type Server struct {
 
 	statsSrv *http.Server
 	statsLn  net.Listener
+
+	health healthWindow
 }
 
 // New validates the configuration, builds and calibrates the worker
@@ -156,14 +196,32 @@ func (s *Server) Serve(ln net.Listener) error {
 		l.Printf("hepccld: serving on %s (%d workers, queue depth %d, policy %s)",
 			ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.Policy)
 	}
+	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			if s.isDraining() {
 				return ErrServerClosed
 			}
+			// Transient accept failures (EMFILE, ENFILE, ...) surface as
+			// net.Error timeouts; back off exponentially instead of tearing
+			// the whole server down over a descriptor spike.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				if l := s.cfg.Logger; l != nil {
+					l.Printf("hepccld: accept: %v; retrying in %v", err, backoff)
+				}
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.addConn(nc)
 	}
 }
@@ -269,7 +327,11 @@ func (s *Server) startStats() {
 		enc.Encode(s.StatsSnapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		h := s.Health()
+		if h == HealthOverloaded {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintln(w, h)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

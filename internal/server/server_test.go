@@ -392,7 +392,9 @@ func TestServerBadInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An interleaved event: first packet of event 0, then a packet of
-	// event 1 — assembly must fail without killing the connection.
+	// event 1 — assembly of event 0 must fail without killing the
+	// connection, and the interrupting packet is retained as the start of
+	// the next assembly.
 	sw := adapt.NewStreamWriter(nc)
 	if err := sw.WritePacket(&events[0][0]); err != nil {
 		t.Fatal(err)
@@ -400,9 +402,12 @@ func TestServerBadInput(t *testing.T) {
 	if err := sw.WritePacket(&events[1][0]); err != nil {
 		t.Fatal(err)
 	}
-	// Now a complete, valid event.
-	if err := sw.WriteEvent(events[1]); err != nil {
-		t.Fatal(err)
+	// The rest of event 1 completes the assembly started by the retained
+	// packet, so event 1 survives the interleave intact.
+	for i := 1; i < len(events[1]); i++ {
+		if err := sw.WritePacket(&events[1][i]); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.CloseWrite()
@@ -420,6 +425,9 @@ func TestServerBadInput(t *testing.T) {
 	}
 	if snap.IncompleteEvents == 0 {
 		t.Fatal("interleaved event not counted")
+	}
+	if snap.BadEvents != 0 {
+		t.Fatalf("BadEvents = %d, want 0 (retained packet must not duplicate)", snap.BadEvents)
 	}
 }
 

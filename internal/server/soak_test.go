@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/chaos"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// TestChaosSoak drives Poisson-paced traffic through frame-level fault
+// injection for several seconds and then balances the books exactly:
+//
+//	events assembled        == events offered - events killed by faults
+//	incomplete events       == corrupted events + disconnect partials
+//	served + dropped + bad  == events assembled
+//
+// so served + dropped + incomplete accounts for every offered event. The
+// server must stay up, never report overloaded, and leak no goroutines.
+//
+// The fault set is restricted to "clean kills" — single bit flips (always
+// caught by the frame checksum), frame truncation, and mid-event disconnects
+// at packet boundaries — because each destroys exactly one event and nothing
+// else, which is what makes exact accounting possible. Duplication and
+// insertion faults break the 1:1 mapping (a duplicated ASIC also poisons the
+// assembly it lands in) and are exercised in the chaos package's own tests
+// instead. Faults and disconnects are mutually exclusive per event so each
+// lost event has exactly one cause.
+func TestChaosSoak(t *testing.T) {
+	const (
+		targetRate  = 15000 // events/s
+		soakSeconds = 5
+		seed        = 0x50AC
+		corruptProb = 0.01  // per frame: 0.5% bit flip + 0.5% truncate
+		discProb    = 0.001 // per event: cut mid-event, reconnect
+	)
+	totalEvents := targetRate * soakSeconds
+	if testing.Short() {
+		totalEvents = targetRate // one second under -race CI
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	s, err := New(Config{
+		Pipeline: cfg, Workers: 2, QueueDepth: 256, Policy: PolicyDrop,
+		// Generous guards: they must exist (a wedged soak should fail fast,
+		// not hang the suite) without tripping on healthy traffic.
+		IdleTimeout:       30 * time.Second,
+		AssemblyTimeout:   30 * time.Second,
+		BreakerBadPackets: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// One template event, rewritten per event id: generating 75k distinct
+	// events dominates runtime without adding fault coverage.
+	template := makeEvents(t, cfg, 1, seed)[0]
+	frames := make([][]byte, len(template))
+	for i := range template {
+		f, err := template[i].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+
+	rng := detector.NewRNG(seed)
+	inj := chaos.NewFrameInjector(chaos.FrameConfig{
+		Seed:     seed + 1,
+		BitFlip:  corruptProb / 2,
+		Truncate: corruptProb / 2,
+	})
+
+	var (
+		offered    int // events whose packets we began writing
+		corrupted  int // events with >= 1 faulted frame
+		partials   int // events cut mid-assembly by a disconnect
+		reconnects int
+	)
+
+	// drains collects the response-reader goroutines; each discards records
+	// until its connection is done so server writers never feel backpressure.
+	var drains []chan struct{}
+	drainConn := func(nc net.Conn) {
+		done := make(chan struct{})
+		drains = append(drains, done)
+		go func() {
+			defer close(done)
+			io.Copy(io.Discard, nc)
+			nc.Close()
+		}()
+	}
+
+	dial := func() net.Conn {
+		nc, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		drainConn(nc)
+		return nc
+	}
+	nc := dial()
+
+	// reframe points the wire frames at event id ev.
+	reframe := func(ev uint32) {
+		for _, f := range frames {
+			if err := adapt.PatchFrameEventID(f, ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	start := time.Now()
+	interval := time.Second / time.Duration(targetRate)
+	for ev := 0; ev < totalEvents; ev++ {
+		// Poisson pacing: exponential inter-arrival around the target rate,
+		// checked every 64 events to keep syscall overhead off the clock.
+		if ev%64 == 0 {
+			due := start.Add(time.Duration(ev) * interval)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		reframe(uint32(ev))
+		offered++
+
+		if rng.Float64() < discProb {
+			// Mid-event disconnect: at least one full packet, never all.
+			k := 1 + rng.Intn(len(frames)-1)
+			for i := 0; i < k; i++ {
+				if _, err := nc.Write(frames[i]); err != nil {
+					t.Fatalf("event %d packet %d: %v", ev, i, err)
+				}
+			}
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.CloseWrite() // clean FIN: buffered packets still arrive
+			} else {
+				nc.Close()
+			}
+			partials++
+			reconnects++
+			nc = dial()
+			continue
+		}
+
+		hit := false
+		for _, f := range frames {
+			chunks, fault := inj.Mutate(f)
+			if fault != chaos.FaultNone {
+				hit = true
+			}
+			for _, c := range chunks {
+				if _, err := nc.Write(c); err != nil {
+					t.Fatalf("event %d: %v", ev, err)
+				}
+			}
+		}
+		if hit {
+			corrupted++
+		}
+	}
+	elapsed := time.Since(start)
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	} else {
+		nc.Close()
+	}
+
+	// The server must still be answering while loaded.
+	if h := s.Health(); h == HealthOverloaded {
+		t.Errorf("health = %v at end of soak", h)
+	}
+
+	// Wait for every response stream to finish, then drain the server.
+	for _, done := range drains {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("response drain wedged")
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+
+	snap := s.StatsSnapshot()
+	t.Logf("soak: %d events in %v (%.0f ev/s), corrupted=%d partials=%d reconnects=%d",
+		offered, elapsed.Round(time.Millisecond),
+		float64(offered)/elapsed.Seconds(), corrupted, partials, reconnects)
+	t.Logf("server: in=%d out=%d dropped=%d bad_ev=%d incomplete=%d bad_pkts=%d skipped=%dB",
+		snap.EventsIn, snap.EventsOut, snap.Dropped, snap.BadEvents,
+		snap.IncompleteEvents, snap.BadPackets, snap.SkippedBytes)
+
+	if corrupted == 0 || partials == 0 {
+		t.Fatalf("fault mix too thin to prove anything: corrupted=%d partials=%d", corrupted, partials)
+	}
+	clean := uint64(offered - corrupted - partials)
+	if snap.EventsIn != clean {
+		t.Errorf("EventsIn = %d, want %d (offered %d - corrupted %d - partials %d)",
+			snap.EventsIn, clean, offered, corrupted, partials)
+	}
+	if want := uint64(corrupted + partials); snap.IncompleteEvents != want {
+		t.Errorf("IncompleteEvents = %d, want %d (corrupted %d + partials %d)",
+			snap.IncompleteEvents, want, corrupted, partials)
+	}
+	if got := snap.EventsOut + snap.Dropped + snap.BadEvents; got != snap.EventsIn {
+		t.Errorf("served %d + dropped %d + bad %d = %d, want EventsIn %d",
+			snap.EventsOut, snap.Dropped, snap.BadEvents, got, snap.EventsIn)
+	}
+	// The headline identity: every offered event is accounted for.
+	if got := snap.EventsOut + snap.Dropped + snap.BadEvents + snap.IncompleteEvents; got != uint64(offered) {
+		t.Errorf("served+dropped+bad+incomplete = %d, want offered %d", got, offered)
+	}
+	if snap.ReadErrors != 0 {
+		t.Errorf("ReadErrors = %d, want 0 (all disconnects were clean FINs)", snap.ReadErrors)
+	}
+	if snap.IdleTimeouts != 0 || snap.BreakerTrips != 0 {
+		t.Errorf("guards tripped during healthy soak: idle=%d breaker=%d",
+			snap.IdleTimeouts, snap.BreakerTrips)
+	}
+
+	// Goroutine accounting: everything the soak spawned must be gone.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines: %d after soak, %d before\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

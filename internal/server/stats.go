@@ -2,6 +2,7 @@ package server
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -86,6 +87,8 @@ type counters struct {
 	SkippedBytes     atomic.Uint64 // link garbage skipped while resyncing
 	BytesOut         atomic.Uint64 // response bytes written
 	ReadErrors       atomic.Uint64 // transport faults surfaced by readers
+	IdleTimeouts     atomic.Uint64 // connections closed by idle/assembly deadline
+	BreakerTrips     atomic.Uint64 // connections closed by the resync breaker
 }
 
 // Stats aggregates the server-wide counters and derived gauges.
@@ -129,6 +132,8 @@ type CounterSnapshot struct {
 	SkippedBytes     uint64 `json:"skipped_bytes"`
 	BytesOut         uint64 `json:"bytes_out"`
 	ReadErrors       uint64 `json:"read_errors"`
+	IdleTimeouts     uint64 `json:"idle_timeouts"`
+	BreakerTrips     uint64 `json:"breaker_trips"`
 }
 
 func (c *counters) snapshot() CounterSnapshot {
@@ -142,6 +147,8 @@ func (c *counters) snapshot() CounterSnapshot {
 		SkippedBytes:     c.SkippedBytes.Load(),
 		BytesOut:         c.BytesOut.Load(),
 		ReadErrors:       c.ReadErrors.Load(),
+		IdleTimeouts:     c.IdleTimeouts.Load(),
+		BreakerTrips:     c.BreakerTrips.Load(),
 	}
 }
 
@@ -152,16 +159,90 @@ type ConnSnapshot struct {
 	CounterSnapshot
 }
 
+// HealthState classifies how the server is coping with its current load.
+type HealthState string
+
+// The three health states reported by Health and GET /healthz. Degraded and
+// ok both answer HTTP 200 (the service is still doing useful work);
+// overloaded answers 503 so a load balancer can shed traffic.
+const (
+	HealthOK         HealthState = "ok"
+	HealthDegraded   HealthState = "degraded"
+	HealthOverloaded HealthState = "overloaded"
+)
+
+// healthWindow holds the counter baseline of the previous health evaluation
+// so each verdict reflects the recent window, not lifetime averages.
+type healthWindow struct {
+	mu         sync.Mutex
+	at         time.Time
+	state      HealthState
+	in         uint64
+	dropped    uint64
+	resyncLoss uint64
+}
+
+// healthMinWindow is the shortest interval between fresh health evaluations;
+// requests inside it reuse the cached verdict so rates are computed over a
+// meaningful sample.
+const healthMinWindow = 250 * time.Millisecond
+
+// Health evaluates the server's recent drop and resync rates against the
+// configured thresholds:
+//
+//	overloaded: drop fraction >= OverloadLossRate
+//	degraded:   drop fraction >= DegradedLossRate, or resync-loss fraction
+//	            (bad packets + incomplete events per assembly attempt)
+//	            >= DegradedResyncRate
+//	ok:         otherwise
+//
+// Verdicts are cached for healthMinWindow; an idle window keeps the previous
+// verdict's thresholds trivially satisfied and reports ok.
+func (s *Server) Health() HealthState {
+	h := &s.health
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	now := time.Now()
+	if h.state != "" && now.Sub(h.at) < healthMinWindow {
+		return h.state
+	}
+	in := s.stats.EventsIn.Load()
+	dropped := s.stats.Dropped.Load()
+	resyncLoss := s.stats.BadPackets.Load() + s.stats.IncompleteEvents.Load()
+
+	din := in - h.in
+	ddrop := dropped - h.dropped
+	dresync := resyncLoss - h.resyncLoss
+	h.at, h.in, h.dropped, h.resyncLoss = now, in, dropped, resyncLoss
+
+	h.state = HealthOK
+	if din > 0 {
+		lossFrac := float64(ddrop) / float64(din)
+		resyncFrac := float64(dresync) / float64(din+dresync)
+		switch {
+		case lossFrac >= s.cfg.OverloadLossRate:
+			h.state = HealthOverloaded
+		case lossFrac >= s.cfg.DegradedLossRate || resyncFrac >= s.cfg.DegradedResyncRate:
+			h.state = HealthDegraded
+		}
+	} else if dresync > 0 {
+		// Nothing assembled but the link is producing garbage.
+		h.state = HealthDegraded
+	}
+	return h.state
+}
+
 // Snapshot is the JSON document served by the stats endpoint.
 type Snapshot struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	ConnsActive   int64   `json:"conns_active"`
-	ConnsTotal    uint64  `json:"conns_total"`
-	Workers       int     `json:"workers"`
-	QueueDepth    int     `json:"queue_depth"`
-	QueueLens     []int   `json:"queue_lens"`
-	QueueHWM      int64   `json:"queue_hwm"`
-	LossFraction  float64 `json:"loss_fraction"`
+	Health        HealthState `json:"health"`
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	ConnsActive   int64       `json:"conns_active"`
+	ConnsTotal    uint64      `json:"conns_total"`
+	Workers       int         `json:"workers"`
+	QueueDepth    int         `json:"queue_depth"`
+	QueueLens     []int       `json:"queue_lens"`
+	QueueHWM      int64       `json:"queue_hwm"`
+	LossFraction  float64     `json:"loss_fraction"`
 	CounterSnapshot
 	Latency LatencySnapshot `json:"latency"`
 	Conns   []ConnSnapshot  `json:"conns"`
@@ -173,6 +254,7 @@ type Snapshot struct {
 func (s *Server) StatsSnapshot() Snapshot {
 	st := &s.stats
 	snap := Snapshot{
+		Health:          s.Health(),
 		UptimeSeconds:   time.Since(st.start).Seconds(),
 		ConnsActive:     st.ConnsActive.Load(),
 		ConnsTotal:      st.ConnsTotal.Load(),
