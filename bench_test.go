@@ -37,6 +37,7 @@ func workload(rows, cols int) *grid.Grid {
 func benchStageStudy(b *testing.B, conn grid.Connectivity) {
 	g := workload8x10()
 	for _, stage := range design.Stages() {
+		stage := stage // explicit capture: b.Run closures outlive the iteration
 		b.Run(stage.String(), func(b *testing.B) {
 			cfg := design.Config{Rows: 8, Cols: 10, Connectivity: conn, Stage: stage}
 			var out *design.Output
@@ -64,7 +65,7 @@ func BenchmarkTable2(b *testing.B) { benchStageStudy(b, grid.EightWay) }
 // benchScaling runs one Table 3/4 row: the pipelined design at one size.
 func benchScaling(b *testing.B, conn grid.Connectivity) {
 	for _, sz := range [][2]int{{8, 10}, {16, 16}, {24, 24}, {32, 32}, {43, 43}, {64, 64}} {
-		rows, cols := sz[0], sz[1]
+		rows, cols := sz[0], sz[1] // explicit capture for the b.Run closure
 		b.Run(fmt.Sprintf("%dx%d", rows, cols), func(b *testing.B) {
 			g := workload(rows, cols)
 			cfg := design.Config{Rows: rows, Cols: cols, Connectivity: conn, Stage: design.StagePipelined}
@@ -96,6 +97,7 @@ func BenchmarkTable4(b *testing.B) { benchScaling(b, grid.EightWay) }
 func BenchmarkFig10(b *testing.B) {
 	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
 		for _, sz := range [][2]int{{8, 10}, {16, 16}, {24, 24}, {32, 32}, {43, 43}, {64, 64}} {
+			conn, sz := conn, sz // explicit capture for the b.Run closure
 			b.Run(fmt.Sprintf("%s/%dx%d", conn, sz[0], sz[1]), func(b *testing.B) {
 				var lat int64
 				for i := 0; i < b.N; i++ {
@@ -111,6 +113,7 @@ func BenchmarkFig10(b *testing.B) {
 func BenchmarkFig11(b *testing.B) {
 	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
 		for _, sz := range [][2]int{{8, 10}, {16, 16}, {24, 24}, {32, 32}, {43, 43}, {64, 64}} {
+			conn, sz := conn, sz // explicit capture for the b.Run closure
 			b.Run(fmt.Sprintf("%s/%dx%d", conn, sz[0], sz[1]), func(b *testing.B) {
 				var ff, lut int
 				for i := 0; i < b.N; i++ {
@@ -148,6 +151,7 @@ func BenchmarkEventRate43x43(b *testing.B) {
 func BenchmarkFalseDependency(b *testing.B) {
 	g := workload8x10()
 	for _, dual := range []bool{false, true} {
+		dual := dual // explicit capture for the b.Run closure
 		name := "single-write"
 		if dual {
 			name = "dual-write"
@@ -176,6 +180,7 @@ func BenchmarkFalseDependency(b *testing.B) {
 func BenchmarkAblationStorage(b *testing.B) {
 	g := workload8x10()
 	for _, stage := range []design.Stage{design.StageBaseline, design.StageBindStorage} {
+		stage := stage // explicit capture for the b.Run closure
 		b.Run(stage.String(), func(b *testing.B) {
 			cfg := design.Config{Rows: 8, Cols: 10, Connectivity: grid.FourWay, Stage: stage}
 			var out *design.Output
@@ -198,6 +203,7 @@ func BenchmarkAblationStorage(b *testing.B) {
 func BenchmarkAblationResolver(b *testing.B) {
 	g := detector.Spiral(64, 64)
 	for _, mode := range []ccl.Mode{ccl.ModePaper, ccl.ModeFixed} {
+		mode := mode // explicit capture for the b.Run closure
 		b.Run(mode.String(), func(b *testing.B) {
 			opt := ccl.Options{Connectivity: grid.FourWay, Mode: mode}
 			for i := 0; i < b.N; i++ {
@@ -215,6 +221,7 @@ func BenchmarkAblationResolver(b *testing.B) {
 func BenchmarkAblationMergeTableSizing(b *testing.B) {
 	g := workload(43, 43)
 	for _, safe := range []bool{false, true} {
+		safe := safe // explicit capture for the b.Run closure
 		name := "paper-sizing"
 		capacity := 0
 		if safe {
@@ -245,6 +252,7 @@ func BenchmarkAblationMergeTableSizing(b *testing.B) {
 func BenchmarkLabelers(b *testing.B) {
 	g := workload(43, 43)
 	for _, lab := range labeling.All() {
+		lab := lab // explicit capture for the b.Run closure
 		b.Run(lab.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := lab.Label(g, grid.FourWay); err != nil {
@@ -324,6 +332,7 @@ func BenchmarkPipelineCTA(b *testing.B) {
 func BenchmarkAblationPassStrategy(b *testing.B) {
 	g := workload(43, 43)
 	for _, s := range []design.PassStrategy{design.PassOneAndHalf, design.PassTwo, design.PassSingle} {
+		s := s // explicit capture for the b.Run closure
 		b.Run(s.String(), func(b *testing.B) {
 			cfg := design.VariantConfig{Rows: 43, Cols: 43, Connectivity: grid.FourWay, Strategy: s}
 			var out *design.Output
@@ -345,6 +354,7 @@ func BenchmarkAblationPassStrategy(b *testing.B) {
 // major latency contributor".
 func BenchmarkAblationOutputLanes(b *testing.B) {
 	for _, lanes := range []int{1, 2, 4, 8, 16} {
+		lanes := lanes // explicit capture for the b.Run closure
 		b.Run(fmt.Sprintf("lanes-%d", lanes), func(b *testing.B) {
 			cfg := design.VariantConfig{
 				Rows: 64, Cols: 64, Connectivity: grid.FourWay,
@@ -364,6 +374,7 @@ func BenchmarkAblationOutputLanes(b *testing.B) {
 // per-tile merge table reported as hw-tile-MT).
 func BenchmarkTiled(b *testing.B) {
 	for _, side := range []int{16, 32, 64, 128} {
+		side := side // explicit capture for the b.Run closure
 		b.Run(fmt.Sprintf("%dx%d", side, side), func(b *testing.B) {
 			g := detector.RandomIslands(side, side, side*side/64, 1.6, detector.NewRNG(11))
 			var res *ccl.TiledResult
@@ -456,6 +467,131 @@ func BenchmarkStation(b *testing.B) {
 		}
 	}
 	b.ReportMetric(station.EventsPerSecond(), "hw-events/s")
+}
+
+// serveWorkload builds a rows×cols serving pipeline with the given labeling
+// backend and one pre-digitized noise-free event at ~occ lit occupancy.
+// serveTruth synthesizes shower-like image content at ~occ lit fraction:
+// compact blobs of deposited charge, which is what the camera actually
+// images (and what the run-based engine is shaped for) — Cherenkov showers
+// are spatially clustered, not uniform salt-and-pepper scatter.
+func serveTruth(rows, cols, channels int, occ float64, rng *detector.RNG) []grid.Value {
+	px := rows * cols
+	truth := make([]grid.Value, channels)
+	target := int(float64(px)*occ + 0.5)
+	lit := 0
+	for tries := 0; lit < target && tries < 64*px; tries++ {
+		cr, cc := rng.Intn(rows), rng.Intn(cols)
+		rad := 1 + rng.Intn(2)
+		for dr := -rad; dr <= rad; dr++ {
+			for dc := -rad; dc <= rad; dc++ {
+				if dr*dr+dc*dc > rad*rad {
+					continue
+				}
+				r, c := cr+dr, cc+dc
+				if r < 0 || r >= rows || c < 0 || c >= cols {
+					continue
+				}
+				if i := r*cols + c; truth[i] == 0 && lit < target {
+					truth[i] = grid.Value(3 + rng.Intn(30))
+					lit++
+				}
+			}
+		}
+	}
+	return truth
+}
+
+func serveWorkload(b *testing.B, rows, cols int, occ float64, backend adapt.ServeBackend) (*adapt.Pipeline, []adapt.Packet) {
+	b.Helper()
+	px := rows * cols
+	cfg := adapt.Config{
+		ASICs:             (px + adapt.ChannelsPerASIC - 1) / adapt.ChannelsPerASIC,
+		SamplesPerChannel: 4,
+		PedestalPerSample: 200,
+		GainADC:           40,
+		ThresholdPE:       2,
+		Detection: design.TopConfig{
+			TwoDimension: true,
+			TwoD: design.Config{
+				Rows: rows, Cols: cols,
+				Connectivity: grid.FourWay,
+				Stage:        design.StagePipelined,
+			},
+		},
+		Serve: backend,
+	}
+	p, err := adapt.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := detector.NewRNG(42)
+	truth := serveTruth(rows, cols, p.Channels(), occ, rng)
+	dig := detector.DefaultDigitizer()
+	dig.Samples = cfg.SamplesPerChannel
+	dig.NoiseRMS = 0 // keep the lit set exactly at the target occupancy
+	packets, err := adapt.GenerateEvent(truth, cfg.ASICs, 1, 0, dig, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, packets
+}
+
+// BenchmarkServeEvent sweeps the serving fast path across array sizes and
+// occupancies, comparing the run-based labeling engine (Config.Serve =
+// ServeRun, the default) against the per-pixel union-find reference
+// (ServePixel). The run/pixel ratio at CTA-like occupancy (43x43, 1–2%) is
+// the PR's headline number; run with -benchmem to confirm the 0 allocs/op
+// steady state.
+func BenchmarkServeEvent(b *testing.B) {
+	sizes := [][2]int{{8, 10}, {16, 16}, {32, 32}, {43, 43}, {64, 64}}
+	occs := []float64{0.005, 0.02, 0.10, 0.50}
+	for _, sz := range sizes {
+		for _, occ := range occs {
+			for _, backend := range []adapt.ServeBackend{adapt.ServeRun, adapt.ServePixel} {
+				sz, occ, backend := sz, occ, backend // explicit capture
+				name := fmt.Sprintf("%dx%d/occ=%g%%/%s", sz[0], sz[1], occ*100, backend)
+				b.Run(name, func(b *testing.B) {
+					p, packets := serveWorkload(b, sz[0], sz[1], occ, backend)
+					var rec adapt.EventRecord
+					if err := p.ServeEvent(packets, &rec); err != nil {
+						b.Fatal(err) // warmup: reach the zero-alloc steady state
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := p.ServeEvent(packets, &rec); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkServeBatch measures the batched serving entry point the ingest
+// workers use, at the CTA geometry and occupancy.
+func BenchmarkServeBatch(b *testing.B) {
+	const batch = 32
+	p, packets := serveWorkload(b, 43, 43, 0.02, adapt.ServeRun)
+	events := make([][]adapt.Packet, batch)
+	for i := range events {
+		events[i] = packets
+	}
+	recs := make([]adapt.EventRecord, batch)
+	errs := make([]error, batch)
+	if n := p.ServeBatch(events, recs, errs); n != batch {
+		b.Fatalf("warmup served %d/%d", n, batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := p.ServeBatch(events, recs, errs); n != batch {
+			b.Fatalf("served %d/%d", n, batch)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/event")
 }
 
 // BenchmarkDeadtime measures the E14 trigger simulation itself.

@@ -10,7 +10,8 @@
 //	hepccld -config adapt -listen :9310 -stats :9311 -pace-hw  # 1D flight
 //
 // The -stats endpoint serves GET /stats (JSON counters, queue high-water
-// mark, latency percentiles) and GET /healthz. With -policy drop the
+// mark, latency percentiles, EWMA events_per_sec and ns_per_event gauges) and
+// GET /healthz; -pprof additionally exposes net/http/pprof there. With -policy drop the
 // per-worker queues behave like the §6 derandomizer FIFO of `experiments
 // deadtime` (E14); -pace-hw additionally throttles each worker to the
 // modeled FPGA event interval so measured loss-vs-depth curves are directly
@@ -46,6 +47,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		listen      = fs.String("listen", "127.0.0.1:9310", "event-ingest listen address")
 		statsAddr   = fs.String("stats", "", "stats endpoint address (empty disables)")
+		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -stats address")
 		configName  = fs.String("config", "cta", "pipeline configuration: adapt (1D) or cta (2D 43x43)")
 		samples     = fs.Int("samples", 4, "waveform samples per channel on the wire (0 keeps the config default)")
 		workers     = fs.Int("workers", 1, "pipeline worker pool size")
@@ -88,6 +90,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.StatsAddr = *statsAddr
+	cfg.EnablePprof = *pprofOn
 	cfg.LogInterval = *logEvery
 	cfg.Logger = log.New(out, "", log.LstdFlags)
 

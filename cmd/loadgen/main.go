@@ -8,10 +8,16 @@
 //
 //	loadgen -addr 127.0.0.1:9310 -config cta -events 60000 -rate 15000 -conns 4
 //	loadgen -poisson -rate 15000 -events 60000     # E14-style Poisson arrivals
+//	loadgen -rate 0 -events 60000 -conns 4         # saturation sweep
 //
 // With -poisson the inter-event gaps are exponential, reproducing the
 // trigger process of `experiments deadtime` (E14) so the daemon's measured
 // loss fraction vs -queue depth can be compared against that simulation.
+//
+// With -rate 0 the generator runs in saturation mode: each connection writes
+// events back-to-back with per-event ids and send timestamps, and the reader
+// matches downlink records to sends, reporting the maximum sustained served
+// rate plus end-to-end p50/p99 latency as measured by the client.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -45,6 +52,10 @@ type connResult struct {
 	received int
 	islands  int
 	err      error
+
+	// lats holds one client-measured end-to-end latency (send → record
+	// received) per matched event, populated only in saturation mode.
+	lats []time.Duration
 
 	// Fault accounting, populated on the chaos path.
 	corrupted   int // events with at least one injected frame fault
@@ -138,6 +149,8 @@ func run(args []string, out io.Writer) error {
 						seed:        *faultSeed + uint64(id),
 						dialRetries: *dialTries,
 					})
+			} else if *rate <= 0 {
+				res, sd, rd = driveSatConn(*addr, templs, share, *timeout)
 			} else {
 				res, sd, rd = driveConn(*addr, templs, share, perConn, *poisson, phase,
 					detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst)
@@ -169,6 +182,10 @@ func run(args []string, out io.Writer) error {
 			total.err = fmt.Errorf("conn %d: %w", i, r.err)
 		}
 	}
+	var lats []time.Duration
+	for _, r := range results {
+		lats = append(lats, r.lats...)
+	}
 	lost := total.sent - total.received
 	offered := float64(total.sent) / sendDur.Seconds()
 	served := float64(total.received) / recvDur.Seconds()
@@ -184,6 +201,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "faults   %d corrupted + %d partials = %d explained, %d reconnects (%d dial retries)\n",
 			total.corrupted, total.partials, total.corrupted+total.partials,
 			total.reconnects, total.dialRetries)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(p float64) time.Duration { return lats[int(p*float64(len(lats)-1))] }
+		fmt.Fprintf(out, "saturation: max sustained %.0f ev/s served, latency p50=%v p99=%v max=%v (%d matched)\n",
+			served, q(0.50).Round(time.Microsecond), q(0.99).Round(time.Microsecond),
+			lats[len(lats)-1].Round(time.Microsecond), len(lats))
 	}
 	if total.err != nil {
 		return total.err
@@ -365,6 +389,113 @@ func driveConn(addr string, templs []template, share int, perConn float64,
 		res.err = werr
 	}
 	return res, sendDur, recvDur
+}
+
+// driveSatConn is the -rate 0 saturation drive: it writes events back-to-back
+// as fast as the socket accepts them, one write per event with the event id
+// patched into a private template copy just before the send, and timestamps
+// each send so the reader can match downlink records (which carry the event
+// id) back to their sends for client-side end-to-end latency. The pair
+// (served rate, latency percentiles) this produces is the max-sustained-rate
+// figure of merit: offered load exceeds capacity by construction, so the
+// served rate is the daemon's ceiling under the configured policy.
+func driveSatConn(addr string, templs []template, share int,
+	timeout time.Duration) (connResult, time.Duration, time.Duration) {
+	var res connResult
+	start := time.Now()
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		res.err = err
+		return res, time.Since(start), time.Since(start)
+	}
+	defer nc.Close()
+
+	// Private template copies: event ids are patched in place, and the shared
+	// templates serve every connection goroutine. Frame boundaries are
+	// reconstructed so PatchFrameEventID can refold each frame's checksum.
+	streams := make([][]byte, len(templs))
+	frames := make([][][]byte, len(templs))
+	for i, tp := range templs {
+		streams[i] = append([]byte(nil), tp.stream...)
+		off := 0
+		frames[i] = make([][]byte, len(tp.frames))
+		for j, f := range tp.frames {
+			frames[i][j] = streams[i][off : off+len(f)]
+			off += len(f)
+		}
+	}
+
+	// sendNs[i] is event i's send time relative to start; the reader indexes
+	// it by the record's event id. Written before the socket write, read only
+	// after the matching record arrives, so no send can race its own read.
+	sendNs := make([]int64, share)
+
+	var sendDur time.Duration
+	writeErr := make(chan error, 1)
+	go func() {
+		defer func() {
+			sendDur = time.Since(start)
+			if tc, ok := nc.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}()
+		for i := 0; i < share; i++ {
+			t := i % len(templs)
+			for _, f := range frames[t] {
+				if err := adapt.PatchFrameEventID(f, uint32(i)); err != nil {
+					writeErr <- err
+					return
+				}
+			}
+			sendNs[i] = int64(time.Since(start))
+			nc.SetWriteDeadline(time.Now().Add(timeout))
+			if _, err := nc.Write(streams[t]); err != nil {
+				writeErr <- fmt.Errorf("write event %d: %w", i, err)
+				return
+			}
+			res.sent++
+		}
+		writeErr <- nil
+	}()
+
+	res.received, res.islands, res.lats, res.err = readRecordsLat(nc, timeout, start, sendNs)
+	recvDur := time.Since(start)
+	if werr := <-writeErr; werr != nil && res.err == nil {
+		res.err = werr
+	}
+	return res, sendDur, recvDur
+}
+
+// readRecordsLat consumes downlink records until EOF like readRecords, and
+// additionally matches each record's event id against the send-time table to
+// accumulate client-observed end-to-end latencies.
+func readRecordsLat(nc net.Conn, timeout time.Duration, start time.Time,
+	sendNs []int64) (records, islands int, lats []time.Duration, err error) {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	lats = make([]time.Duration, 0, len(sendNs))
+	var hdr [8]byte
+	var body []byte
+	for {
+		nc.SetReadDeadline(time.Now().Add(timeout))
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, islands, lats, nil
+			}
+			return records, islands, lats, fmt.Errorf("record header: %w", err)
+		}
+		if id := binary.BigEndian.Uint32(hdr[:4]); int(id) < len(sendNs) {
+			lats = append(lats, time.Since(start)-time.Duration(sendNs[id]))
+		}
+		n := int(binary.BigEndian.Uint32(hdr[4:]))
+		if cap(body) < n*22 {
+			body = make([]byte, n*22)
+		}
+		if _, err := io.ReadFull(br, body[:n*22]); err != nil {
+			return records, islands, lats, fmt.Errorf("record body: %w", err)
+		}
+		records++
+		islands += n
+	}
 }
 
 // chaosPlan configures the fault-injecting drive path of one connection.

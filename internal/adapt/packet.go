@@ -39,6 +39,16 @@ type Header struct {
 // SamplesPerChannel ADC samples for each channel.
 type Packet struct {
 	Header
+	// block, when non-nil, is the contiguous channel-major backing array of
+	// Samples (len 16×SamplesPerChannel, Samples[ch] aliases
+	// block[ch·n:(ch+1)·n]) and every sample in it is within the 16-bit
+	// wire range [0, 0xFFFF]. The serving path's word-at-a-time integration
+	// and its packet-level dark screen rely on both properties. Unmarshal
+	// and GenerateEvent maintain the invariant; code that reassigns a
+	// Samples[ch] slice header (rather than mutating samples in place) must
+	// leave block nil. It sits before Samples so the serving loop's hot
+	// fields (header + block) share the packet's first cache line.
+	block []int32
 	// Samples is indexed [channel][sample]; every channel has
 	// SamplesPerChannel samples.
 	Samples [ChannelsPerASIC][]int32
@@ -110,36 +120,32 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 		// stream reader discards it after counting the bad frame.
 		return 0, ErrChecksumMismatch
 	}
-	off := headerBytes
 	n := int(p.SamplesPerChannel)
-	// Reuse the packet's sample storage when capacity allows; a fresh packet
-	// gets one contiguous backing array instead of 16 separate ones. Callers
-	// that reuse a Packet across Unmarshal calls must not retain the previous
-	// sample slices.
-	var block []int32
+	// Decode into the packet's contiguous backing block, reusing its storage
+	// when capacity allows. Callers that reuse a Packet across Unmarshal
+	// calls must not retain the previous sample slices.
+	need := ChannelsPerASIC * n
+	if cap(p.block) < need {
+		p.block = make([]int32, need)
+	}
+	p.block = p.block[:need]
+	blk := p.block
 	for ch := 0; ch < ChannelsPerASIC; ch++ {
-		if cap(p.Samples[ch]) >= n {
-			p.Samples[ch] = p.Samples[ch][:n]
-		} else {
-			if len(block) < n {
-				block = make([]int32, ChannelsPerASIC*n)
-			}
-			p.Samples[ch], block = block[:n:n], block[n:]
-		}
-		src := data[off : off+2*n]
-		dst := p.Samples[ch]
-		s := 0
-		for ; s+4 <= n; s += 4 { // four samples per 8-byte load
-			v := binary.BigEndian.Uint64(src[2*s:])
-			dst[s] = int32(v >> 48)
-			dst[s+1] = int32(v >> 32 & 0xFFFF)
-			dst[s+2] = int32(v >> 16 & 0xFFFF)
-			dst[s+3] = int32(v & 0xFFFF)
-		}
-		for ; s < n; s++ {
-			dst[s] = int32(binary.BigEndian.Uint16(src[2*s:]))
-		}
-		off += 2 * n
+		p.Samples[ch] = blk[ch*n : (ch+1)*n : (ch+1)*n]
+	}
+	// The wire layout is channel-major, matching the block layout exactly:
+	// one linear big-endian decode fills every channel.
+	src := data[headerBytes : headerBytes+2*need]
+	s := 0
+	for ; s+4 <= need; s += 4 { // four samples per 8-byte load
+		v := binary.BigEndian.Uint64(src[2*s:])
+		blk[s] = int32(v >> 48)
+		blk[s+1] = int32(v >> 32 & 0xFFFF)
+		blk[s+2] = int32(v >> 16 & 0xFFFF)
+		blk[s+3] = int32(v & 0xFFFF)
+	}
+	for ; s < need; s++ {
+		blk[s] = int32(binary.BigEndian.Uint16(src[2*s:]))
 	}
 	return total, nil
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/wustl-adapt/hepccl/internal/centroid"
 	"github.com/wustl-adapt/hepccl/internal/design"
 	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/runccl"
 )
 
 // Config parameterizes one build of the FPGA pipeline — the values the real
@@ -28,6 +29,36 @@ type Config struct {
 	// Detection selects and configures the island-detection back end
 	// (the TWO_DIMENSION switch).
 	Detection design.TopConfig
+	// Serve selects ServeEvent's 2D labeling backend. The zero value is the
+	// bit-packed run-based engine; ServePixel keeps the per-pixel reference.
+	Serve ServeBackend
+}
+
+// ServeBackend selects the island-labeling engine behind ServeEvent's 2D
+// path. Both produce the identical island partition, statistics, and compact
+// raster numbering; they differ only in cost scaling.
+type ServeBackend int
+
+const (
+	// ServeRun (the default) is the bit-packed run-based engine
+	// (internal/runccl): labeling cost scales with lit content, not array
+	// area.
+	ServeRun ServeBackend = iota
+	// ServePixel is the raster-scan per-pixel union-find, kept as the
+	// reference implementation for differential testing.
+	ServePixel
+)
+
+// String implements fmt.Stringer.
+func (b ServeBackend) String() string {
+	switch b {
+	case ServePixel:
+		return "pixel"
+	case ServeRun:
+		return "run"
+	default:
+		return fmt.Sprintf("ServeBackend(%d)", int(b))
+	}
 }
 
 // DefaultADAPT returns the synthetic ADAPT flight configuration: 20 ASICs
@@ -73,6 +104,33 @@ type Pipeline struct {
 	merger    *Merger
 	pedestals []int64 // per flat channel, integral units
 	serve     serveScratch
+	runEngine *runccl.Engine // 2D run-based serving backend; nil under ServePixel or 1D
+
+	// Serving-path precomputation. cutoff is the ADC-domain zero-suppression
+	// threshold: with rounded division by gain g, pe > T ⇔ net ≥ (T+1)·g −
+	// g/2, so suppressed channels never pay the photon-count division.
+	// limits[fl] = cutoff + pedestals[fl] folds the pedestal subtraction into
+	// the same compare; Calibrate rebuilds it. litWord/litMask map a flat
+	// pixel index to its word and bit in the run engine's bitmap layout,
+	// replacing a per-lit-pixel division.
+	// minLim[asic] is the minimum of limits over the ASIC's 16 channels:
+	// a packet whose total sample sum stays below it cannot contain a lit
+	// channel (samples are non-negative), so the integration loop clears
+	// whole dark packets with one screened compare.
+	cutoff  int64
+	limits  []int64
+	minLim  []int64
+	litWord []int32
+	litMask []uint64
+	// pcM/pcMax implement PhotonCount's divide-by-gain as an exact magic
+	// multiply for numerators in [0, pcMax): with M = ⌊2^47/g⌋+1 = (2^47+e)/g
+	// (0 < e ≤ g), ⌊n·M/2^47⌋ = ⌊n/g + n·e/(g·2^47)⌋ equals ⌊n/g⌋ whenever
+	// the error term stays below 1/(2g), which n ≤ 2^23 and g < 2^23
+	// guarantee; pcMax also caps n·M below 2^63. Out-of-range numerators
+	// (including negative ones, where Go's truncating division differs from
+	// floor) fall back to the real division.
+	pcM   uint64
+	pcMax uint64
 }
 
 // New validates the configuration and builds the pipeline.
@@ -106,7 +164,55 @@ func New(cfg Config) (*Pipeline, error) {
 	for i := range peds {
 		peds[i] = nominal
 	}
-	return &Pipeline{cfg: cfg, merger: merger, pedestals: peds}, nil
+	p := &Pipeline{cfg: cfg, merger: merger, pedestals: peds}
+	p.cutoff = (int64(cfg.ThresholdPE)+1)*cfg.GainADC - cfg.GainADC/2
+	p.limits = make([]int64, channels)
+	p.minLim = make([]int64, cfg.ASICs)
+	p.refreshLimits()
+	if cfg.GainADC < 1<<23 {
+		p.pcM = uint64(1)<<47/uint64(cfg.GainADC) + 1
+		p.pcMax = uint64(1) << 23
+		if lim := (uint64(1) << 63) / p.pcM; lim < p.pcMax {
+			p.pcMax = lim
+		}
+	}
+	if cfg.Detection.TwoDimension && cfg.Serve == ServeRun {
+		conn := cfg.Detection.TwoD.Connectivity
+		if !conn.Valid() {
+			conn = grid.FourWay // matches the pixel path's "not 8-way ⇒ 4-way"
+		}
+		p.runEngine, err = runccl.NewEngine(cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols, conn)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: %w", err)
+		}
+		cols, wpr := cfg.Detection.TwoD.Cols, p.runEngine.WordsPerRow()
+		px := cfg.Detection.TwoD.Rows * cols
+		p.litWord = make([]int32, px)
+		p.litMask = make([]uint64, px)
+		for fl := 0; fl < px; fl++ {
+			r, c := fl/cols, fl%cols
+			p.litWord[fl] = int32(r*wpr + c>>6)
+			p.litMask[fl] = 1 << uint(c&63)
+		}
+	}
+	return p, nil
+}
+
+// refreshLimits rebuilds the per-channel ADC suppression limits and the
+// per-ASIC dark-screen minimums from the current pedestals.
+func (p *Pipeline) refreshLimits() {
+	for i, ped := range p.pedestals {
+		p.limits[i] = p.cutoff + ped
+	}
+	for a := range p.minLim {
+		m := p.limits[a*ChannelsPerASIC]
+		for _, l := range p.limits[a*ChannelsPerASIC+1 : (a+1)*ChannelsPerASIC] {
+			if l < m {
+				m = l
+			}
+		}
+		p.minLim[a] = m
+	}
 }
 
 // Config returns the pipeline's configuration.
@@ -138,6 +244,7 @@ func (p *Pipeline) Calibrate(events [][]Packet) error {
 	for i := range sums {
 		p.pedestals[i] = sums[i] / int64(len(events))
 	}
+	p.refreshLimits()
 	return nil
 }
 

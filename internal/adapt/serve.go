@@ -3,7 +3,9 @@ package adapt
 import (
 	"fmt"
 
+	"github.com/wustl-adapt/hepccl/internal/ccl"
 	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/runccl"
 )
 
 // Serving fast path. ProcessEvent runs the cycle-level HLS co-simulation of
@@ -12,9 +14,20 @@ import (
 // event rates in software. ServeEvent produces the same kind of downlink
 // record through the functional route: identical per-channel stage math
 // (integrate → pedestal subtract → photon count → zero-suppress → merge),
-// then a raster-scan union-find producing the same island partition as the
-// CCL design (with the corrected resolver) and integer Q16.16 centroids,
-// with all scratch storage reused across events.
+// then island labeling producing the same partition as the CCL design (with
+// the corrected resolver) and integer Q16.16 centroids, with all scratch
+// storage reused across events.
+//
+// Two labeling backends implement the 2D path (Config.Serve):
+//
+//   - ServeRun (default): zero-suppression packs a lit bitmap ([]uint64,
+//     one bit per pixel) alongside the merged values, and the run-based
+//     engine of internal/runccl labels runs of lit pixels extracted
+//     word-at-a-time — cost scales with island content (~1–5% occupancy for
+//     CTA-like workloads), not array area, and no labels image is ever
+//     materialized.
+//   - ServePixel: the raster-scan per-pixel union-find, kept as the
+//     reference for differential testing (FuzzRunCCLvsPixel).
 //
 // Differences from ProcessEvent + RecordOf, by design:
 //
@@ -28,14 +41,26 @@ import (
 // serveScratch is per-pipeline reusable storage for ServeEvent. A Pipeline
 // is not safe for concurrent use; servers give each worker its own.
 type serveScratch struct {
-	merged []grid.Value
-	labels []int32 // per-pixel provisional label
-	parent []int32 // union-find over provisional labels
-	remap  []int32 // provisional root -> compact island number
-	pixels []uint32
-	sums   []int64
-	rows   []int64
-	cols   []int64
+	merged  []grid.Value
+	bitmap  []uint64        // lit-pixel bitmap for the run backend
+	lit     []litRef        // above-threshold channels found during integration
+	islands []runccl.Island // run backend island accumulator
+	labels  []int32         // pixel path: per-pixel provisional label
+	uf      ccl.DenseUF     // pixel path: union-find over provisional labels
+	remap   []int32         // pixel path: provisional root -> compact island
+	pixels  []uint32
+	sums    []int64
+	rows    []int64
+	cols    []int64
+}
+
+// litRef records one above-threshold channel found during integration. The
+// rare lit-channel work (photon-count division, merged store, bitmap bit) is
+// deferred to a pass over this list so the per-channel hot loop carries only
+// a sum and one compare.
+type litRef struct {
+	fl  int32
+	raw int64
 }
 
 // ServeEvent processes one assembled event into rec, reusing rec's island
@@ -48,44 +73,94 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 	sc := &p.serve
 	if sc.merged == nil {
 		sc.merged = make([]grid.Value, p.Channels())
+		sc.lit = make([]litRef, 0, 256)
 	}
 	merged := sc.merged
-	// Threshold in the ADC domain so suppressed channels (the vast majority)
-	// never pay the photon-count division: with rounded division by gain g,
-	// pe > T  ⇔  net >= (T+1)·g − g/2.
-	gain := p.cfg.GainADC
-	cutoff := int64(1) << 62 // gain <= 0: PhotonCount yields 0, all suppressed
-	if gain > 0 {
-		cutoff = (int64(p.cfg.ThresholdPE)+1)*gain - gain/2
+	det := p.cfg.Detection
+	eng := p.runEngine
+	var bitmap []uint64
+	px := 0
+	if eng != nil {
+		if sc.bitmap == nil {
+			sc.bitmap = make([]uint64, eng.BitmapLen())
+		}
+		bitmap = sc.bitmap
+		for i := range bitmap {
+			bitmap[i] = 0
+		}
+		px = eng.Rows() * eng.Cols()
+	} else {
+		// The backends that scan every pixel need dark channels to read
+		// zero. The run backend consults only lit bitmap positions, so it
+		// skips this clear: stale dark values are never read.
+		for i := range merged {
+			merged[i] = 0
+		}
 	}
-	for i := range packets {
-		pkt := &packets[i]
-		base := int(pkt.ASIC) * ChannelsPerASIC
-		for ch := 0; ch < ChannelsPerASIC; ch++ {
-			var raw int64
-			if s := pkt.Samples[ch]; len(s) == 4 {
-				raw = int64(s[0]) + int64(s[1]) + int64(s[2]) + int64(s[3])
-			} else {
-				for _, v := range s {
-					raw += int64(v)
-				}
+	// Integration + zero-suppression. limits[fl] = cutoff + pedestal folds
+	// the pedestal subtraction and the ADC-domain threshold (pe > T ⇔ net ≥
+	// (T+1)·g − g/2) into a single compare against the raw integral, so the
+	// vast dark majority costs one sum and one branch per channel.
+	lit := integrateEvent(packets, p.limits, p.minLim, sc.lit[:0])
+	sc.lit = lit
+	gain := p.cfg.GainADC
+	half := gain / 2
+	for _, le := range lit {
+		fl := int(le.fl)
+		// PhotonCount(net, gain) = (net + gain/2) / gain, with the division
+		// done as the pipeline's precomputed magic multiply when the
+		// numerator is in range (it always is for wire-representable
+		// samples); the fallback keeps crafted events bit-exact.
+		num := le.raw - p.pedestals[fl] + half
+		if uint64(num) < p.pcMax {
+			merged[fl] = grid.Value(uint64(num) * p.pcM >> 47)
+		} else {
+			merged[fl] = PhotonCount(le.raw-p.pedestals[fl], gain)
+		}
+	}
+	if eng != nil {
+		for _, le := range lit {
+			if fl := int(le.fl); fl < px {
+				bitmap[p.litWord[fl]] |= p.litMask[fl]
 			}
-			net := PedestalSubtract(raw, p.pedestals[base+ch])
-			if net < cutoff {
-				merged[base+ch] = 0
-				continue
-			}
-			merged[base+ch] = PhotonCount(net, gain)
 		}
 	}
 	rec.Event = packets[0].Event
 	rec.Islands = rec.Islands[:0]
 
-	det := p.cfg.Detection
 	if !det.TwoDimension {
 		return p.serve1D(merged, rec)
 	}
+	if eng != nil {
+		return p.serveRun2D(bitmap, merged[:px], rec)
+	}
 	return p.serve2D(merged, rec)
+}
+
+// serveRun2D labels the packed lit bitmap with the run-based engine and
+// copies its island summaries into the downlink record. Statistics come out
+// bit-identical to serve2D: same integer moments, same Q16.16 rounding, same
+// compact raster numbering.
+func (p *Pipeline) serveRun2D(bitmap []uint64, values []grid.Value, rec *EventRecord) error {
+	sc := &p.serve
+	sc.islands = p.runEngine.Label(bitmap, values, sc.islands[:0])
+	n := len(sc.islands)
+	if cap(rec.Islands) < n {
+		rec.Islands = make([]IslandRecord, 0, n+n/2+8)
+	}
+	out := rec.Islands[:n]
+	for i := range sc.islands {
+		is := &sc.islands[i]
+		out[i] = IslandRecord{
+			Label:  int32(i + 1),
+			Pixels: uint16(is.Pixels),
+			Sum:    is.Sum,
+			RowQ16: is.RowQ16,
+			ColQ16: is.ColQ16,
+		}
+	}
+	rec.Islands = out
+	return nil
 }
 
 // serve2D labels the flat merged image with an inline raster-scan union-find
@@ -103,15 +178,8 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 		sc.labels = make([]int32, px)
 	}
 	labels := sc.labels[:px]
-	parent := append(sc.parent[:0], 0) // provisional label 0 = background
-
-	find := func(x int32) int32 {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]] // path halving
-			x = parent[x]
-		}
-		return x
-	}
+	uf := &sc.uf
+	uf.Reset(1) // provisional label 0 = background
 
 	for r := 0; r < nrows; r++ {
 		rowBase := r * ncols
@@ -141,29 +209,23 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 				if nb == 0 {
 					continue
 				}
-				rt := find(nb)
-				switch {
-				case l == 0:
-					l = rt
-				case rt < l:
-					parent[l] = rt
-					l = rt
-				case rt > l:
-					parent[rt] = l
+				if l == 0 {
+					l = uf.Find(nb)
+				} else {
+					l = uf.Union(l, nb)
 				}
 			}
 			if l == 0 {
-				l = int32(len(parent))
-				parent = append(parent, l)
+				l = uf.Add()
 			}
 			labels[i] = l
 		}
 	}
-	sc.parent = parent
 
 	// Resolve every provisional label to its root, then accumulate island
 	// statistics in one sweep, assigning compact numbers at first appearance.
-	np := len(parent)
+	uf.Flatten()
+	np := uf.Len()
 	if cap(sc.remap) < np {
 		sc.remap = make([]int32, np)
 		sc.pixels = make([]uint32, np)
@@ -178,18 +240,13 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 		remap[l] = 0
 		pixels[l], sums[l], rows[l], cols[l] = 0, 0, 0, 0
 	}
-	// parent[l] <= l always (unions point larger labels at smaller ones), so
-	// one ascending sweep resolves every label to its root.
-	for l := 1; l < np; l++ {
-		parent[l] = parent[parent[l]]
-	}
 	k := int32(0)
 	for i := 0; i < px; i++ {
 		l := labels[i]
 		if l == 0 {
 			continue
 		}
-		root := parent[l]
+		root := uf.Root(l)
 		cl := remap[root]
 		if cl == 0 {
 			k++
@@ -204,7 +261,7 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 	}
 	for l := int32(1); l <= k; l++ {
 		rec.Islands = append(rec.Islands, IslandRecord{
-			Label:  grid.Label(l),
+			Label:  l,
 			Pixels: uint16(pixels[l]),
 			Sum:    sums[l],
 			RowQ16: q16Ratio(rows[l], sums[l]),
@@ -232,7 +289,7 @@ func (p *Pipeline) serve1D(merged []grid.Value, rec *EventRecord) error {
 			end++
 		}
 		rec.Islands = append(rec.Islands, IslandRecord{
-			Label:  grid.Label(len(rec.Islands) + 1),
+			Label:  int32(len(rec.Islands) + 1),
 			Pixels: uint16(end - start),
 			Sum:    sum,
 			RowQ16: 0,

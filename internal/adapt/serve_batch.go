@@ -1,0 +1,24 @@
+package adapt
+
+// ServeBatch processes a batch of assembled events through the serving fast
+// path, reusing one scratch arena (the pipeline's) across the whole batch.
+// This is the entry point internal/server workers use to amortize per-event
+// overhead: one call serves every event a shard has queued, and recs[i]
+// reuses its island storage across batches.
+//
+// events, recs, and errs must have equal length. Per-event failures are
+// recorded in errs[i] (nil on success) and do not stop the batch — a bad
+// event from one connection must not discard its shard-mates. It returns the
+// number of events served successfully.
+func (p *Pipeline) ServeBatch(events [][]Packet, recs []EventRecord, errs []error) int {
+	if len(recs) != len(events) || len(errs) != len(events) {
+		panic("adapt: ServeBatch requires len(events) == len(recs) == len(errs)")
+	}
+	ok := 0
+	for i, ev := range events {
+		if errs[i] = p.ServeEvent(ev, &recs[i]); errs[i] == nil {
+			ok++
+		}
+	}
+	return ok
+}

@@ -1,0 +1,73 @@
+package adapt
+
+import "unsafe"
+
+// integrateEvent runs integration + zero-suppression over every packet of an
+// event, appending each channel whose raw integral reaches its suppression
+// limit to lit. limits is the pipeline's full per-flat-channel limit table.
+// This is the innermost serving loop: per event it visits thousands of dark
+// channels to find a few dozen lit ones, so the per-channel work is one sum
+// and one compare, and the whole event is a single call.
+//
+// Packets carrying a contiguous 4-sample block (the wire-parse and generator
+// layout) take the word-at-a-time path: when the block is 8-byte aligned
+// (heap []int32 backing arrays are in practice; the scalar path covers the
+// remainder), each channel is read as two uint64 words of two int32 lanes
+// each. The Packet.block invariant — every sample non-negative — makes the
+// lane arithmetic exact: two lanes < 2^31 sum without carrying into the
+// upper lane, and folding the two 32-bit halves reconstructs the integral.
+func integrateEvent(packets []Packet, limits, minLim []int64, lit []litRef) []litRef {
+	for i := range packets {
+		pkt := &packets[i]
+		base := int(pkt.ASIC) * ChannelsPerASIC
+		lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
+		if blk := pkt.block; len(blk) == ChannelsPerASIC*4 {
+			if uintptr(unsafe.Pointer(&blk[0]))&7 == 0 {
+				u := unsafe.Slice((*uint64)(unsafe.Pointer(&blk[0])), ChannelsPerASIC*2)
+				// Dark screen: each channel's integral is bounded by the
+				// packet total (samples are non-negative), so a total below
+				// the ASIC's smallest limit proves every channel dark. The
+				// ≤ 0xFFFF sample bound keeps the 32 lane adds carry-free.
+				var tot uint64
+				for w := 0; w < ChannelsPerASIC*2; w += 4 {
+					tot += u[w] + u[w+1] + u[w+2] + u[w+3]
+				}
+				if int64(tot&0xFFFFFFFF)+int64(tot>>32) < minLim[pkt.ASIC] {
+					continue
+				}
+				for ch := 0; ch < ChannelsPerASIC; ch += 2 {
+					t0 := u[2*ch] + u[2*ch+1]
+					t1 := u[2*ch+2] + u[2*ch+3]
+					raw0 := int64(t0&0xFFFFFFFF) + int64(t0>>32)
+					raw1 := int64(t1&0xFFFFFFFF) + int64(t1>>32)
+					if raw0 >= lim[ch] {
+						lit = append(lit, litRef{int32(base + ch), raw0})
+					}
+					if raw1 >= lim[ch+1] {
+						lit = append(lit, litRef{int32(base + ch + 1), raw1})
+					}
+				}
+				continue
+			}
+			blk = blk[: ChannelsPerASIC*4 : ChannelsPerASIC*4]
+			for ch := 0; ch < ChannelsPerASIC; ch++ {
+				o := ch * 4
+				raw := int64(blk[o]) + int64(blk[o+1]) + int64(blk[o+2]) + int64(blk[o+3])
+				if raw >= lim[ch] {
+					lit = append(lit, litRef{int32(base + ch), raw})
+				}
+			}
+			continue
+		}
+		for ch := 0; ch < ChannelsPerASIC; ch++ {
+			var raw int64
+			for _, v := range pkt.Samples[ch] {
+				raw += int64(v)
+			}
+			if raw >= lim[ch] {
+				lit = append(lit, litRef{int32(base + ch), raw})
+			}
+		}
+	}
+	return lit
+}

@@ -1,0 +1,154 @@
+package adapt
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/design"
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// FuzzRunCCLvsPixel is the differential check behind the run-based serving
+// backend: for a fuzzer-chosen geometry, connectivity, and photo-electron
+// image, the same digitized event is served through the run engine and the
+// per-pixel reference backend, and both are compared — field by field —
+// against an independently computed merged image labeled by the ccl package
+// (ModeFixed, compact labels). All three must agree on the partition, pixel
+// counts, sums, and Q16.16 centroids.
+//
+// Geometry spans both engine extraction paths: cols ≤ 64 exercises the
+// single-word narrow extractor, wider images the generic multi-word one.
+func FuzzRunCCLvsPixel(f *testing.F) {
+	f.Add(uint64(1), uint8(43), uint8(43), false, []byte{0, 5, 5, 0, 9})
+	f.Add(uint64(2), uint8(8), uint8(10), true, []byte{3, 3, 3, 3, 3, 3, 3})
+	f.Add(uint64(3), uint8(5), uint8(70), false, []byte{40, 0, 40, 0, 40})
+	f.Add(uint64(4), uint8(1), uint8(64), true, []byte{7})
+	f.Add(uint64(5), uint8(16), uint8(16), true, []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, rowsB, colsB uint8, eight bool, pe []byte) {
+		rows := 1 + int(rowsB%48)
+		cols := 1 + int(colsB%70)
+		px := rows * cols
+		conn := grid.FourWay
+		if eight {
+			conn = grid.EightWay
+		}
+		cfg := Config{
+			ASICs:             (px + ChannelsPerASIC - 1) / ChannelsPerASIC,
+			SamplesPerChannel: 4,
+			PedestalPerSample: 200,
+			GainADC:           40,
+			ThresholdPE:       2,
+			Detection: design.TopConfig{
+				TwoDimension: true,
+				TwoD: design.Config{
+					Rows: rows, Cols: cols,
+					Connectivity: conn,
+					Stage:        design.StagePipelined,
+				},
+			},
+		}
+
+		// Truth image from the fuzz payload: PE amplitudes 0..41, so the
+		// population straddles the ThresholdPE=2 suppression cut.
+		truth := make([]grid.Value, cfg.ASICs*ChannelsPerASIC)
+		for i := 0; i < px; i++ {
+			if len(pe) > 0 {
+				truth[i] = grid.Value(pe[i%len(pe)] % 42)
+			}
+		}
+		rng := detector.NewRNG(seed | 1)
+		dig := detector.DefaultDigitizer()
+		dig.Samples = cfg.SamplesPerChannel
+		packets, err := GenerateEvent(truth, cfg.ASICs, 7, 0, dig, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		runCfg, pixCfg := cfg, cfg
+		runCfg.Serve = ServeRun
+		pixCfg.Serve = ServePixel
+		pRun, err := New(runCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pPix, err := New(pixCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pRun.runEngine == nil || pPix.runEngine != nil {
+			t.Fatal("backend selection did not take effect")
+		}
+		var recRun, recPix EventRecord
+		if err := pRun.ServeEvent(packets, &recRun); err != nil {
+			t.Fatal(err)
+		}
+		if err := pPix.ServeEvent(packets, &recPix); err != nil {
+			t.Fatal(err)
+		}
+		if len(recRun.Islands) != len(recPix.Islands) {
+			t.Fatalf("run found %d islands, pixel %d", len(recRun.Islands), len(recPix.Islands))
+		}
+		// Both backends number islands 1..K in raster order of first
+		// appearance, so records must match positionally and bit-exactly.
+		for i := range recRun.Islands {
+			if recRun.Islands[i] != recPix.Islands[i] {
+				t.Fatalf("island %d: run %+v != pixel %+v", i, recRun.Islands[i], recPix.Islands[i])
+			}
+		}
+
+		// Independent reference: rebuild the merged image from the packets
+		// with the textbook per-channel math (integrate, subtract pedestal,
+		// rounded photon count, suppress at ThresholdPE), then label it with
+		// the ccl package in corrected-resolver mode.
+		merged := make([]grid.Value, px)
+		for pi := range packets {
+			base := int(packets[pi].ASIC) * ChannelsPerASIC
+			ints := packets[pi].Integrals()
+			for ch, raw := range ints {
+				fl := base + ch
+				if fl >= px {
+					continue
+				}
+				net := raw - cfg.PedestalPerSample*int64(cfg.SamplesPerChannel)
+				if pc := PhotonCount(net, cfg.GainADC); pc > cfg.ThresholdPE {
+					merged[fl] = pc
+				}
+			}
+		}
+		g, err := grid.FromFlat(rows, cols, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ccl.Label(g, ccl.Options{
+			Connectivity:  conn,
+			Mode:          ccl.ModeFixed,
+			CompactLabels: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := ccl.Islands(g, res.Labels)
+		if len(ref) != len(recRun.Islands) {
+			t.Fatalf("ccl.Label found %d islands, serving path %d", len(ref), len(recRun.Islands))
+		}
+		for i := range ref {
+			var sum, rowM, colM int64
+			for _, p := range ref[i].Pixels {
+				v := int64(p.Value)
+				sum += v
+				rowM += int64(p.Row) * v
+				colM += int64(p.Col) * v
+			}
+			got := recRun.Islands[i]
+			if int(got.Label) != int(ref[i].Label) || int(got.Pixels) != len(ref[i].Pixels) || got.Sum != sum {
+				t.Fatalf("island %d: serve label=%d pixels=%d sum=%d, ccl label=%d pixels=%d sum=%d",
+					i, got.Label, got.Pixels, got.Sum, ref[i].Label, len(ref[i].Pixels), ref[i].Sum)
+			}
+			if got.RowQ16 != q16Ratio(rowM, sum) || got.ColQ16 != q16Ratio(colM, sum) {
+				t.Fatalf("island %d: centroid (%d,%d) != reference (%d,%d)",
+					i, got.RowQ16, got.ColQ16, q16Ratio(rowM, sum), q16Ratio(colM, sum))
+			}
+		}
+	})
+}

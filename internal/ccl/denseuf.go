@@ -1,0 +1,79 @@
+package ccl
+
+// DenseUF is an allocation-free union-find over the dense index range
+// 0..Len()-1, shared by the serving-path labelers (the per-pixel scan in
+// internal/adapt and the run-based engine in internal/runccl). It uses
+// union-by-minimum-root — the smaller root always wins, matching CCL's
+// minimum-label merge semantics — and path halving, which together maintain
+// the invariant parent[x] <= x, so Flatten can resolve every element with a
+// single ascending sweep instead of a second find pass.
+//
+// Unlike MergeTable (the hardware merge-table model) and unionfind.Forest
+// (the §3 baseline structure), DenseUF has no group/root bookkeeping at all:
+// it is the minimal hot-path core, designed for Reset-and-reuse across
+// events with zero steady-state allocations.
+type DenseUF struct {
+	parent []int32
+}
+
+// Reset re-initializes the structure to n singleton sets 0..n-1, reusing
+// prior storage when it suffices.
+func (u *DenseUF) Reset(n int) {
+	if cap(u.parent) < n {
+		u.parent = make([]int32, n)
+	}
+	u.parent = u.parent[:n]
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+}
+
+// Len returns the number of elements.
+func (u *DenseUF) Len() int { return len(u.parent) }
+
+// Add appends one new singleton set and returns its index.
+func (u *DenseUF) Add() int32 {
+	l := int32(len(u.parent))
+	u.parent = append(u.parent, l)
+	return l
+}
+
+// Find returns the root of x, halving the path as it goes.
+func (u *DenseUF) Find(x int32) int32 {
+	p := u.parent
+	for p[x] != x {
+		p[x] = p[p[x]]
+		x = p[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b and returns the surviving (smaller) root.
+func (u *DenseUF) Union(a, b int32) int32 {
+	ra, rb := u.Find(a), u.Find(b)
+	switch {
+	case ra == rb:
+		return ra
+	case ra < rb:
+		u.parent[rb] = ra
+		return ra
+	default:
+		u.parent[ra] = rb
+		return rb
+	}
+}
+
+// Flatten points every element directly at its root. Because unions and path
+// halving only ever point elements at smaller indices, one ascending
+// double-dereference sweep (the same trick as the §4.3 merge-table
+// resolution) is complete.
+func (u *DenseUF) Flatten() {
+	p := u.parent
+	for i := range p {
+		p[i] = p[p[i]]
+	}
+}
+
+// Root returns the representative of x without compressing. After Flatten it
+// is a single table read.
+func (u *DenseUF) Root(x int32) int32 { return u.parent[x] }

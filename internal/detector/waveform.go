@@ -55,6 +55,14 @@ func DefaultDigitizer() DigitizerConfig {
 // zero-suppression stages must reject.
 func (c DigitizerConfig) Digitize(pe float64, t0 float64, rng *RNG) []int32 {
 	out := make([]int32, c.Samples)
+	c.DigitizeInto(out, pe, t0, rng)
+	return out
+}
+
+// DigitizeInto is Digitize writing into dst (len ≥ Samples), so event
+// generators can lay many channels into one contiguous backing array.
+// Every sample written is clamped to be non-negative.
+func (c DigitizerConfig) DigitizeInto(dst []int32, pe float64, t0 float64, rng *RNG) {
 	// Normalize the pulse so its discrete integral over the window is
 	// GainADC per photo-electron.
 	var norm float64
@@ -77,9 +85,8 @@ func (c DigitizerConfig) Digitize(pe float64, t0 float64, rng *RNG) []int32 {
 		if c.MaxADC > 0 && s > c.MaxADC {
 			s = c.MaxADC
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // Integrate sums a sampled waveform — the FPGA pipeline's waveform

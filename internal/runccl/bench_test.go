@@ -1,0 +1,64 @@
+package runccl
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+)
+
+// occupancyGrid builds a rows×cols grid with ~occ lit fraction.
+func occupancyGrid(rows, cols int, occ float64, seed uint64) *grid.Grid {
+	rng := detector.NewRNG(seed)
+	g := grid.New(rows, cols)
+	for i := 0; i < g.Pixels(); i++ {
+		if rng.Float64() < occ {
+			g.Flat()[i] = grid.Value(1 + rng.Intn(40))
+		}
+	}
+	return g
+}
+
+// BenchmarkLabel sweeps the engine across array sizes and occupancies. The
+// run-based cost should track occupancy (lit content), not area: compare
+// ns/op down an occupancy column versus across a size row.
+func BenchmarkLabel(b *testing.B) {
+	sizes := [][2]int{{8, 10}, {16, 16}, {32, 32}, {43, 43}, {64, 64}}
+	occs := []float64{0.005, 0.02, 0.10, 0.50}
+	for _, sz := range sizes {
+		for _, occ := range occs {
+			rows, cols := sz[0], sz[1]
+			b.Run(fmt.Sprintf("%dx%d/occ=%g%%", rows, cols, occ*100), func(b *testing.B) {
+				g := occupancyGrid(rows, cols, occ, 42)
+				e, err := NewEngine(rows, cols, grid.FourWay)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bitmap := e.Pack(g.Flat(), nil)
+				islands := e.Label(bitmap, g.Flat(), nil)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					islands = e.Label(bitmap, g.Flat(), islands[:0])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPack measures the reference bitmap producer (the serving path
+// builds its bitmap inline during zero-suppression instead).
+func BenchmarkPack(b *testing.B) {
+	g := occupancyGrid(43, 43, 0.02, 42)
+	e, err := NewEngine(43, 43, grid.FourWay)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bitmap := e.Pack(g.Flat(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bitmap = e.Pack(g.Flat(), bitmap)
+	}
+}

@@ -41,6 +41,10 @@ type Config struct {
 	// StatsAddr, when non-empty, serves GET /stats (JSON snapshot) and
 	// GET /healthz on this address.
 	StatsAddr string
+	// EnablePprof additionally registers net/http/pprof handlers under
+	// /debug/pprof/ on the stats address. Off by default: the profiling
+	// surface is a debugging aid, not part of the operational API.
+	EnablePprof bool
 	// WriteTimeout bounds each response flush. Default 10s.
 	WriteTimeout time.Duration
 	// IdleTimeout closes a connection that delivers no data between events
@@ -130,6 +134,7 @@ type Server struct {
 	statsLn  net.Listener
 
 	health healthWindow
+	rates  rateWindow
 }
 
 // New validates the configuration, builds and calibrates the worker
@@ -142,6 +147,9 @@ func New(cfg Config) (*Server, error) {
 		draining: make(chan struct{}),
 	}
 	s.stats.start = time.Now()
+	// Seed the rate-gauge baseline at startup so the very first /stats scrape
+	// reports the since-start average instead of an empty window.
+	s.rates.at = s.stats.start
 	for i := 0; i < cfg.Workers; i++ {
 		p, err := adapt.New(cfg.Pipeline)
 		if err != nil {
@@ -333,8 +341,13 @@ func (s *Server) startStats() {
 		}
 		fmt.Fprintln(w, h)
 	})
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	ln, err := net.Listen("tcp", s.cfg.StatsAddr)
 	if err != nil {
 		if s.cfg.Logger != nil {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -96,7 +97,8 @@ type Stats struct {
 	counters
 	ConnsTotal  atomic.Uint64
 	ConnsActive atomic.Int64
-	QueueHWM    atomic.Int64 // high-water mark across all shards
+	QueueHWM    atomic.Int64  // high-water mark across all shards
+	ServeNs     atomic.Uint64 // cumulative pipeline service time, nanoseconds
 	latency     latencyHist
 	start       time.Time
 }
@@ -232,6 +234,56 @@ func (s *Server) Health() HealthState {
 	return h.state
 }
 
+// rateWindow maintains the EWMA throughput gauges published on /stats. Like
+// healthWindow, it is advanced lazily by snapshot requests: each request at
+// least rateMinWindow after the previous evaluation folds the window's
+// delta-rates into the smoothed gauges, so scrape cadence sets the sample
+// window and an unwatched server does no background work.
+type rateWindow struct {
+	mu      sync.Mutex
+	at      time.Time
+	out     uint64  // EventsOut baseline at the last evaluation
+	serveNs uint64  // ServeNs baseline at the last evaluation
+	evRate  float64 // smoothed events/s out
+	nsPerEv float64 // smoothed pipeline ns per served event
+}
+
+// rateMinWindow is the shortest sample window for a fresh EWMA update;
+// requests inside it read the cached gauges.
+const rateMinWindow = 250 * time.Millisecond
+
+// rateTau is the EWMA time constant: a rate step reaches ~63% of its new
+// value after rateTau of scraping, regardless of scrape cadence.
+const rateTau = 5 * time.Second
+
+// update folds the counter deltas since the previous evaluation into the
+// smoothed gauges and returns them.
+func (rw *rateWindow) update(st *Stats) (evPerSec, nsPerEvent float64) {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	now := time.Now()
+	if rw.at.IsZero() {
+		rw.at, rw.out, rw.serveNs = now, st.EventsOut.Load(), st.ServeNs.Load()
+		return 0, 0
+	}
+	dt := now.Sub(rw.at)
+	if dt < rateMinWindow {
+		return rw.evRate, rw.nsPerEv
+	}
+	out := st.EventsOut.Load()
+	serveNs := st.ServeNs.Load()
+	dout := out - rw.out
+	dns := serveNs - rw.serveNs
+	rw.at, rw.out, rw.serveNs = now, out, serveNs
+
+	alpha := 1 - math.Exp(-dt.Seconds()/rateTau.Seconds())
+	rw.evRate += alpha * (float64(dout)/dt.Seconds() - rw.evRate)
+	if dout > 0 {
+		rw.nsPerEv += alpha * (float64(dns)/float64(dout) - rw.nsPerEv)
+	}
+	return rw.evRate, rw.nsPerEv
+}
+
 // Snapshot is the JSON document served by the stats endpoint.
 type Snapshot struct {
 	Health        HealthState `json:"health"`
@@ -243,6 +295,8 @@ type Snapshot struct {
 	QueueLens     []int       `json:"queue_lens"`
 	QueueHWM      int64       `json:"queue_hwm"`
 	LossFraction  float64     `json:"loss_fraction"`
+	EventsPerSec  float64     `json:"events_per_sec"` // EWMA served throughput
+	NsPerEvent    float64     `json:"ns_per_event"`   // EWMA pipeline time per event
 	CounterSnapshot
 	Latency LatencySnapshot `json:"latency"`
 	Conns   []ConnSnapshot  `json:"conns"`
@@ -263,6 +317,7 @@ func (s *Server) StatsSnapshot() Snapshot {
 		QueueHWM:        st.QueueHWM.Load(),
 		CounterSnapshot: st.counters.snapshot(),
 	}
+	snap.EventsPerSec, snap.NsPerEvent = s.rates.update(st)
 	for _, q := range s.queues {
 		snap.QueueLens = append(snap.QueueLens, len(q))
 	}

@@ -6,10 +6,27 @@ import (
 	"github.com/wustl-adapt/hepccl/internal/adapt"
 )
 
+// serveBatchMax bounds how many queued events one worker drains into a single
+// adapt.ServeBatch call. Large enough to amortize the per-wakeup costs (queue
+// receive, clock reads, scheduler churn) across a backlog, small enough that a
+// burst cannot hold response flushing hostage for long.
+const serveBatchMax = 32
+
 // worker drains one derandomizer shard through its own calibrated pipeline.
 // Runs until the shard's queue is closed and empty (graceful drain).
+//
+// In the unpaced functional mode (the serving configuration), the worker
+// drains whatever backlog the shard has accumulated — up to serveBatchMax
+// events — into one ServeBatch call, so a busy shard pays for the clock reads
+// and bookkeeping once per batch instead of once per event. Paced and
+// full-pipeline modes keep the one-event-at-a-time loop: pacing needs a
+// service slot per event, and ProcessEvent has no batch entry point.
 func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
 	defer s.workersWG.Done()
+	if !s.cfg.PaceHardware && !s.cfg.FullPipeline {
+		s.workerBatched(p, queue)
+		return
+	}
 	var rec adapt.EventRecord
 	var interval time.Duration
 	if s.cfg.PaceHardware {
@@ -40,6 +57,7 @@ func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
 			due = due.Add(interval)
 		}
 		var err error
+		served := time.Now()
 		if s.cfg.FullPipeline {
 			var res *adapt.EventResult
 			if res, err = p.ProcessEvent(ev.packets); err == nil {
@@ -48,18 +66,63 @@ func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
 		} else {
 			err = p.ServeEvent(ev.packets, &rec)
 		}
-		if err != nil {
-			ev.c.stats.BadEvents.Add(1)
-			s.stats.BadEvents.Add(1)
-		} else {
-			buf := bufPool.Get().([]byte)
-			ev.c.respond(rec.AppendTo(buf[:0]))
-			ev.c.stats.EventsOut.Add(1)
-			s.stats.EventsOut.Add(1)
-		}
-		s.stats.latency.observe(time.Since(ev.enqueued))
-		ev.c.inflight.Done()
-		putEvent(ev)
+		s.stats.ServeNs.Add(uint64(time.Since(served).Nanoseconds()))
+		s.finishEvent(ev, &rec, err)
 		idle = time.Now()
 	}
+}
+
+// workerBatched is the unpaced functional-mode drain loop: block for the first
+// event of a batch, then opportunistically take whatever else the shard
+// already holds and serve the whole slice through ServeBatch.
+func (s *Server) workerBatched(p *adapt.Pipeline, queue chan *event) {
+	batch := make([]*event, 0, serveBatchMax)
+	pkts := make([][]adapt.Packet, 0, serveBatchMax)
+	recs := make([]adapt.EventRecord, serveBatchMax)
+	errs := make([]error, serveBatchMax)
+	for ev := range queue {
+		batch = append(batch[:0], ev)
+	fill:
+		for len(batch) < serveBatchMax {
+			select {
+			case more, ok := <-queue:
+				if !ok {
+					// Queue closed: serve what we hold, then exit via the
+					// outer range (which observes the same closed channel).
+					break fill
+				}
+				batch = append(batch, more)
+			default:
+				break fill
+			}
+		}
+		pkts = pkts[:0]
+		for _, b := range batch {
+			pkts = append(pkts, b.packets)
+		}
+		served := time.Now()
+		p.ServeBatch(pkts, recs[:len(batch)], errs[:len(batch)])
+		s.stats.ServeNs.Add(uint64(time.Since(served).Nanoseconds()))
+		for i, b := range batch {
+			s.finishEvent(b, &recs[i], errs[i])
+		}
+	}
+}
+
+// finishEvent records the outcome of one served event: response handoff and
+// counters on success, error counters otherwise, then latency accounting and
+// event-storage recycling.
+func (s *Server) finishEvent(ev *event, rec *adapt.EventRecord, err error) {
+	if err != nil {
+		ev.c.stats.BadEvents.Add(1)
+		s.stats.BadEvents.Add(1)
+	} else {
+		buf := bufPool.Get().([]byte)
+		ev.c.respond(rec.AppendTo(buf[:0]))
+		ev.c.stats.EventsOut.Add(1)
+		s.stats.EventsOut.Add(1)
+	}
+	s.stats.latency.observe(time.Since(ev.enqueued))
+	ev.c.inflight.Done()
+	putEvent(ev)
 }
