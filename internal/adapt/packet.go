@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ChannelsPerASIC is the channel count of one ALPHA waveform digitizer ASIC
@@ -114,38 +115,77 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 	if len(data) < total {
 		return 0, fmt.Errorf("adapt: truncated packet: have %d bytes, want %d", len(data), total)
 	}
-	want := binary.BigEndian.Uint16(data[total-2:])
-	if got := checksum(data[:total-2]); got != want {
-		// Static error: this is the hot failure mode on a noisy link, and the
-		// stream reader discards it after counting the bad frame.
-		return 0, ErrChecksumMismatch
-	}
 	n := int(p.SamplesPerChannel)
 	// Decode into the packet's contiguous backing block, reusing its storage
 	// when capacity allows. Callers that reuse a Packet across Unmarshal
-	// calls must not retain the previous sample slices.
+	// calls must not retain the previous sample slices. When the block and
+	// the sample slices already have this geometry (the steady state for
+	// pooled packets), the 16 slice headers are left untouched.
 	need := ChannelsPerASIC * n
-	if cap(p.block) < need {
-		p.block = make([]int32, need)
-	}
-	p.block = p.block[:need]
 	blk := p.block
-	for ch := 0; ch < ChannelsPerASIC; ch++ {
-		p.Samples[ch] = blk[ch*n : (ch+1)*n : (ch+1)*n]
+	if len(blk) != need {
+		if cap(blk) < need {
+			blk = make([]int32, need)
+		}
+		blk = blk[:need]
+		p.block = blk
+	}
+	if need == 0 || len(p.Samples[0]) != n || &p.Samples[0][0] != &blk[0] {
+		for ch := 0; ch < ChannelsPerASIC; ch++ {
+			p.Samples[ch] = blk[ch*n : (ch+1)*n : (ch+1)*n]
+		}
+	}
+	// Checksum verification fuses into the decode so the frame is walked
+	// once. The 17-byte header leaves the checksum's 16-bit word grid
+	// straddling the sample words by one byte, but the sum is additive over
+	// weighted bytes: relative to the grid each sample's high byte lands in
+	// a low (×1) slot and its low byte in a high (×256) slot — including the
+	// final padded byte — so the sample region contributes the plain sum of
+	// its byte-swapped words, which is exactly the 16-bit lanes of a
+	// little-endian load.
+	sum := 256 * uint64(data[16])
+	for i := 0; i < 16; i += 8 {
+		v := binary.BigEndian.Uint64(data[i:])
+		sum += v>>48 + v>>32&0xFFFF + v>>16&0xFFFF + v&0xFFFF
 	}
 	// The wire layout is channel-major, matching the block layout exactly:
-	// one linear big-endian decode fills every channel.
+	// one linear pass decodes every channel. Lane accumulators hold one
+	// 16-bit word sum per 32-bit half; at most 1020 additions per frame
+	// (255-sample cap), they cannot carry across lanes.
+	// The slice-advance loop shape (instead of indexed stores) lets the
+	// compiler prove every access in range and drop the per-store bounds
+	// checks, which otherwise dominate this loop.
 	src := data[headerBytes : headerBytes+2*need]
-	s := 0
-	for ; s+4 <= need; s += 4 { // four samples per 8-byte load
-		v := binary.BigEndian.Uint64(src[2*s:])
-		blk[s] = int32(v >> 48)
-		blk[s+1] = int32(v >> 32 & 0xFFFF)
-		blk[s+2] = int32(v >> 16 & 0xFFFF)
-		blk[s+3] = int32(v & 0xFFFF)
+	dst := blk
+	const lanes = 0x0000FFFF0000FFFF
+	var accLo, accHi uint64
+	for len(src) >= 8 && len(dst) >= 4 { // four samples per 8-byte load
+		le := binary.LittleEndian.Uint64(src)
+		accLo += le & lanes
+		accHi += le >> 16 & lanes
+		be := bits.ReverseBytes64(le)
+		dst[0] = int32(be >> 48)
+		dst[1] = int32(be >> 32 & 0xFFFF)
+		dst[2] = int32(be >> 16 & 0xFFFF)
+		dst[3] = int32(be & 0xFFFF)
+		src, dst = src[8:], dst[4:]
 	}
-	for ; s < need; s++ {
-		blk[s] = int32(binary.BigEndian.Uint16(src[2*s:]))
+	for len(src) >= 2 && len(dst) >= 1 { // unreachable (need is a multiple of 16); kept for safety
+		w := binary.BigEndian.Uint16(src)
+		sum += uint64(w>>8) + uint64(w&0xFF)<<8
+		dst[0] = int32(w)
+		src, dst = src[2:], dst[1:]
+	}
+	sum += accLo&0xFFFFFFFF + accLo>>32 + accHi&0xFFFFFFFF + accHi>>32
+	for sum > 0xFFFF {
+		sum = sum&0xFFFF + sum>>16
+	}
+	if want := binary.BigEndian.Uint16(data[total-2:]); uint16(sum) != want {
+		// Static error: this is the hot failure mode on a noisy link, and the
+		// stream reader discards it after counting the bad frame. The block
+		// holds the rejected frame's samples at this point; callers treat the
+		// packet as scratch until Unmarshal succeeds.
+		return 0, ErrChecksumMismatch
 	}
 	return total, nil
 }
@@ -163,10 +203,22 @@ func PatchFrameEventID(frame []byte, event uint32) error {
 }
 
 // checksum is a 16-bit additive checksum (ones'-complement style sum of
-// 16-bit words, with a trailing odd byte zero-padded). The hot loop folds
-// eight bytes per iteration; a uint64 accumulator cannot overflow below
-// 2^48 input words.
+// 16-bit words, with a trailing odd byte zero-padded).
 func checksum(data []byte) uint16 {
+	sum := wordSum(data)
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// wordSum is the unfolded word sum behind checksum. It is exposed separately
+// so FramePatcher can do incremental updates in the same arithmetic: the sum
+// is linear, so any caller that knows the old contribution of a field can
+// subtract it and add the replacement without re-reading the buffer. The hot
+// loop folds eight bytes per iteration; a uint64 accumulator cannot overflow
+// below 2^48 input words.
+func wordSum(data []byte) uint64 {
 	var sum, sum2 uint64
 	i := 0
 	for ; i+16 <= len(data); i += 16 { // two independent accumulators
@@ -186,10 +238,41 @@ func checksum(data []byte) uint16 {
 	if len(data)%2 == 1 {
 		sum += uint64(data[len(data)-1]) << 8
 	}
+	return sum
+}
+
+// FramePatcher caches a marshaled frame's checksum base — the word sum of
+// everything except the event-id field — so repeated event-id rewrites cost a
+// handful of adds instead of a full checksum refold over the frame. The
+// event-id bytes sit at offsets 4..7, aligned to the checksum's 16-bit word
+// grid, so their contribution is exactly the two halves of the id.
+type FramePatcher struct {
+	base uint64
+}
+
+// NewFramePatcher captures the patch base of a marshaled frame. The patcher
+// stays valid as long as every byte of the frame outside the event-id and
+// checksum fields is unchanged.
+func NewFramePatcher(frame []byte) (FramePatcher, error) {
+	if len(frame) < headerBytes+2 {
+		return FramePatcher{}, fmt.Errorf("adapt: frame too short to patch (%d bytes)", len(frame))
+	}
+	sum := wordSum(frame[:len(frame)-2])
+	sum -= uint64(binary.BigEndian.Uint16(frame[4:]))
+	sum -= uint64(binary.BigEndian.Uint16(frame[6:]))
+	return FramePatcher{base: sum}, nil
+}
+
+// SetEventID rewrites the frame's event id and trailing checksum in place.
+// The result is bit-identical to PatchFrameEventID: the word sum is rebuilt
+// from the cached base plus the new id's halves, then folded the same way.
+func (fp FramePatcher) SetEventID(frame []byte, event uint32) {
+	binary.BigEndian.PutUint32(frame[4:], event)
+	sum := fp.base + uint64(event>>16) + uint64(event&0xFFFF)
 	for sum > 0xFFFF {
 		sum = (sum & 0xFFFF) + (sum >> 16)
 	}
-	return uint16(sum)
+	binary.BigEndian.PutUint16(frame[len(frame)-2:], uint16(sum))
 }
 
 // Integrals sums each channel's waveform — the per-channel waveform

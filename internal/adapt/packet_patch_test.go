@@ -1,0 +1,194 @@
+package adapt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFramePatcherMatchesFullRecompute pins the incremental checksum update
+// to the full refold: for a spread of event ids (including both 16-bit halves
+// overflowing the fold), FramePatcher.SetEventID must produce bytes identical
+// to PatchFrameEventID, and the result must unmarshal cleanly with the new id.
+func TestFramePatcherMatchesFullRecompute(t *testing.T) {
+	packets := makePackets(t, 2, 3)
+	for pi := range packets {
+		frame, err := packets[pi].Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, err := NewFramePatcher(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append([]byte(nil), frame...)
+		for _, ev := range []uint32{0, 1, 2, 0xFFFF, 0x10000, 0x1F0F3, 0xFFFFFFFF, 0xA1FAA1FA} {
+			fp.SetEventID(frame, ev)
+			if err := PatchFrameEventID(full, ev); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(frame, full) {
+				t.Fatalf("packet %d event %#x: incremental patch diverges from full recompute", pi, ev)
+			}
+			var p Packet
+			if _, err := p.Unmarshal(frame); err != nil {
+				t.Fatalf("packet %d event %#x: patched frame rejected: %v", pi, ev, err)
+			}
+			if p.Event != ev {
+				t.Fatalf("packet %d: patched event id %d, want %d", pi, p.Event, ev)
+			}
+		}
+	}
+	if _, err := NewFramePatcher(make([]byte, headerBytes)); err == nil {
+		t.Fatal("NewFramePatcher accepted a short frame")
+	}
+}
+
+// TestSkimEvent drives the decode-free skim path through its corner cases:
+// a clean skim returns the event id; an assembly interrupted by a packet from
+// a later event surfaces ErrIncompleteEvent and fully decodes + retains the
+// interrupting packet so the next real read starts from it with correct
+// samples; and garbage between frames is counted exactly as in ReadPacket.
+func TestSkimEvent(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	ev1 := makePackets(t, 3, 1)
+	ev2 := makePackets(t, 3, 2)
+	ev3 := makePackets(t, 3, 3)
+	if err := sw.WriteEvent(ev1); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write([]byte{0xDE, 0xAD, 0xBE}) // inter-event garbage
+	// Event 2 loses its last packet; event 3 interrupts the assembly.
+	for i := 0; i < 2; i++ {
+		if err := sw.WritePacket(&ev2[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.WriteEvent(ev3); err != nil {
+		t.Fatal(err)
+	}
+
+	sr := NewStreamReader(&buf)
+	id, err := sr.SkimEvent(3)
+	if err != nil || id != 1 {
+		t.Fatalf("skim event 1: id=%d err=%v", id, err)
+	}
+	if _, err := sr.SkimEvent(3); err == nil || !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("skim of truncated event 2: err=%v, want ErrIncompleteEvent", err)
+	}
+	if sr.SkippedBytes != 3 {
+		t.Fatalf("SkippedBytes = %d, want 3 (inter-event garbage)", sr.SkippedBytes)
+	}
+	// The interrupting packet (event 3, ASIC 0) must have been retained fully
+	// decoded: the follow-up assembly has to produce correct samples.
+	got, err := sr.ReadEvent(3)
+	if err != nil {
+		t.Fatalf("read event 3 after interrupted skim: %v", err)
+	}
+	for i := range got {
+		if got[i].Event != 3 || got[i].ASIC != ev3[i].ASIC {
+			t.Fatalf("packet %d: event %d asic %d, want event 3 asic %d",
+				i, got[i].Event, got[i].ASIC, ev3[i].ASIC)
+		}
+		for ch := 0; ch < ChannelsPerASIC; ch++ {
+			for s := range got[i].Samples[ch] {
+				if got[i].Samples[ch][s] != ev3[i].Samples[ch][s] {
+					t.Fatalf("packet %d ch %d sample %d: %d != %d",
+						i, ch, s, got[i].Samples[ch][s], ev3[i].Samples[ch][s])
+				}
+			}
+		}
+	}
+	if _, err := sr.SkimEvent(3); err != io.EOF {
+		t.Fatalf("skim at end of stream: err=%v, want io.EOF", err)
+	}
+	if sr.BadPackets != 0 {
+		t.Fatalf("BadPackets = %d, want 0", sr.BadPackets)
+	}
+}
+
+// TestSkimEventCorruption pins the skim path's corruption semantics: skimmed
+// frames are framed on their header alone, so payload corruption inside a
+// condemned event goes unnoticed (the event is a loss either way), while
+// header corruption that misframes the stream is recovered by the resync hunt
+// with damage bounded to that one event.
+func TestSkimEventCorruption(t *testing.T) {
+	build := func(t *testing.T) ([]byte, int) {
+		var buf bytes.Buffer
+		sw := NewStreamWriter(&buf)
+		for id := uint32(1); id <= 3; id++ {
+			if err := sw.WriteEvent(makePackets(t, 2, id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		frame := buf.Len() / 6 // six equal frames
+		return buf.Bytes(), frame
+	}
+
+	t.Run("payload", func(t *testing.T) {
+		data, frame := build(t)
+		data[2*frame+headerBytes+4] ^= 0x40 // sample byte of event 2's first frame
+		sr := NewStreamReader(bytes.NewReader(data))
+		for want := uint32(1); want <= 3; want++ {
+			id, err := sr.SkimEvent(2)
+			if err != nil || id != want {
+				t.Fatalf("skim: id=%d err=%v, want %d", id, err, want)
+			}
+		}
+		if sr.BadPackets != 0 || sr.SkippedBytes != 0 {
+			t.Fatalf("BadPackets=%d SkippedBytes=%d, want 0/0: skim must not inspect payloads",
+				sr.BadPackets, sr.SkippedBytes)
+		}
+	})
+
+	t.Run("header", func(t *testing.T) {
+		data, frame := build(t)
+		data[2*frame+headerBytes-1]++ // length byte of event 2's first frame: misframes the stream
+		sr := NewStreamReader(bytes.NewReader(data))
+		if id, err := sr.SkimEvent(2); err != nil || id != 1 {
+			t.Fatalf("skim event 1: id=%d err=%v", id, err)
+		}
+		// The misframed skim of event 2 overshoots into its second frame; the
+		// resync hunt must land on event 3, whose packets interrupt (and end)
+		// the assembly. Either classification of the loss is acceptable — what
+		// matters is that event 3 survives intact.
+		if _, err := sr.SkimEvent(2); err == nil {
+			t.Fatal("skim of misframed event 2 succeeded, want an error")
+		}
+		got, err := sr.ReadEvent(2)
+		if err != nil {
+			t.Fatalf("read event 3 after misframed skim: %v", err)
+		}
+		if got[0].Event != 3 {
+			t.Fatalf("recovered event %d, want 3", got[0].Event)
+		}
+	})
+}
+
+// TestUnmarshalDetectsEverySingleBitFlip exercises the fused verify+decode
+// path: flipping any single bit of a valid frame must make Unmarshal fail
+// (the additive checksum changes by a nonzero value mod 0xFFFF, and flips in
+// the magic or length fields fail their own checks first).
+func TestUnmarshalDetectsEverySingleBitFlip(t *testing.T) {
+	packets := makePackets(t, 1, 9)
+	frame, err := packets[0].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), frame...)
+	var p Packet
+	for i := range frame {
+		for b := 0; b < 8; b++ {
+			mut[i] = frame[i] ^ (1 << b)
+			if _, err := p.Unmarshal(mut); err == nil {
+				t.Fatalf("bit %d of byte %d flipped undetected", b, i)
+			}
+			mut[i] = frame[i]
+		}
+	}
+	if _, err := p.Unmarshal(mut); err != nil {
+		t.Fatalf("restored frame rejected: %v", err)
+	}
+}

@@ -2,9 +2,11 @@ package adapt
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // Packet stream I/O: the serialized form in which digitizer packets travel
@@ -48,6 +50,13 @@ func (sw *StreamWriter) WriteEvent(packets []Packet) error {
 
 // StreamReader parses a packet stream, skipping garbage between packets.
 //
+// Decoding is zero-copy: candidate frames are validated and parsed in place
+// inside the buffered read window (the largest frame, 255 samples/channel, is
+// 8179 bytes — well under the 64 KiB window), so no frame is ever staged
+// through an intermediate buffer, and resynchronization after a corrupted
+// frame consumes two bytes instead of copying the frame into a push-back
+// queue. The hunt for the frame magic scans the window a word at a time.
+//
 // End-of-stream vs transport faults: ReadPacket returns io.EOF only when the
 // underlying reader reports a clean end of stream (possibly after skipping
 // trailing garbage or a truncated final frame). Any other underlying error —
@@ -55,18 +64,15 @@ func (sw *StreamWriter) WriteEvent(packets []Packet) error {
 // so network servers can tell a closed connection from a failed one.
 type StreamReader struct {
 	r *bufio.Reader
-	// pending holds bytes pushed back after a corrupted frame (and any bytes
-	// staged from the underlying reader while peeking across the push-back
-	// boundary). It is consumed before r and never grows beyond one frame
-	// plus one header, regardless of how corrupted the link is.
-	pending []byte
-	off     int // consumed prefix of pending
-	frame   []byte
 	// held retains a valid packet that interrupted an event assembly (it
 	// belongs to a later event); the next assembly starts from it instead of
 	// re-reading the wire, so one lost packet costs exactly one event.
 	held    Packet
 	hasHeld bool
+	// skim is SkimEvent's scratch packet: condemned frames park their headers
+	// in it, and an interrupting packet is fully decoded into it before being
+	// swapped into held.
+	skim Packet
 	// SkippedBytes counts bytes discarded while searching for a valid
 	// packet (link noise, corrupted frames).
 	SkippedBytes int
@@ -80,17 +86,19 @@ type StreamReader struct {
 	BadPacketBudget int
 }
 
+// streamBufSize is the read window. It must exceed the largest possible
+// frame so a whole candidate frame can always be peeked in place.
+const streamBufSize = 64 << 10
+
 // NewStreamReader returns a reader over r.
 func NewStreamReader(r io.Reader) *StreamReader {
-	return &StreamReader{r: bufio.NewReaderSize(r, 64<<10)}
+	return &StreamReader{r: bufio.NewReaderSize(r, streamBufSize)}
 }
 
-// Reset discards all buffered and pushed-back state, zeroes the counters,
-// and switches the reader to r, retaining the internal buffers.
+// Reset discards all buffered state, zeroes the counters, and switches the
+// reader to r, retaining the internal buffer.
 func (sr *StreamReader) Reset(r io.Reader) {
 	sr.r.Reset(r)
-	sr.pending = sr.pending[:0]
-	sr.off = 0
 	sr.hasHeld = false
 	sr.SkippedBytes = 0
 	sr.BadPackets = 0
@@ -104,78 +112,45 @@ func wrapErr(err error) error {
 	return fmt.Errorf("adapt: stream read: %w", err)
 }
 
-// readByte pops one byte, preferring pushed-back bytes.
-func (sr *StreamReader) readByte() (byte, error) {
-	if sr.off < len(sr.pending) {
-		b := sr.pending[sr.off]
-		sr.off++
-		if sr.off == len(sr.pending) {
-			sr.pending, sr.off = sr.pending[:0], 0
+const (
+	magicHi = byte(PacketMagic >> 8)   // 0xA1, first byte on the wire
+	magicLo = byte(PacketMagic & 0xFF) // 0xFA, second byte on the wire
+)
+
+// scanMagic returns the index of the first magic pair in buf, or -1. The hot
+// loop tests eight bytes per iteration: a SWAR zero-byte detect on buf^0xA1…
+// marks candidate high bytes, and only candidates pay the pair check.
+func scanMagic(buf []byte) int {
+	const (
+		lanes = 0x0101010101010101
+		highs = 0x8080808080808080
+		hiRep = 0xA1A1A1A1A1A1A1A1
+	)
+	i := 0
+	// i+9 <= len keeps buf[j+1] in range for a candidate anywhere in the word.
+	for ; i+9 <= len(buf); i += 8 {
+		x := binary.LittleEndian.Uint64(buf[i:]) ^ hiRep
+		m := (x - lanes) & ^x & highs // exact zero-byte detect: one high bit per 0xA1
+		for m != 0 {
+			j := i + bits.TrailingZeros64(m)>>3
+			if buf[j+1] == magicLo {
+				return j
+			}
+			m &= m - 1
 		}
-		return b, nil
 	}
-	return sr.r.ReadByte()
-}
-
-// peek returns the next n bytes without consuming them, staging bytes from
-// the underlying reader into pending when a push-back boundary is straddled.
-func (sr *StreamReader) peek(n int) ([]byte, error) {
-	if len(sr.pending)-sr.off >= n {
-		return sr.pending[sr.off : sr.off+n], nil
-	}
-	if sr.off == len(sr.pending) {
-		sr.pending, sr.off = sr.pending[:0], 0
-		return sr.r.Peek(n)
-	}
-	if sr.off > 0 {
-		sr.pending = append(sr.pending[:0], sr.pending[sr.off:]...)
-		sr.off = 0
-	}
-	for len(sr.pending) < n {
-		b, err := sr.r.ReadByte()
-		if err != nil {
-			return sr.pending, err
+	for ; i+1 < len(buf); i++ {
+		if buf[i] == magicHi && buf[i+1] == magicLo {
+			return i
 		}
-		sr.pending = append(sr.pending, b)
 	}
-	return sr.pending[:n], nil
-}
-
-// readFull fills buf, consuming pending bytes first.
-func (sr *StreamReader) readFull(buf []byte) (int, error) {
-	n := copy(buf, sr.pending[sr.off:])
-	sr.off += n
-	if sr.off == len(sr.pending) {
-		sr.pending, sr.off = sr.pending[:0], 0
-	}
-	if n == len(buf) {
-		return n, nil
-	}
-	m, err := io.ReadFull(sr.r, buf[n:])
-	return n + m, err
-}
-
-// pushBack returns data to the front of the read sequence. Unlike a stacked
-// MultiReader, the pending buffer is bounded: repeated push-backs on a
-// garbage-heavy link reuse the same storage instead of nesting readers.
-func (sr *StreamReader) pushBack(data []byte) {
-	rest := sr.pending[sr.off:]
-	if len(rest) == 0 {
-		sr.pending = append(sr.pending[:0], data...)
-		sr.off = 0
-		return
-	}
-	merged := make([]byte, 0, len(data)+len(rest))
-	merged = append(merged, data...)
-	merged = append(merged, rest...)
-	sr.pending, sr.off = merged, 0
+	return -1
 }
 
 // drainAll consumes the rest of the stream, returning the byte count and any
 // non-EOF error.
 func (sr *StreamReader) drainAll() (int, error) {
-	n := len(sr.pending) - sr.off
-	sr.pending, sr.off = sr.pending[:0], 0
+	n := 0
 	for {
 		m, err := sr.r.Discard(32 << 10)
 		n += m
@@ -199,72 +174,118 @@ func (sr *StreamReader) ReadPacket() (*Packet, error) {
 }
 
 // ReadPacketInto scans for the next valid packet and parses it into p,
-// reusing p's sample storage and the reader's internal frame scratch. The
-// parsed samples alias p's previous backing arrays; callers that retain
-// packets across calls must use distinct Packet values.
+// reusing p's sample storage. The frame is validated and decoded directly
+// from the read window — nothing is copied until the checksum passes, and a
+// failed candidate costs a two-byte skip, not a frame copy. The parsed
+// samples alias p's previous backing arrays; callers that retain packets
+// across calls must use distinct Packet values.
 func (sr *StreamReader) ReadPacketInto(p *Packet) error {
+	return sr.readPacketInto(p, false, false, 0)
+}
+
+// readPacketInto implements ReadPacketInto. With skim set, a framed packet
+// whose event id equals event (or any framed packet, when haveEvent is false)
+// is consumed on its header alone — no checksum, no decode — because the
+// caller is skimming a condemned event. A frame with a different id is
+// verified and decoded in full, because it interrupts the skim and will be
+// retained for the next real assembly.
+func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event uint32) error {
 	bad := 0
 	for {
-		// Hunt for the magic word.
-		b0, err := sr.readByte()
-		if err != nil {
-			return wrapErr(err)
-		}
-		if b0 != byte(PacketMagic>>8) {
-			sr.SkippedBytes++
-			continue
-		}
-		peek, err := sr.peek(1)
-		if err != nil {
-			// Lone magic-high byte at the very end of the stream.
-			sr.SkippedBytes++
-			return wrapErr(err)
-		}
-		if peek[0] != byte(PacketMagic&0xFF) {
-			sr.SkippedBytes++
-			continue
-		}
-		// Candidate frame: peek the header to learn the length.
-		hdr, err := sr.peek(headerBytes - 1)
-		if err != nil {
-			if err != io.EOF {
+		// Fast path: an in-sync stream has the next frame's magic already at
+		// the front of the window, so peek the header directly — one bounds
+		// check and two byte compares — and only fall into the hunt when the
+		// stream is out of sync or ending.
+		hdr, err := sr.r.Peek(headerBytes)
+		if err != nil || hdr[0] != magicHi || hdr[1] != magicLo {
+			if len(hdr) >= 2 && hdr[0] == magicHi && hdr[1] == magicLo {
+				// Aligned frame but the header itself is truncated.
+				if err != io.EOF {
+					return wrapErr(err)
+				}
+				// Truncated final frame: everything left is trailing garbage.
+				n, derr := sr.drainAll()
+				sr.SkippedBytes += n
+				if derr != nil {
+					return wrapErr(derr)
+				}
+				return io.EOF
+			}
+			if len(hdr) < 2 {
+				if err == io.EOF {
+					// A lone trailing byte is garbage no matter what it is.
+					sr.SkippedBytes += len(hdr)
+					sr.r.Discard(len(hdr))
+					return io.EOF
+				}
 				return wrapErr(err)
 			}
-			// Truncated final frame: everything left is trailing garbage.
-			sr.SkippedBytes++
-			n, derr := sr.drainAll()
-			sr.SkippedBytes += n
-			if derr != nil {
-				return wrapErr(derr)
+			// Out of sync: hunt over everything already buffered. scanMagic
+			// cannot return 0 here (the window's first pair was just rejected),
+			// so a hit always discards garbage before re-entering the fast path.
+			win := hdr
+			if n := sr.r.Buffered(); n > len(win) {
+				win, _ = sr.r.Peek(n)
 			}
-			return io.EOF
+			at := scanMagic(win)
+			if at < 0 {
+				// No pair in the window. Everything is garbage except a trailing
+				// magic-high byte, which may pair with the next window's first.
+				n := len(win)
+				if win[n-1] == magicHi {
+					n--
+				}
+				sr.SkippedBytes += n
+				sr.r.Discard(n)
+				continue
+			}
+			sr.SkippedBytes += at
+			sr.r.Discard(at)
+			continue
 		}
-		samples := hdr[headerBytes-2]
+		samples := hdr[headerBytes-1]
 		total := headerBytes + 2*ChannelsPerASIC*int(samples) + 2
-		if cap(sr.frame) < total {
-			sr.frame = make([]byte, total)
-		}
-		frame := sr.frame[:total]
-		frame[0] = b0
-		if n, err := sr.readFull(frame[1:]); err != nil {
+		frame, err := sr.r.Peek(total)
+		if err != nil {
 			if err != io.EOF && err != io.ErrUnexpectedEOF {
 				return wrapErr(err)
 			}
 			// Stream ended mid-frame: a truncated tail, not a fault.
-			sr.SkippedBytes += 1 + n
+			sr.SkippedBytes += len(frame)
+			sr.r.Discard(len(frame))
 			return io.EOF
 		}
-		if _, err := p.Unmarshal(frame); err != nil {
+		if skim {
+			if ev := binary.BigEndian.Uint32(frame[4:]); !haveEvent || ev == event {
+				// Condemned frame: framing only — no checksum, no decode.
+				// The event is dropped either way, so payload corruption is
+				// indistinguishable from a clean drop; a corrupted header
+				// that misframes the stream is recovered by the magic hunt
+				// on the next call, bounded to one event by the assembly's
+				// event-id check.
+				p.Magic = PacketMagic
+				p.ASIC = frame[2]
+				p.Flags = frame[3]
+				p.Event = ev
+				p.Timestamp = binary.BigEndian.Uint64(frame[8:])
+				p.SamplesPerChannel = samples
+				sr.r.Discard(total)
+				return nil
+			}
+		}
+		if _, uerr := p.Unmarshal(frame); uerr != nil {
 			// Corrupted frame: count it, resume the hunt right after the
-			// magic word so an embedded valid packet is still found.
+			// magic word so an embedded valid packet is still found. The
+			// frame's bytes were never consumed, so resync is a 2-byte skip.
 			sr.BadPackets++
-			sr.pushBack(frame[2:])
+			sr.r.Discard(2)
 			sr.SkippedBytes += 2
 			if bad++; sr.BadPacketBudget > 0 && bad >= sr.BadPacketBudget {
 				return fmt.Errorf("%w: %d corrupted frames in one read", ErrResyncStorm, bad)
 			}
 			continue
 		}
+		sr.r.Discard(total)
 		return nil
 	}
 }
@@ -277,6 +298,79 @@ var ErrIncompleteEvent = errors.New("adapt: incomplete event")
 // BadPacketBudget without finding a valid packet. The stream is still
 // usable; the caller decides whether to keep hunting or cut the link.
 var ErrResyncStorm = errors.New("adapt: resync storm")
+
+// SkimEvent consumes the next event's packets with the same framing, resync,
+// and held-packet behaviour as ReadEventInto, but touches nothing beyond each
+// frame's header: no checksum verification and no sample decode. It exists
+// for the saturated-ingest case where the caller has already decided the
+// event will be dropped (derandomizer full under drop policy) — the hardware
+// analogue is a full derandomizer FIFO, which never inspects the trigger it
+// refuses. Payload corruption inside a skimmed event therefore goes uncounted
+// (the event is a loss either way), while header corruption that misframes
+// the stream is still recovered by the magic-hunt resync and bounded to one
+// event. A packet from a different event interrupts the skim; it is verified,
+// fully decoded, and retained for the next assembly. Returns the skimmed
+// event id.
+func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
+	if asics < 1 {
+		return 0, fmt.Errorf("adapt: SkimEvent needs asics >= 1")
+	}
+	if sr.hasHeld {
+		sr.skim, sr.held = sr.held, sr.skim
+		sr.hasHeld = false
+	} else if err := sr.readPacketInto(&sr.skim, true, false, 0); err != nil {
+		return 0, err
+	}
+	event := sr.skim.Event
+	for i := 1; i < asics; {
+		// Fast path: an in-sync stream has the event's remaining frames
+		// back-to-back in the read window. Walk as many contiguous, fully
+		// buffered frames of this event as the window holds and consume them
+		// with one Discard, instead of paying two Peeks and a Discard per
+		// frame. Any anomaly — short window, bad magic, other event — leaves
+		// the stream untouched past the clean prefix and falls back to the
+		// general path, which owns resync, EOF, and interruption handling.
+		if n := sr.r.Buffered(); n >= headerBytes {
+			win, _ := sr.r.Peek(n)
+			off := 0
+			for i < asics && len(win)-off >= headerBytes {
+				h := win[off:]
+				if h[0] != magicHi || h[1] != magicLo ||
+					binary.BigEndian.Uint32(h[4:]) != event {
+					break
+				}
+				total := headerBytes + 2*ChannelsPerASIC*int(h[headerBytes-1]) + 2
+				if len(win)-off < total {
+					break
+				}
+				off += total
+				i++
+			}
+			if off > 0 {
+				sr.r.Discard(off)
+				continue
+			}
+		}
+		if err := sr.readPacketInto(&sr.skim, true, true, event); err != nil {
+			if err == io.EOF {
+				return event, fmt.Errorf("%w: got %d of %d packets for event %d",
+					ErrIncompleteEvent, i, asics, event)
+			}
+			return event, fmt.Errorf("%w: after %d of %d packets for event %d: %w",
+				ErrIncompleteEvent, i, asics, event, err)
+		}
+		if sr.skim.Event != event {
+			// Keep the interrupting packet (swap storage, don't copy) so the
+			// next assembly resumes from it.
+			sr.held, sr.skim = sr.skim, sr.held
+			sr.hasHeld = true
+			return event, fmt.Errorf("%w: event %d interrupted by packet from event %d",
+				ErrIncompleteEvent, event, sr.held.Event)
+		}
+		i++
+	}
+	return event, nil
+}
 
 // ReadEvent collects the next `asics` packets that share one event id.
 // Packets from other events encountered mid-assembly are an error (the

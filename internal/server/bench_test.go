@@ -1,0 +1,102 @@
+package server
+
+import (
+	"io"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// loopStream replays one serialized event stream forever — an infinite clean
+// link with zero per-read allocation, so the ingest benchmark measures the
+// spine, not the source.
+type loopStream struct {
+	data []byte
+	off  int
+}
+
+func (l *loopStream) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// BenchmarkIngestPath measures the full software spine between the socket and
+// the response bytes: stream decode (resync scan + frame parse), queue
+// handoff, batched serving, and response serialization into a pooled write
+// buffer. It is single-goroutine on purpose — the point is the per-event CPU
+// and allocation cost of the path, not scheduler throughput — and the CI
+// bench smoke gates on allocs/op == 0 in steady state.
+func BenchmarkIngestPath(b *testing.B) {
+	cfg := testConfig()
+	p, err := adapt.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := makeEvents(b, cfg, 4, 42)
+	var stream []byte
+	for _, ev := range events {
+		for i := range ev {
+			frame, err := ev[i].Marshal()
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream = append(stream, frame...)
+		}
+	}
+	sr := adapt.NewStreamReader(&loopStream{data: stream})
+
+	const batch = 32
+	queue := newRing[*event](64)
+	out := newRing[[]byte](responseRingDepth)
+	evs := make([]*event, batch)
+	pkts := make([][]adapt.Packet, 0, batch)
+	recs := make([]adapt.EventRecord, batch)
+	errs := make([]error, batch)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n += batch {
+		// Ingest leg: decode and push one batch through the ingest ring.
+		for i := 0; i < batch; i++ {
+			ev := getEvent()
+			packets, err := sr.ReadEventInto(ev.packets, cfg.ASICs)
+			if err != nil && err != io.EOF {
+				b.Fatal(err)
+			}
+			ev.packets = packets
+			if !queue.push(ev) {
+				b.Fatal("ingest ring full")
+			}
+		}
+		// Worker leg: drain, serve, coalesce into one pooled buffer.
+		if got := queue.popBatch(evs); got != batch {
+			b.Fatalf("drained %d of %d", got, batch)
+		}
+		pkts = pkts[:0]
+		for _, e := range evs {
+			pkts = append(pkts, e.packets)
+		}
+		p.ServeBatch(pkts, recs[:batch], errs[:batch])
+		buf := bufPool.Get().([]byte)[:0]
+		for i, e := range evs {
+			if errs[i] != nil {
+				b.Fatal(errs[i])
+			}
+			buf = recs[i].AppendTo(buf)
+			putEvent(e)
+		}
+		if !out.push(buf) {
+			b.Fatal("response ring full")
+		}
+		// Writer leg: take ownership and recycle.
+		w, ok := out.pop()
+		if !ok {
+			b.Fatal("response ring empty")
+		}
+		bufPool.Put(w[:0]) //nolint:staticcheck // []byte pooling is intentional
+	}
+}

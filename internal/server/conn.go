@@ -4,30 +4,52 @@ import (
 	"errors"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
 )
 
 // conn is one client connection: a reader goroutine assembling events and a
-// writer goroutine streaming downlink records back.
+// writer goroutine streaming downlink records back. Both legs ride SPSC
+// rings: the reader feeds its worker through in, the worker feeds the writer
+// through out. A connection is pinned to one worker at accept, which is what
+// makes both rings single-producer/single-consumer.
 type conn struct {
 	s      *Server
 	nc     net.Conn
+	w      *worker
 	id     uint64
 	remote string
-	// out carries serialized responses from workers to the writer. It is
-	// closed once the reader has exited and every in-flight event for this
-	// connection has been resolved.
-	out      chan []byte
-	inflight sync.WaitGroup
-	stats    counters
+	// in carries assembled events to the owning worker. Its capacity covers
+	// the full derandomizer depth, so an admitted event always has a slot.
+	in *ring[*event]
+	// out carries serialized responses from the owning worker to the writer.
+	out *ring[[]byte]
+	// outWake nudges a writer parked on an empty out ring (capacity 1).
+	outWake chan struct{}
+	// done is closed once the reader has exited and every in-flight event
+	// for this connection has been resolved; the writer then drains out a
+	// final time and exits.
+	done chan struct{}
+	// readerGone is raised by the reader after its final ring push; the
+	// worker uses it to retire the connection from its drain list.
+	readerGone atomic.Bool
+	inflight   sync.WaitGroup
+	stats      counters
 }
+
+// responseRingDepth is the out ring's capacity in coalesced buffers. The
+// worker coalesces a whole batch into one buffer, so even a deep backlog
+// occupies few slots; a stalled client eventually fills it and the worker's
+// pushResponse stalls with it (the writer's deadline then kills the conn).
+const responseRingDepth = 128
 
 var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 256) }}
 
-// readLoop assembles events off the wire and shards them to the workers.
+// readLoop assembles events off the wire and feeds them to the owning worker.
 func (c *conn) readLoop() {
 	defer c.s.readersWG.Done()
 	s := c.s
@@ -68,7 +90,23 @@ func (c *conn) readLoop() {
 	ev := getEvent()
 	for {
 		tr.MarkBoundary()
-		packets, err := sr.ReadEventInto(ev.packets, asics)
+		// When the lane is already at derandomizer depth under drop policy,
+		// the incoming event is condemned before it is read: skim it —
+		// header-only framing with the same resync and held-packet behaviour,
+		// but no checksum and no sample decode, matching a hardware
+		// derandomizer that never inspects the trigger it refuses. On a
+		// saturated host this is the difference between the readers burning
+		// the core verifying events the queue will refuse and that CPU going
+		// to the worker that could drain the queue.
+		skimmed := false
+		var packets []adapt.Packet
+		var err error
+		if s.cfg.Policy == PolicyDrop && c.w.fill.Load() >= int64(s.cfg.QueueDepth) {
+			skimmed = true
+			_, err = sr.SkimEvent(asics)
+		} else {
+			packets, err = sr.ReadEventInto(ev.packets, asics)
+		}
 		if bad := syncStream(); bad > 0 && brk.add(time.Now(), bad) {
 			// Resync storm: this link is producing mostly garbage. Cut it
 			// loose rather than burn a reader on an unframeable stream.
@@ -105,6 +143,13 @@ func (c *conn) readLoop() {
 			}
 		}
 		switch {
+		case err == nil && skimmed:
+			// A fully assembled event that was never decoded: it is a FIFO
+			// loss exactly like an enqueue rejection.
+			c.stats.EventsIn.Add(1)
+			s.stats.EventsIn.Add(1)
+			c.stats.Dropped.Add(1)
+			s.stats.Dropped.Add(1)
 		case err == nil:
 			ev.packets = packets
 			ev.c = c
@@ -217,24 +262,43 @@ func (b *resyncBreaker) add(now time.Time, d int) bool {
 	return b.n > b.limit
 }
 
-// finishReads arranges for the writer to terminate once every event this
-// connection put in flight has been processed.
+// finishReads marks ingress over for this connection (letting the worker
+// retire it) and arranges for the writer to terminate once every event this
+// connection put in flight has been resolved.
 func (c *conn) finishReads() {
+	c.readerGone.Store(true)
+	c.w.notify()
 	go func() {
 		c.inflight.Wait()
-		close(c.out)
+		close(c.done)
 	}()
 }
 
-// respond hands a serialized record to the connection's writer. Called by
-// workers; safe concurrently. The writer owns buf afterwards.
-func (c *conn) respond(buf []byte) {
-	c.out <- buf
+// pushResponse hands a serialized record buffer to the connection's writer.
+// Called only by the owning worker (the out ring's single producer); the
+// writer owns buf afterwards. A full ring means the client has stalled long
+// enough for responseRingDepth coalesced buffers to pile up — the worker
+// waits here, which is the same backpressure the old channel send applied,
+// and the writer's deadline bounds how long the stall can last.
+func (c *conn) pushResponse(buf []byte) {
+	for spins := 0; !c.out.push(buf); spins++ {
+		if spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	select {
+	case c.outWake <- struct{}{}:
+	default:
+	}
 }
 
 // writeLoop streams serialized records back to the client. After a write
-// fault it keeps draining the channel (discarding) so workers never block on
-// a dead connection.
+// fault it keeps draining the ring (discarding) so the worker never stalls
+// against a dead connection. The loop flushes whenever the ring goes empty —
+// the natural batch boundary — and parks on outWake until the worker pushes
+// again or done reports the connection resolved.
 func (c *conn) writeLoop() {
 	defer func() {
 		c.nc.Close()
@@ -243,7 +307,7 @@ func (c *conn) writeLoop() {
 	}()
 	w := newDeadlineWriter(c.nc, c.s.cfg.WriteTimeout)
 	failed := false
-	for buf := range c.out {
+	write := func(buf []byte) {
 		if !failed {
 			if _, err := w.Write(buf); err != nil {
 				failed = true
@@ -251,18 +315,40 @@ func (c *conn) writeLoop() {
 			} else {
 				c.stats.BytesOut.Add(uint64(len(buf)))
 				c.s.stats.BytesOut.Add(uint64(len(buf)))
-				if len(c.out) == 0 {
-					if err := w.Flush(); err != nil {
-						failed = true
-						c.nc.Close()
-					}
-				}
 			}
 		}
 		bufPool.Put(buf[:0]) //nolint:staticcheck // []byte pooling is intentional
 	}
-	if !failed {
-		w.Flush()
+	flush := func() {
+		if !failed {
+			if err := w.Flush(); err != nil {
+				failed = true
+				c.nc.Close()
+			}
+		}
+	}
+	for {
+		buf, ok := c.out.pop()
+		if ok {
+			write(buf)
+			continue
+		}
+		flush()
+		select {
+		case <-c.outWake:
+		case <-c.done:
+			// Every response was pushed before its inflight.Done, so after
+			// done nothing more can arrive: drain what remains and exit.
+			for {
+				buf, ok := c.out.pop()
+				if !ok {
+					break
+				}
+				write(buf)
+			}
+			flush()
+			return
+		}
 	}
 }
 

@@ -6,28 +6,47 @@
 //
 // Architecture:
 //
-//	conn 1 ──reader──┐                        ┌─worker 1 (Pipeline)─┐
-//	conn 2 ──reader──┼──> sharded bounded ────┼─worker 2 (Pipeline)─┼──> per-conn
-//	conn N ──reader──┘    derandomizer queues └─worker W (Pipeline)─┘    writers
+//	conn 1 ──reader──[SPSC ring]──┐
+//	conn 2 ──reader──[SPSC ring]──┼─ lane 1: worker (Pipeline) ─ batched drain
+//	                              │     │ ServeBatch → coalesced response
+//	conn 3 ──reader──[SPSC ring]──┐     ▼ write per conn
+//	conn N ──reader──[SPSC ring]──┼─ lane W: worker (Pipeline)
 //
 // Each connection carries a stream of ALPHA packets; a per-connection reader
-// assembles them into events (resynchronizing across corrupted frames) and
-// shards complete events round-robin across a pool of worker goroutines.
+// assembles them into events (resynchronizing in place inside the read
+// window across corrupted frames) and pushes them onto its own single-
+// producer/single-consumer ring. Connections are assigned to worker lanes at
+// accept time (least-loaded), so every ring has exactly one producer (the
+// conn's reader) and one consumer (the lane's worker) — event handoff on the
+// hot path is two atomic position updates, no locks and no channel ops.
 // Pipelines hold pedestal-calibration and scratch state and are not
 // concurrency-safe, so every worker owns one calibrated adapt.Pipeline.
 //
-// Each worker's bounded event queue mirrors the §6 derandomizer FIFO modeled
-// by adapt.SimulateTrigger (experiments deadtime, E14): with PolicyDrop an
-// event arriving at a full queue is counted and discarded, exactly like a
-// trigger hitting a full FIFO; with PolicyBlock the reader stalls, pushing
-// backpressure onto the TCP connection instead. Both are reported in the
-// stats, so the server's observed loss fraction under Poisson load can be
-// compared directly against the discrete-event simulation.
+// The derandomizer-depth bound lives in a per-lane admission counter, not in
+// the rings: admission CASes the counter against Config.QueueDepth, and the
+// worker decrements it as it drains, so the bound spans all connections of a
+// lane exactly like one hardware FIFO shared by the lane. Under PolicyDrop
+// an event arriving at a full lane is counted and discarded — and the reader
+// skims it off the wire on frame headers alone (no checksum, no sample
+// decode), the way a full hardware derandomizer never inspects the trigger
+// it refuses; under PolicyBlock the reader stalls, pushing backpressure onto
+// the TCP connection instead. Both are reported in the stats, so the
+// server's observed loss fraction under Poisson load can be compared
+// directly against the discrete-event simulation (adapt.SimulateTrigger,
+// E14).
 //
-// Workers emit serialized adapt.EventRecord downlink responses back on the
-// originating connection. The server supports graceful drain on shutdown
-// (stop ingress, process everything queued, flush responses), and exposes
-// global and per-connection statistics — events in/out, drops, bad packets,
-// skipped bytes, queue high-water mark, latency percentiles — via a JSON
-// stats endpoint and a periodic log line.
+// An idle worker parks on a wake channel after publishing a parked flag and
+// re-checking its rings (producers that observe the flag nudge the channel),
+// so a quiet server spins nothing. When running unpaced, the worker drains
+// its rings in batches, serves the batch through adapt.Pipeline.ServeBatch,
+// and coalesces the batch's serialized adapt.EventRecord responses into one
+// pooled write per originating connection. The whole path — frame decode,
+// ring handoff, serving, response write — runs at zero heap allocations per
+// event in steady state (gated in CI via BenchmarkIngestPath).
+//
+// The server supports graceful drain on shutdown (stop ingress, process
+// everything queued, flush responses), and exposes global and per-connection
+// statistics — events in/out, drops, bad packets, skipped bytes, queue
+// high-water mark, latency percentiles — via a JSON stats endpoint and a
+// periodic log line.
 package server

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
@@ -44,33 +46,147 @@ var eventPool = sync.Pool{New: func() any { return new(event) }}
 func getEvent() *event  { return eventPool.Get().(*event) }
 func putEvent(e *event) { e.c = nil; eventPool.Put(e) }
 
-// enqueue shards ev round-robin across the worker queues and applies the
-// overflow policy. It reports whether the event was accepted; rejected
-// events are counted as drops (the caller still owns ev).
-func (s *Server) enqueue(ev *event) bool {
-	shard := int(s.seq.Add(1)-1) % len(s.queues)
-	q := s.queues[shard]
-	if s.cfg.Policy == PolicyBlock {
+// worker is one serving lane: a pipeline goroutine draining the ingest rings
+// of the connections assigned to it. The derandomizer-depth bound lives in
+// fill, not in the rings — fill counts events admitted (enqueue) and not yet
+// drained by the worker, and admission CASes it against Config.QueueDepth.
+// Because at most QueueDepth events are admitted across the worker's
+// connections and every ingest ring holds at least QueueDepth, an admitted
+// event's ring push can never find the ring full.
+type worker struct {
+	fill   atomic.Int64  // admitted, not yet drained; bounded by QueueDepth
+	parked atomic.Bool   // worker is about to park (or parked) on wake
+	wake   chan struct{} // capacity 1: producers nudge a parked worker
+
+	mu    sync.Mutex
+	conns []*conn // connections assigned to this lane (accept adds, drain prunes)
+	next  int     // round-robin drain offset across conns
+}
+
+func newWorker() *worker {
+	return &worker{wake: make(chan struct{}, 1)}
+}
+
+// addConn assigns c to this lane.
+func (w *worker) addConn(c *conn) {
+	w.mu.Lock()
+	w.conns = append(w.conns, c)
+	w.mu.Unlock()
+}
+
+// notify wakes the worker if it is parked (or about to park: a producer that
+// loads parked==true before the worker's pre-park recheck just leaves a token
+// the select consumes immediately). Producers that observe parked==false are
+// safe to skip the send — their ring write is sequenced before the load, so
+// the worker's pre-park drain sees the event.
+func (w *worker) notify() {
+	if w.parked.Load() {
 		select {
-		case q <- ev:
-		case <-s.draining:
-			// Ingress is closing; nothing will drain a full queue fast
-			// enough to honor a blocking send. Count it like a FIFO loss.
-			select {
-			case q <- ev:
-			default:
-				return false
-			}
-		}
-	} else {
-		select {
-		case q <- ev:
+		case w.wake <- struct{}{}:
 		default:
-			return false
 		}
 	}
-	// len(q) just after the send is a racy but monotone-sampled depth; the
-	// high-water mark only ever grows, so stale reads cannot inflate it.
-	s.stats.observeQueueDepth(len(q))
+}
+
+// drain moves events from the lane's ingest rings into dst (up to cap(dst)),
+// round-robining across connections so one saturated link cannot starve the
+// rest, and prunes connections whose reader has exited with nothing left
+// queued. Worker-side only.
+func (w *worker) drain(dst []*event) []*event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.conns)
+	if n == 0 {
+		return dst
+	}
+	if w.next >= n {
+		w.next = 0
+	}
+	for i := 0; i < n && len(dst) < cap(dst); i++ {
+		c := w.conns[(w.next+i)%n]
+		k := c.in.popBatch(dst[len(dst):cap(dst)])
+		if k > 0 {
+			w.fill.Add(int64(-k))
+			dst = dst[:len(dst)+k]
+		}
+	}
+	w.next++
+	w.prune()
+	return dst
+}
+
+// popOne takes a single event for the paced/full-pipeline serial modes.
+// Worker-side only.
+func (w *worker) popOne() (*event, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.conns)
+	if w.next >= n {
+		w.next = 0
+	}
+	for i := 0; i < n; i++ {
+		j := (w.next + i) % n
+		if ev, ok := w.conns[j].in.pop(); ok {
+			w.next = j + 1
+			w.fill.Add(-1)
+			return ev, true
+		}
+	}
+	w.prune()
+	return nil, false
+}
+
+// prune drops connections that can never produce again: reader exited and
+// ingest ring empty (the reader raises readerGone only after its final push,
+// so this order of observation is conclusive). Callers hold w.mu.
+func (w *worker) prune() {
+	live := w.conns[:0]
+	for _, c := range w.conns {
+		if c.readerGone.Load() && c.in.len() == 0 {
+			continue
+		}
+		live = append(live, c)
+	}
+	for i := len(live); i < len(w.conns); i++ {
+		w.conns[i] = nil
+	}
+	w.conns = live
+}
+
+// enqueue admits ev to its connection's worker lane under the overflow
+// policy. It reports whether the event was accepted; rejected events are
+// counted as drops (the caller still owns ev).
+func (s *Server) enqueue(ev *event) bool {
+	c := ev.c
+	w := c.w
+	depth := int64(s.cfg.QueueDepth)
+	var f int64
+	for spins := 0; ; {
+		f = w.fill.Load()
+		if f < depth {
+			if w.fill.CompareAndSwap(f, f+1) {
+				break
+			}
+			continue
+		}
+		if s.cfg.Policy != PolicyBlock || s.isDraining() {
+			// Full lane under drop policy — or ingress is closing, where
+			// nothing will drain fast enough to honor a blocking admit.
+			// Either way it is a FIFO loss.
+			return false
+		}
+		// Backpressure: stall this reader (and through TCP, the sender)
+		// until the worker frees a slot. Yield first — on few-core hosts
+		// the worker needs this core to make that progress — then back off
+		// to short sleeps so a long stall does not burn the CPU.
+		if spins++; spins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	c.in.push(ev)
+	s.stats.observeQueueDepth(int(f + 1))
+	w.notify()
 	return true
 }

@@ -1,0 +1,105 @@
+package server
+
+import "sync/atomic"
+
+// ring is a lock-free single-producer single-consumer queue over a
+// power-of-two circular buffer. Head and tail are monotonically increasing
+// positions (never wrapped), masked into the buffer on access, and each lives
+// on its own cache line so the producer and consumer cores do not false-share.
+//
+// The SPSC contract is structural, not checked: exactly one goroutine may
+// call push and exactly one may call pop/popBatch. In the ingest spine every
+// ring has a natural owner pair — a connection's reader feeds its worker, a
+// worker feeds the connection's writer — which is what makes the single-slot
+// atomics sufficient. Visibility follows from the Go memory model: the
+// producer writes the slot before the tail store, and the consumer's tail
+// load synchronizes with that store, so the slot read observes the value
+// (and symmetrically for head when the producer checks for space).
+//
+// The physical capacity is the logical depth rounded up to a power of two;
+// callers that need an exact bound (the derandomizer depth) enforce it with
+// an external admission counter and treat the ring as never-full.
+type ring[T any] struct {
+	buf  []T
+	mask uint64
+	_    [48]byte // keep head off the buf/mask line
+	head atomic.Uint64
+	_    [56]byte
+	tail atomic.Uint64
+	_    [56]byte
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// newRing returns a ring holding at least depth elements.
+func newRing[T any](depth int) *ring[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	r := &ring[T]{}
+	r.buf = make([]T, ceilPow2(depth))
+	r.mask = uint64(len(r.buf) - 1)
+	return r
+}
+
+// push appends v, reporting false when the ring is physically full.
+// Producer-side only.
+func (r *ring[T]) push(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop removes the oldest element. Consumer-side only. The vacated slot is
+// zeroed so the ring never pins a popped element's storage.
+func (r *ring[T]) pop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return zero, false
+	}
+	v := r.buf[h&r.mask]
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	return v, true
+}
+
+// popBatch removes up to len(dst) elements in arrival order, returning the
+// count. Consumer-side only. One head store publishes the whole batch, so a
+// backlog costs one shared-line write instead of one per element.
+func (r *ring[T]) popBatch(dst []T) int {
+	var zero T
+	h := r.head.Load()
+	n := int(r.tail.Load() - h)
+	if n == 0 {
+		return 0
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		j := (h + uint64(i)) & r.mask
+		dst[i] = r.buf[j]
+		r.buf[j] = zero
+	}
+	r.head.Store(h + uint64(n))
+	return n
+}
+
+// len reports the element count. Racy by nature (either end may move), but
+// each end's own view is exact: after the producer sees len()==0 having
+// stopped pushing, the consumer has taken everything.
+func (r *ring[T]) len() int {
+	return int(r.tail.Load() - r.head.Load())
+}

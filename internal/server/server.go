@@ -10,7 +10,6 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
@@ -113,10 +112,12 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Server is a concurrent ALPHA-packet event-ingest service.
 type Server struct {
-	cfg    Config
-	stats  Stats
-	queues []chan *event
-	seq    atomic.Uint64
+	cfg     Config
+	stats   Stats
+	workers []*worker
+	// ingressDone is closed (during Shutdown, after every reader has exited)
+	// to tell workers the ingest rings are frozen: drain and retire.
+	ingressDone chan struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -142,14 +143,18 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		conns:    make(map[*conn]struct{}),
-		draining: make(chan struct{}),
+		cfg:         cfg,
+		conns:       make(map[*conn]struct{}),
+		draining:    make(chan struct{}),
+		ingressDone: make(chan struct{}),
 	}
 	s.stats.start = time.Now()
 	// Seed the rate-gauge baseline at startup so the very first /stats scrape
 	// reports the since-start average instead of an empty window.
 	s.rates.at = s.stats.start
+	// Build every pipeline before starting any worker so a late construction
+	// error cannot strand already-running goroutines.
+	pipes := make([]*adapt.Pipeline, cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		p, err := adapt.New(cfg.Pipeline)
 		if err != nil {
@@ -160,10 +165,13 @@ func New(cfg Config) (*Server, error) {
 				return nil, fmt.Errorf("server: worker %d: %w", i, err)
 			}
 		}
-		q := make(chan *event, cfg.QueueDepth)
-		s.queues = append(s.queues, q)
+		pipes[i] = p
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker()
+		s.workers = append(s.workers, w)
 		s.workersWG.Add(1)
-		go s.worker(p, q)
+		go s.run(w, pipes[i])
 	}
 	return s, nil
 }
@@ -246,16 +254,23 @@ func (s *Server) Addr() net.Addr {
 
 func (s *Server) addConn(nc net.Conn) {
 	c := &conn{
-		s:      s,
-		nc:     nc,
-		remote: nc.RemoteAddr().String(),
-		out:    make(chan []byte, 128),
+		s:       s,
+		nc:      nc,
+		remote:  nc.RemoteAddr().String(),
+		in:      newRing[*event](s.cfg.QueueDepth),
+		out:     newRing[[]byte](responseRingDepth),
+		outWake: make(chan struct{}, 1),
+		done:    make(chan struct{}),
 	}
 	s.mu.Lock()
 	s.connID++
 	c.id = s.connID
+	// Pin the connection to one worker lane for its lifetime: that is what
+	// makes both of its rings single-producer/single-consumer.
+	c.w = s.workers[int(c.id)%len(s.workers)]
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
+	c.w.addConn(c)
 	s.stats.ConnsTotal.Add(1)
 	s.stats.ConnsActive.Add(1)
 	s.readersWG.Add(1)
@@ -298,9 +313,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.readersWG.Wait()
-		for _, q := range s.queues {
-			close(q)
-		}
+		// All readers have exited: the ingest rings are frozen. Tell the
+		// workers to serve the remainder and retire.
+		close(s.ingressDone)
 		s.workersWG.Wait()
 		s.connsWG.Wait()
 		close(done)

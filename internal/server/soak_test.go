@@ -1,11 +1,16 @@
 package server
 
 import (
+	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -13,6 +18,29 @@ import (
 	"github.com/wustl-adapt/hepccl/internal/chaos"
 	"github.com/wustl-adapt/hepccl/internal/detector"
 )
+
+// countRecords parses the downlink record framing (8-byte header carrying
+// the event id and island count, then 22 bytes per island) until EOF,
+// returning how many complete records arrived. Any malformed tail is an
+// error: the server must never emit a partial record.
+func countRecords(nc net.Conn) (int, error) {
+	br := bufio.NewReaderSize(nc, 64<<10)
+	var hdr [8]byte
+	n := 0
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return n, nil
+			}
+			return n, fmt.Errorf("record %d header: %w", n, err)
+		}
+		islands := int(binary.BigEndian.Uint32(hdr[4:]))
+		if _, err := io.CopyN(io.Discard, br, int64(islands)*22); err != nil {
+			return n, fmt.Errorf("record %d body (%d islands): %w", n, islands, err)
+		}
+		n++
+	}
+}
 
 // TestChaosSoak drives Poisson-paced traffic through frame-level fault
 // injection for several seconds and then balances the books exactly:
@@ -93,15 +121,29 @@ func TestChaosSoak(t *testing.T) {
 		reconnects int
 	)
 
-	// drains collects the response-reader goroutines; each discards records
-	// until its connection is done so server writers never feel backpressure.
+	// drains collects the response-reader goroutines; each parses the record
+	// framing until its connection is done so server writers never feel
+	// backpressure AND every response byte is accounted for: the ring spine
+	// recycles event and buffer storage aggressively, so a coalesced batch
+	// buffer written from recycled memory that had been corrupted by a stale
+	// writer would surface here as a framing error or a record-count
+	// mismatch against EventsOut.
 	var drains []chan struct{}
+	var recordsDrained atomic.Int64
+	var drainMu sync.Mutex
+	var drainErrs []error
 	drainConn := func(nc net.Conn) {
 		done := make(chan struct{})
 		drains = append(drains, done)
 		go func() {
 			defer close(done)
-			io.Copy(io.Discard, nc)
+			n, err := countRecords(nc)
+			recordsDrained.Add(int64(n))
+			if err != nil {
+				drainMu.Lock()
+				drainErrs = append(drainErrs, err)
+				drainMu.Unlock()
+			}
 			nc.Close()
 		}()
 	}
@@ -237,6 +279,15 @@ func TestChaosSoak(t *testing.T) {
 	if snap.IdleTimeouts != 0 || snap.BreakerTrips != 0 {
 		t.Errorf("guards tripped during healthy soak: idle=%d breaker=%d",
 			snap.IdleTimeouts, snap.BreakerTrips)
+	}
+	// Downlink integrity: every record the server counts as served must have
+	// arrived as a well-framed record. A pooled buffer recycled while still
+	// in a writer's hands would break the framing or the count.
+	for _, err := range drainErrs {
+		t.Errorf("response stream: %v", err)
+	}
+	if got := recordsDrained.Load(); got != int64(snap.EventsOut) {
+		t.Errorf("client parsed %d records, server served %d", got, snap.EventsOut)
 	}
 
 	// Goroutine accounting: everything the soak spawned must be gone.

@@ -312,14 +312,16 @@ func (s *Server) StatsSnapshot() Snapshot {
 		UptimeSeconds:   time.Since(st.start).Seconds(),
 		ConnsActive:     st.ConnsActive.Load(),
 		ConnsTotal:      st.ConnsTotal.Load(),
-		Workers:         len(s.queues),
+		Workers:         len(s.workers),
 		QueueDepth:      s.cfg.QueueDepth,
 		QueueHWM:        st.QueueHWM.Load(),
 		CounterSnapshot: st.counters.snapshot(),
 	}
 	snap.EventsPerSec, snap.NsPerEvent = s.rates.update(st)
-	for _, q := range s.queues {
-		snap.QueueLens = append(snap.QueueLens, len(q))
+	for _, w := range s.workers {
+		// A lane's admitted-but-undrained fill is the ring-spine analogue of
+		// the old channel length.
+		snap.QueueLens = append(snap.QueueLens, int(w.fill.Load()))
 	}
 	if snap.EventsIn > 0 {
 		snap.LossFraction = float64(snap.Dropped) / float64(snap.EventsIn)

@@ -7,26 +7,111 @@ import (
 )
 
 // serveBatchMax bounds how many queued events one worker drains into a single
-// adapt.ServeBatch call. Large enough to amortize the per-wakeup costs (queue
-// receive, clock reads, scheduler churn) across a backlog, small enough that a
+// adapt.ServeBatch call. Large enough to amortize the per-wakeup costs (ring
+// scans, clock reads, scheduler churn) across a backlog, small enough that a
 // burst cannot hold response flushing hostage for long.
 const serveBatchMax = 32
 
-// worker drains one derandomizer shard through its own calibrated pipeline.
-// Runs until the shard's queue is closed and empty (graceful drain).
+// run is one worker's serving loop, draining the ingest rings of its assigned
+// connections until ingress closes and the rings are empty (graceful drain).
 //
 // In the unpaced functional mode (the serving configuration), the worker
-// drains whatever backlog the shard has accumulated — up to serveBatchMax
-// events — into one ServeBatch call, so a busy shard pays for the clock reads
-// and bookkeeping once per batch instead of once per event. Paced and
-// full-pipeline modes keep the one-event-at-a-time loop: pacing needs a
-// service slot per event, and ProcessEvent has no batch entry point.
-func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
+// drains whatever backlog its lanes hold — up to serveBatchMax events — into
+// one ServeBatch call and coalesces the batch's responses into one pooled
+// write buffer per connection, so a busy lane pays for clock reads, ring
+// traffic, and writer wakeups once per batch instead of once per event.
+// Paced and full-pipeline modes keep the one-event-at-a-time loop: pacing
+// needs a service slot per event, and ProcessEvent has no batch entry point.
+//
+// Parking: when every ring is empty the worker announces parked, re-drains
+// (closing the race against a producer that pushed before the announcement),
+// and then blocks on its wake channel. Producers only touch the channel when
+// they observe parked, so the steady-state hot path is ring-only.
+func (s *Server) run(w *worker, p *adapt.Pipeline) {
 	defer s.workersWG.Done()
-	if !s.cfg.PaceHardware && !s.cfg.FullPipeline {
-		s.workerBatched(p, queue)
+	if s.cfg.PaceHardware || s.cfg.FullPipeline {
+		s.runSerial(w, p)
 		return
 	}
+	batch := make([]*event, serveBatchMax)
+	pkts := make([][]adapt.Packet, 0, serveBatchMax)
+	recs := make([]adapt.EventRecord, serveBatchMax)
+	errs := make([]error, serveBatchMax)
+
+	serve := func(evs []*event) {
+		pkts = pkts[:0]
+		for _, ev := range evs {
+			pkts = append(pkts, ev.packets)
+		}
+		served := time.Now()
+		p.ServeBatch(pkts, recs[:len(evs)], errs[:len(evs)])
+		s.stats.ServeNs.Add(uint64(time.Since(served).Nanoseconds()))
+		// Responses coalesce per connection: drain pops each ring's backlog
+		// contiguously, so same-conn events form runs and each run becomes a
+		// single pooled buffer — one ring push and one writer wakeup.
+		for i := 0; i < len(evs); {
+			c := evs[i].c
+			j := i
+			var buf []byte
+			for ; j < len(evs) && evs[j].c == c; j++ {
+				if errs[j] != nil {
+					c.stats.BadEvents.Add(1)
+					s.stats.BadEvents.Add(1)
+					continue
+				}
+				if buf == nil {
+					buf = bufPool.Get().([]byte)[:0]
+				}
+				buf = recs[j].AppendTo(buf)
+				c.stats.EventsOut.Add(1)
+				s.stats.EventsOut.Add(1)
+			}
+			if buf != nil {
+				c.pushResponse(buf)
+			}
+			// The response is in the ring before inflight.Done, so the
+			// writer's final drain (armed by inflight.Wait) cannot miss it.
+			for k := i; k < j; k++ {
+				ev := evs[k]
+				s.stats.latency.observe(time.Since(ev.enqueued))
+				ev.c.inflight.Done()
+				putEvent(ev)
+			}
+			i = j
+		}
+	}
+
+	for {
+		evs := w.drain(batch[:0])
+		if len(evs) > 0 {
+			serve(evs)
+			continue
+		}
+		w.parked.Store(true)
+		if evs = w.drain(batch[:0]); len(evs) > 0 {
+			w.parked.Store(false)
+			serve(evs)
+			continue
+		}
+		select {
+		case <-w.wake:
+			w.parked.Store(false)
+		case <-s.ingressDone:
+			w.parked.Store(false)
+			// Ingress is closed: every reader has exited, so the rings are
+			// frozen. Serve the remainder and retire.
+			for {
+				if evs = w.drain(batch[:0]); len(evs) == 0 {
+					return
+				}
+				serve(evs)
+			}
+		}
+	}
+}
+
+// runSerial is the paced / full-pipeline loop: one event per service slot.
+func (s *Server) runSerial(w *worker, p *adapt.Pipeline) {
 	var rec adapt.EventRecord
 	var interval time.Duration
 	if s.cfg.PaceHardware {
@@ -39,17 +124,17 @@ func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
 	// after the previous one. Short sleeps overshoot badly, so the worker
 	// sleeps only when the schedule runs ahead by more than sleepSlack and
 	// then serves the queued backlog back-to-back — exactly how a fixed-rate
-	// derandomizer drains. Slots are banked only while the queue is non-empty:
-	// a receive that had to wait means the queue went idle, and the schedule
-	// restarts from now.
+	// derandomizer drains. Slots are banked only while events keep arriving:
+	// a pop that found the lane idle restarts the schedule from now.
 	const sleepSlack = 200 * time.Microsecond
 	var due time.Time
 	idle := time.Now()
-	for ev := range queue {
+
+	serve := func(ev *event) {
 		if interval > 0 {
 			now := time.Now()
 			if now.Sub(idle) > 20*time.Microsecond {
-				due = now // queue was empty; unused slots are not banked
+				due = now // lane was empty; unused slots are not banked
 			}
 			if wait := due.Sub(now); wait > sleepSlack {
 				time.Sleep(wait)
@@ -70,55 +155,44 @@ func (s *Server) worker(p *adapt.Pipeline, queue chan *event) {
 		s.finishEvent(ev, &rec, err)
 		idle = time.Now()
 	}
-}
 
-// workerBatched is the unpaced functional-mode drain loop: block for the first
-// event of a batch, then opportunistically take whatever else the shard
-// already holds and serve the whole slice through ServeBatch.
-func (s *Server) workerBatched(p *adapt.Pipeline, queue chan *event) {
-	batch := make([]*event, 0, serveBatchMax)
-	pkts := make([][]adapt.Packet, 0, serveBatchMax)
-	recs := make([]adapt.EventRecord, serveBatchMax)
-	errs := make([]error, serveBatchMax)
-	for ev := range queue {
-		batch = append(batch[:0], ev)
-	fill:
-		for len(batch) < serveBatchMax {
-			select {
-			case more, ok := <-queue:
+	for {
+		if ev, ok := w.popOne(); ok {
+			serve(ev)
+			continue
+		}
+		w.parked.Store(true)
+		if ev, ok := w.popOne(); ok {
+			w.parked.Store(false)
+			serve(ev)
+			continue
+		}
+		select {
+		case <-w.wake:
+			w.parked.Store(false)
+		case <-s.ingressDone:
+			w.parked.Store(false)
+			for {
+				ev, ok := w.popOne()
 				if !ok {
-					// Queue closed: serve what we hold, then exit via the
-					// outer range (which observes the same closed channel).
-					break fill
+					return
 				}
-				batch = append(batch, more)
-			default:
-				break fill
+				serve(ev)
 			}
-		}
-		pkts = pkts[:0]
-		for _, b := range batch {
-			pkts = append(pkts, b.packets)
-		}
-		served := time.Now()
-		p.ServeBatch(pkts, recs[:len(batch)], errs[:len(batch)])
-		s.stats.ServeNs.Add(uint64(time.Since(served).Nanoseconds()))
-		for i, b := range batch {
-			s.finishEvent(b, &recs[i], errs[i])
 		}
 	}
 }
 
-// finishEvent records the outcome of one served event: response handoff and
-// counters on success, error counters otherwise, then latency accounting and
-// event-storage recycling.
+// finishEvent records the outcome of one serially served event: response
+// handoff and counters on success, error counters otherwise, then latency
+// accounting and event-storage recycling.
 func (s *Server) finishEvent(ev *event, rec *adapt.EventRecord, err error) {
 	if err != nil {
 		ev.c.stats.BadEvents.Add(1)
 		s.stats.BadEvents.Add(1)
 	} else {
 		buf := bufPool.Get().([]byte)
-		ev.c.respond(rec.AppendTo(buf[:0]))
+		ev.c.pushResponse(rec.AppendTo(buf[:0]))
 		ev.c.stats.EventsOut.Add(1)
 		s.stats.EventsOut.Add(1)
 	}
