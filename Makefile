@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt soak bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent pieces under the race detector (-short trims the soak).
+race:
+	$(GO) test -race -short ./internal/server ./internal/adapt ./cmd/hepccld ./cmd/loadgen
+
+# go vet's standard suite + the module's hot-path analyzers + the compiler
+# escape-analysis cross-check. Must be clean before merging.
+vet:
+	$(GO) run ./cmd/hepcclvet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Full-length chaos soak under -race, as the nightly CI job runs it.
+soak:
+	$(GO) test -race -run 'TestChaosSoak$$' -count=1 -v ./internal/server
+
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeEvent' -benchtime 100x -benchmem .
+	$(GO) test -run '^$$' -bench BenchmarkIngestPath -benchtime 200000x -benchmem ./internal/server

@@ -1,0 +1,131 @@
+// Command hepcclvet is the module's invariant checker: it runs the custom
+// analyzer suite of internal/analysis (hotpathalloc, atomicring, nofloat,
+// errwrapcheck), the compiler escape-analysis cross-check, and go vet's
+// standard analyzer set, and exits non-zero on any finding. CI runs it as a
+// required step; locally:
+//
+//	go run ./cmd/hepcclvet ./...
+//	make vet
+//
+// Flags:
+//
+//	-vet=false      skip the go vet standard set
+//	-escapes=false  skip the `go build -gcflags=-m` escape cross-check
+//	-funcs          print the hot-path closure (the functions the hot-path
+//	                rules apply to) and exit
+//
+// The analyzers themselves check the module's non-test sources; go vet
+// still covers tests. See DESIGN.md §10 for the invariant catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis"
+	"github.com/wustl-adapt/hepccl/internal/analysis/escapecheck"
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+func main() {
+	runVet := flag.Bool("vet", true, "also run go vet's standard analyzer set")
+	runEscapes := flag.Bool("escapes", true, "cross-check hot paths against go build -gcflags=-m escape output")
+	listFuncs := flag.Bool("funcs", false, "print the hot-path closure and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hepcclvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root, err := moduleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := load.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *listFuncs {
+		marks := hepcclmark.Collect(prog)
+		hot := hepcclmark.ComputeHotSet(prog, marks)
+		for _, hf := range hot.Sorted() {
+			pos := prog.Fset.Position(hf.Decl.Pos())
+			fmt.Printf("%s:%d: %s.%s\n", rel(root, pos.Filename), pos.Line, hf.Pkg.Path, hf.Describe())
+		}
+		return
+	}
+
+	diags, err := framework.Run(prog, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	if *runEscapes {
+		out, err := escapecheck.Build(root)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, escapecheck.Check(prog, root, out)...)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", rel(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+
+	vetFailed := false
+	if *runVet {
+		patterns := flag.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = root
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			vetFailed = true
+		}
+	}
+	if len(diags) > 0 || vetFailed {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("hepcclvet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func rel(root, path string) string {
+	if r, err := filepath.Rel(root, path); err == nil && !filepath.IsAbs(r) {
+		return r
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

@@ -98,10 +98,14 @@ func (p *Packet) Marshal() ([]byte, error) {
 }
 
 // Unmarshal parses and validates one packet, returning the bytes consumed.
+//
+//hepccl:hotpath
 func (p *Packet) Unmarshal(data []byte) (int, error) {
+	//hepccl:coldpath
 	if len(data) < headerBytes {
 		return 0, fmt.Errorf("adapt: truncated header (%d bytes)", len(data))
 	}
+	//hepccl:coldpath
 	if m := binary.BigEndian.Uint16(data); m != PacketMagic {
 		return 0, fmt.Errorf("adapt: bad magic %#04x", m)
 	}
@@ -112,6 +116,7 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 	p.Timestamp = binary.BigEndian.Uint64(data[8:])
 	p.SamplesPerChannel = data[16]
 	total := p.WireSize()
+	//hepccl:coldpath
 	if len(data) < total {
 		return 0, fmt.Errorf("adapt: truncated packet: have %d bytes, want %d", len(data), total)
 	}
@@ -124,6 +129,7 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 	need := ChannelsPerASIC * n
 	blk := p.block
 	if len(blk) != need {
+		//hepccl:amortized
 		if cap(blk) < need {
 			blk = make([]int32, need)
 		}

@@ -253,7 +253,10 @@ func (p *Pipeline) Pedestal(channel int) int64 { return p.pedestals[channel] }
 
 // checkEvent validates event packet structure: one packet per ASIC, matching
 // event ids and sample counts.
+//
+//hepccl:hotpath
 func (p *Pipeline) checkEvent(packets []Packet) error {
+	//hepccl:coldpath
 	if len(packets) != p.cfg.ASICs {
 		return fmt.Errorf("event has %d packets, want %d", len(packets), p.cfg.ASICs)
 	}
@@ -261,16 +264,20 @@ func (p *Pipeline) checkEvent(packets []Packet) error {
 	event := packets[0].Event
 	for i := range packets {
 		pkt := &packets[i]
+		//hepccl:coldpath
 		if int(pkt.ASIC) >= p.cfg.ASICs {
 			return fmt.Errorf("packet from unknown ASIC %d", pkt.ASIC)
 		}
+		//hepccl:coldpath
 		if seen[pkt.ASIC] {
 			return fmt.Errorf("duplicate packet from ASIC %d", pkt.ASIC)
 		}
 		seen[pkt.ASIC] = true
+		//hepccl:coldpath
 		if pkt.Event != event {
 			return fmt.Errorf("event id mismatch: ASIC %d has %d, want %d", pkt.ASIC, pkt.Event, event)
 		}
+		//hepccl:coldpath
 		if int(pkt.SamplesPerChannel) != p.cfg.SamplesPerChannel {
 			return fmt.Errorf("ASIC %d has %d samples/channel, want %d",
 				pkt.ASIC, pkt.SamplesPerChannel, p.cfg.SamplesPerChannel)

@@ -66,11 +66,15 @@ type litRef struct {
 // ServeEvent processes one assembled event into rec, reusing rec's island
 // storage and the pipeline's internal scratch. It is the hot path of
 // internal/server.
+//
+//hepccl:hotpath
 func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 	if err := p.checkEvent(packets); err != nil {
+		//hepccl:coldpath
 		return fmt.Errorf("adapt: %w", err)
 	}
 	sc := &p.serve
+	//hepccl:amortized
 	if sc.merged == nil {
 		sc.merged = make([]grid.Value, p.Channels())
 		sc.lit = make([]litRef, 0, 256)
@@ -81,6 +85,7 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 	var bitmap []uint64
 	px := 0
 	if eng != nil {
+		//hepccl:amortized
 		if sc.bitmap == nil {
 			sc.bitmap = make([]uint64, eng.BitmapLen())
 		}
@@ -145,6 +150,7 @@ func (p *Pipeline) serveRun2D(bitmap []uint64, values []grid.Value, rec *EventRe
 	sc := &p.serve
 	sc.islands = p.runEngine.Label(bitmap, values, sc.islands[:0])
 	n := len(sc.islands)
+	//hepccl:amortized
 	if cap(rec.Islands) < n {
 		rec.Islands = make([]IslandRecord, 0, n+n/2+8)
 	}
@@ -174,6 +180,7 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 	px := nrows * ncols
 	eight := det.Connectivity == grid.EightWay
 	sc := &p.serve
+	//hepccl:amortized
 	if cap(sc.labels) < px {
 		sc.labels = make([]int32, px)
 	}
@@ -226,6 +233,7 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 	// statistics in one sweep, assigning compact numbers at first appearance.
 	uf.Flatten()
 	np := uf.Len()
+	//hepccl:amortized
 	if cap(sc.remap) < np {
 		sc.remap = make([]int32, np)
 		sc.pixels = make([]uint32, np)

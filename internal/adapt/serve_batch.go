@@ -10,7 +10,10 @@ package adapt
 // recorded in errs[i] (nil on success) and do not stop the batch — a bad
 // event from one connection must not discard its shard-mates. It returns the
 // number of events served successfully.
+//
+//hepccl:hotpath
 func (p *Pipeline) ServeBatch(events [][]Packet, recs []EventRecord, errs []error) int {
+	//hepccl:coldpath
 	if len(recs) != len(events) || len(errs) != len(events) {
 		panic("adapt: ServeBatch requires len(events) == len(recs) == len(errs)")
 	}

@@ -105,6 +105,8 @@ func (sr *StreamReader) Reset(r io.Reader) {
 }
 
 // wrapErr passes io.EOF through untouched and wraps everything else.
+//
+//hepccl:coldpath
 func wrapErr(err error) error {
 	if err == io.EOF {
 		return io.EOF
@@ -120,6 +122,8 @@ const (
 // scanMagic returns the index of the first magic pair in buf, or -1. The hot
 // loop tests eight bytes per iteration: a SWAR zero-byte detect on buf^0xA1…
 // marks candidate high bytes, and only candidates pay the pair check.
+//
+//hepccl:hotpath
 func scanMagic(buf []byte) int {
 	const (
 		lanes = 0x0101010101010101
@@ -189,6 +193,8 @@ func (sr *StreamReader) ReadPacketInto(p *Packet) error {
 // caller is skimming a condemned event. A frame with a different id is
 // verified and decoded in full, because it interrupts the skim and will be
 // retained for the next real assembly.
+//
+//hepccl:hotpath
 func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event uint32) error {
 	bad := 0
 	for {
@@ -280,6 +286,7 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 			sr.BadPackets++
 			sr.r.Discard(2)
 			sr.SkippedBytes += 2
+			//hepccl:coldpath
 			if bad++; sr.BadPacketBudget > 0 && bad >= sr.BadPacketBudget {
 				return fmt.Errorf("%w: %d corrupted frames in one read", ErrResyncStorm, bad)
 			}
@@ -311,7 +318,10 @@ var ErrResyncStorm = errors.New("adapt: resync storm")
 // event. A packet from a different event interrupts the skim; it is verified,
 // fully decoded, and retained for the next assembly. Returns the skimmed
 // event id.
+//
+//hepccl:hotpath
 func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
+	//hepccl:coldpath
 	if asics < 1 {
 		return 0, fmt.Errorf("adapt: SkimEvent needs asics >= 1")
 	}
@@ -352,10 +362,12 @@ func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
 			}
 		}
 		if err := sr.readPacketInto(&sr.skim, true, true, event); err != nil {
+			//hepccl:coldpath
 			if err == io.EOF {
 				return event, fmt.Errorf("%w: got %d of %d packets for event %d",
 					ErrIncompleteEvent, i, asics, event)
 			}
+			//hepccl:coldpath
 			return event, fmt.Errorf("%w: after %d of %d packets for event %d: %w",
 				ErrIncompleteEvent, i, asics, event, err)
 		}
@@ -364,6 +376,7 @@ func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
 			// next assembly resumes from it.
 			sr.held, sr.skim = sr.skim, sr.held
 			sr.hasHeld = true
+			//hepccl:coldpath
 			return event, fmt.Errorf("%w: event %d interrupted by packet from event %d",
 				ErrIncompleteEvent, event, sr.held.Event)
 		}
@@ -388,10 +401,14 @@ func (sr *StreamReader) ReadEvent(asics int) ([]Packet, error) {
 // corrupted packet to exactly one event — without retention the interrupting
 // packet would be consumed and every subsequent event would lose its first
 // packet in turn, an unbounded resync cascade.
+//
+//hepccl:hotpath
 func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error) {
+	//hepccl:coldpath
 	if asics < 1 {
 		return nil, fmt.Errorf("adapt: ReadEvent needs asics >= 1")
 	}
+	//hepccl:amortized
 	if cap(dst) < asics {
 		dst = make([]Packet, asics)
 	}
@@ -404,10 +421,12 @@ func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error)
 	}
 	for i := 1; i < asics; i++ {
 		if err := sr.ReadPacketInto(&dst[i]); err != nil {
+			//hepccl:coldpath
 			if err == io.EOF {
 				return nil, fmt.Errorf("%w: got %d of %d packets for event %d",
 					ErrIncompleteEvent, i, asics, dst[0].Event)
 			}
+			//hepccl:coldpath
 			return nil, fmt.Errorf("%w: after %d of %d packets for event %d: %w",
 				ErrIncompleteEvent, i, asics, dst[0].Event, err)
 		}
@@ -416,6 +435,7 @@ func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error)
 			// next assembly resumes from it.
 			sr.held, dst[i] = dst[i], sr.held
 			sr.hasHeld = true
+			//hepccl:coldpath
 			return nil, fmt.Errorf("%w: event %d interrupted by packet from event %d",
 				ErrIncompleteEvent, dst[0].Event, sr.held.Event)
 		}

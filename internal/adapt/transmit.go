@@ -94,6 +94,8 @@ func (rec *EventRecord) Marshal() []byte {
 }
 
 // AppendTo serializes the record onto buf, reusing its capacity.
+//
+//hepccl:hotpath
 func (rec *EventRecord) AppendTo(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, rec.Event)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Islands)))

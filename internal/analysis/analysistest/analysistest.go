@@ -1,0 +1,154 @@
+// Package analysistest runs an analyzer over fixture packages and matches
+// its diagnostics against // want comments — the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/analysistest, so the fixture suites run
+// under plain `go test` with no external dependencies.
+//
+// Fixture layout: <testdata>/src/<pkg>/*.go, each a self-contained package
+// importing only the standard library. A line expecting diagnostics carries
+// a trailing comment of the form
+//
+//	x := make([]int, 4) // want `make allocates` `second diagnostic`
+//
+// where each backquoted (or double-quoted) string is a regular expression
+// that must match one diagnostic reported on that line. Diagnostics without
+// a matching want, and wants without a matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+// Run loads each fixture package under testdata/src and checks the
+// analyzer's diagnostics against the // want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(pkg, func(t *testing.T) {
+			runOne(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir, pkg string, a *framework.Analyzer) {
+	t.Helper()
+	prog, err := load.LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	wants, err := collectWants(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := framework.Run(prog, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.text)
+		}
+	}
+}
+
+// collectWants parses every // want comment in the fixture.
+func collectWants(prog *load.Program) ([]*want, error) {
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue
+					}
+					text = strings.TrimSpace(text)
+					spec, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					ws, err := parseWants(spec)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+					}
+					for _, s := range ws {
+						re, err := regexp.Compile(s)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, s, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: s})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parseWants splits a want spec into its quoted or backquoted patterns.
+func parseWants(spec string) ([]string, error) {
+	var out []string
+	spec = strings.TrimSpace(spec)
+	for len(spec) > 0 {
+		switch spec[0] {
+		case '`':
+			end := strings.IndexByte(spec[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquoted want pattern")
+			}
+			out = append(out, spec[1:1+end])
+			spec = strings.TrimSpace(spec[end+2:])
+		case '"':
+			var (
+				s   string
+				err error
+			)
+			// strconv.QuotedPrefix finds the quoted token even with trailing text.
+			prefixed, err := strconv.QuotedPrefix(spec)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted want pattern: %w", err)
+			}
+			s, err = strconv.Unquote(prefixed)
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted want pattern: %w", err)
+			}
+			out = append(out, s)
+			spec = strings.TrimSpace(spec[len(prefixed):])
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted or backquoted, got %q", spec)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want spec")
+	}
+	return out, nil
+}

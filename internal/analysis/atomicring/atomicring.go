@@ -1,0 +1,274 @@
+// Package atomicring enforces the field-access discipline of structs marked
+// //hepccl:spsc — the lock-free single-producer/single-consumer rings of the
+// ingest spine, whose correctness rests on every cross-thread position field
+// being touched only through sync/atomic, and on producer and consumer
+// positions living on separate cache lines.
+//
+// For an //hepccl:spsc struct:
+//
+//   - a field of a sync/atomic type (atomic.Uint64, ...) is sound by
+//     construction, but overwriting it whole (s.head = ...) is flagged;
+//     each one must also be directly preceded by a blank cache-line pad
+//     field (_ [N]byte, N >= 8) so the two ends never false-share;
+//   - a plain field marked //hepccl:const may be written only inside a
+//     constructor (a function whose results include the struct type) and is
+//     immutable afterwards, so unsynchronized reads are safe;
+//   - any other plain field may be accessed only as &s.f inside a
+//     sync/atomic call — plain loads and stores are flagged.
+//
+// Slice/array element accesses through a const field (s.buf[i] = v) are the
+// data payload, published by the ring's release store; only the field
+// itself is constrained.
+package atomicring
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// Analyzer is the atomicring checker.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicring",
+	Doc:  "enforce atomic-only access and cache-line padding on //hepccl:spsc struct fields",
+	Run:  run,
+}
+
+type fieldClass int
+
+const (
+	classPlain fieldClass = iota
+	classAtomic
+	classConst
+	classPad
+)
+
+type fieldMeta struct {
+	class      fieldClass
+	structName string
+}
+
+func run(pass *framework.Pass) error {
+	marks := hepcclmark.Collect(pass.Prog)
+	fields := map[*types.Var]fieldMeta{}
+	structs := map[*types.TypeName]bool{}
+
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					if !marks.DocMarked(gd.Doc, hepcclmark.SPSC) && !marks.DocMarked(ts.Doc, hepcclmark.SPSC) {
+						continue
+					}
+					tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					structs[tn] = true
+					classify(pass, pkg, marks, tn.Name(), st, fields)
+				}
+			}
+		}
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			checkAccesses(pass, pkg, file, fields)
+		}
+	}
+	return nil
+}
+
+// classify records each field's class and reports missing padding between
+// cache-line-sensitive atomic fields.
+func classify(pass *framework.Pass, pkg *load.Package, marks *hepcclmark.Marks, structName string, st *ast.StructType, fields map[*types.Var]fieldMeta) {
+	prevPad := false
+	for _, f := range st.Fields.List {
+		class := classPlain
+		switch {
+		case isPadField(pkg.Info, f):
+			class = classPad
+		case isAtomicType(pkg.Info.Types[f.Type].Type):
+			class = classAtomic
+			if !prevPad {
+				pass.Reportf(f.Pos(), "atomic field of SPSC struct %s is not preceded by a cache-line pad (_ [N]byte): producer and consumer positions will false-share", structName)
+			}
+		case marks.DocMarked(f.Doc, hepcclmark.Const) || marks.NodeMarked(f, hepcclmark.Const) || marks.DocMarked(f.Comment, hepcclmark.Const):
+			class = classConst
+		}
+		prevPad = class == classPad
+		for _, name := range f.Names {
+			if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+				fields[v.Origin()] = fieldMeta{class: class, structName: structName}
+			}
+		}
+	}
+}
+
+// isPadField reports whether f is a blank padding field _ [N]byte, N >= 8.
+func isPadField(info *types.Info, f *ast.Field) bool {
+	blank := len(f.Names) > 0
+	for _, n := range f.Names {
+		if n.Name != "_" {
+			blank = false
+		}
+	}
+	if !blank {
+		return false
+	}
+	arr, ok := info.Types[f.Type].Type.Underlying().(*types.Array)
+	if !ok || arr.Len() < 8 {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed atomics.
+func isAtomicType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// checkAccesses inspects every selector touching a tracked field.
+func checkAccesses(pass *framework.Pass, pkg *load.Package, file *ast.File, fields map[*types.Var]fieldMeta) {
+	parents := map[ast.Node]ast.Node{}
+	var curFunc *ast.FuncDecl
+	var walk func(n, parent ast.Node)
+	walk = func(n, parent ast.Node) {
+		parents[n] = parent
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			curFunc = fd
+		}
+		se, ok := n.(*ast.SelectorExpr)
+		if ok {
+			if sel, found := pkg.Info.Selections[se]; found && sel.Kind() == types.FieldVal {
+				if v, isVar := sel.Obj().(*types.Var); isVar {
+					if meta, tracked := fields[v.Origin()]; tracked {
+						checkOne(pass, pkg, se, v, meta, parents, curFunc)
+					}
+				}
+			}
+		}
+		for _, child := range children(n) {
+			walk(child, n)
+		}
+	}
+	for _, d := range file.Decls {
+		walk(d, nil)
+	}
+}
+
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+func checkOne(pass *framework.Pass, pkg *load.Package, se *ast.SelectorExpr, v *types.Var, meta fieldMeta, parents map[ast.Node]ast.Node, curFunc *ast.FuncDecl) {
+	write := isWrite(se, parents)
+	switch meta.class {
+	case classAtomic:
+		if write {
+			pass.Reportf(se.Pos(), "atomic field %s.%s overwritten with a plain assignment", meta.structName, v.Name())
+		}
+	case classConst:
+		if write && !isConstructor(pkg, curFunc, meta.structName) {
+			pass.Reportf(se.Pos(), "//hepccl:const field %s.%s written outside a constructor", meta.structName, v.Name())
+		}
+	case classPlain:
+		if inAtomicCall(se, parents, pkg.Info) {
+			return
+		}
+		if write {
+			pass.Reportf(se.Pos(), "plain store to SPSC field %s.%s; use sync/atomic or mark it //hepccl:const", meta.structName, v.Name())
+		} else {
+			pass.Reportf(se.Pos(), "plain load of SPSC field %s.%s; use sync/atomic or mark it //hepccl:const", meta.structName, v.Name())
+		}
+	}
+}
+
+// isWrite reports whether the selector is a direct assignment target or
+// inc/dec operand. Element writes through the field (s.buf[i] = v) have an
+// IndexExpr between the selector and the statement, so they do not count.
+func isWrite(se *ast.SelectorExpr, parents map[ast.Node]ast.Node) bool {
+	switch p := parents[se].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == ast.Expr(se) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == ast.Expr(se)
+	}
+	return false
+}
+
+// inAtomicCall reports whether the selector appears as &s.f in a direct
+// argument of a sync/atomic function call.
+func inAtomicCall(se *ast.SelectorExpr, parents map[ast.Node]ast.Node, info *types.Info) bool {
+	ue, ok := parents[se].(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return false
+	}
+	ce, ok := parents[ue].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := hepcclmark.Callee(info, ce)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync/atomic"
+}
+
+// isConstructor reports whether fd returns the SPSC struct (by value or
+// pointer) — the only functions allowed to write //hepccl:const fields.
+func isConstructor(pkg *load.Package, fd *ast.FuncDecl, structName string) bool {
+	if fd == nil || fd.Type.Results == nil {
+		return false
+	}
+	for _, f := range fd.Type.Results.List {
+		t := pkg.Info.Types[f.Type].Type
+		if t == nil {
+			continue
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok && n.Obj().Name() == structName {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicring_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/atomicring"
+)
+
+func TestAtomicRing(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicring.Analyzer, "spscfix")
+}

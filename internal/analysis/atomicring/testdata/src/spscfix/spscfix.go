@@ -1,0 +1,70 @@
+// Package spscfix seeds SPSC field-access violations for the atomicring
+// fixture suite, next to a correctly laid out ring that must stay silent.
+package spscfix
+
+import "sync/atomic"
+
+// good is a correctly laid out SPSC ring: every atomic position sits behind
+// its own cache-line pad, the payload fields are constructor-frozen, and the
+// ends are touched only through sync/atomic methods.
+//
+//hepccl:spsc
+type good struct {
+	_    [64]byte
+	head atomic.Uint64
+	_    [64]byte
+	tail atomic.Uint64
+	_    [64]byte
+	buf  []uint64 //hepccl:const
+	mask uint64   //hepccl:const
+}
+
+// newGood is the constructor: //hepccl:const writes are legal only here.
+func newGood(n int) *good {
+	g := &good{}
+	g.buf = make([]uint64, n)
+	g.mask = uint64(n - 1)
+	return g
+}
+
+func (g *good) push(v uint64) bool {
+	h := g.head.Load()
+	if h-g.tail.Load() == uint64(len(g.buf)) {
+		return false
+	}
+	g.buf[h&g.mask] = v // element write through a const field: payload, allowed
+	g.head.Store(h + 1)
+	return true
+}
+
+// bad seeds one violation of each class.
+//
+//hepccl:spsc
+type bad struct {
+	head atomic.Uint64 // want `atomic field of SPSC struct bad is not preceded by a cache-line pad`
+	pos  uint64
+	buf  []uint64 //hepccl:const
+}
+
+func (b *bad) reset() {
+	b.head = atomic.Uint64{} // want `atomic field bad.head overwritten with a plain assignment`
+	b.pos = 0                // want `plain store to SPSC field bad.pos`
+}
+
+func (b *bad) load() uint64 {
+	return b.pos // want `plain load of SPSC field bad.pos`
+}
+
+func (b *bad) bump() {
+	b.pos++ // want `plain store to SPSC field bad.pos`
+}
+
+func (b *bad) grow(n int) {
+	b.buf = make([]uint64, n) // want `//hepccl:const field bad.buf written outside a constructor`
+}
+
+// syncLoad is the escape hatch: a plain field passed as &b.pos directly to a
+// sync/atomic call is fine.
+func (b *bad) syncLoad() uint64 {
+	return atomic.LoadUint64(&b.pos)
+}

@@ -1,0 +1,191 @@
+// Package errwrapcheck enforces the error-wrapping contract on which the
+// resync circuit-breaking between internal/adapt and internal/server rests:
+// transport errors crossing the boundary must wrap their sentinels with %w,
+// and wrapped sentinels must be tested with errors.Is, or the
+// errors.Is(err, adapt.ErrResyncStorm)-style checks in the server silently
+// stop matching.
+//
+// Two rules, applied module-wide:
+//
+//   - a fmt.Errorf argument whose type is error must be formatted with %w
+//     (never %v, %s, or any other verb), and %w must only consume error
+//     values;
+//   - an error value must not be compared with == or != against an error
+//     sentinel declared in this module (standard-library sentinels such as
+//     io.EOF are exempt: the packages returning them document identity
+//     semantics, and the stream reader's io.EOF passthrough depends on it).
+package errwrapcheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+)
+
+// Analyzer is the errwrapcheck checker.
+var Analyzer = &framework.Analyzer{
+	Name: "errwrapcheck",
+	Doc:  "require %w wrapping for error arguments of fmt.Errorf and errors.Is for module sentinel comparisons",
+	Run:  run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *framework.Pass) error {
+	// Collect the module's error sentinels: package-level error variables
+	// declared in any loaded package.
+	sentinels := map[types.Object]bool{}
+	for _, pkg := range pass.Prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			if v, ok := scope.Lookup(name).(*types.Var); ok && types.Identical(v.Type(), errorType) {
+				sentinels[v] = true
+			}
+		}
+	}
+	for _, pkg := range pass.Prog.Packages {
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.CallExpr:
+					checkErrorf(pass, info, e)
+				case *ast.BinaryExpr:
+					checkCompare(pass, info, e, sentinels)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkErrorf matches fmt.Errorf verbs against argument types.
+func checkErrorf(pass *framework.Pass, info *types.Info, ce *ast.CallExpr) {
+	f := calleeFunc(info, ce)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "fmt" || f.Name() != "Errorf" {
+		return
+	}
+	if len(ce.Args) == 0 || ce.Ellipsis.IsValid() {
+		return
+	}
+	tv := info.Types[ce.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := parseVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // indexed or otherwise exotic format; leave it to go vet printf
+	}
+	args := ce.Args[1:]
+	for i, verb := range verbs {
+		if i >= len(args) {
+			break // arg count mismatch is go vet printf's finding
+		}
+		isErr := implementsError(info.Types[args[i]].Type)
+		if isErr && verb != 'w' {
+			pass.Reportf(args[i].Pos(), "error argument formatted with %%%c instead of %%w: the chain breaks and errors.Is checks across the transport boundary stop matching", verb)
+		}
+		if !isErr && verb == 'w' {
+			pass.Reportf(args[i].Pos(), "%%w applied to non-error %s argument", info.Types[args[i]].Type)
+		}
+	}
+}
+
+// parseVerbs extracts the argument-consuming verbs of a format string, in
+// order. It reports !ok for explicit argument indexes, which would break
+// the positional pairing.
+func parseVerbs(format string) ([]rune, bool) {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// Flags, width, precision.
+		for i < len(rs) {
+			c := rs[i]
+			if c == '[' {
+				return nil, false
+			}
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] != '%' {
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs, true
+}
+
+// checkCompare flags ==/!= against module-local error sentinels.
+func checkCompare(pass *framework.Pass, info *types.Info, be *ast.BinaryExpr, sentinels map[types.Object]bool) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sentinel, other := pair[0], pair[1]
+		obj := usedObject(info, sentinel)
+		if obj == nil || !sentinels[obj] {
+			continue
+		}
+		if tv := info.Types[other]; tv.Type == nil || tv.IsNil() || !implementsError(tv.Type) {
+			continue
+		}
+		pass.Reportf(be.OpPos, "comparison with sentinel %s using %s misses wrapped errors; use errors.Is", obj.Name(), be.Op)
+		return
+	}
+}
+
+// usedObject resolves an identifier or package-qualified selector to its
+// object.
+func usedObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if _, isSel := info.Selections[x]; isSel {
+			return nil // field or method, not a package-level var
+		}
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.AssignableTo(t, errorType) || types.Implements(t, errorType.Underlying().(*types.Interface))
+}
+
+// calleeFunc resolves a call to its named function (not via hepcclmark to
+// keep this analyzer usable on fixture programs with no directives).
+func calleeFunc(info *types.Info, ce *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(ce.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}

@@ -1,0 +1,12 @@
+package errwrapcheck_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/errwrapcheck"
+)
+
+func TestErrWrapCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrapcheck.Analyzer, "errwrapfix")
+}

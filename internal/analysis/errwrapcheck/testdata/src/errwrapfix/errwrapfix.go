@@ -1,0 +1,55 @@
+// Package errwrapfix seeds error-wrapping violations for the errwrapcheck
+// fixture suite: sentinel chains broken by %v/%s, %w on a non-error, and
+// identity comparisons that miss wrapped sentinels.
+package errwrapfix
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var (
+	ErrStorm = errors.New("resync storm")
+	ErrShort = errors.New("short event")
+)
+
+func wrapBadV(err error) error {
+	return fmt.Errorf("decode: %v", err) // want `error argument formatted with %v instead of %w`
+}
+
+func wrapBadS(err error) error {
+	return fmt.Errorf("decode asic %d: %s", 3, err) // want `error argument formatted with %s instead of %w`
+}
+
+func wrapBadW(n int) error {
+	return fmt.Errorf("count: %w", n) // want `%w applied to non-error int argument`
+}
+
+func cmpBad(err error) bool {
+	return err == ErrStorm // want `comparison with sentinel ErrStorm using == misses wrapped errors`
+}
+
+func cmpBadNeq(err error) bool {
+	return ErrShort != err // want `comparison with sentinel ErrShort using != misses wrapped errors`
+}
+
+// Negative space: everything below must produce no diagnostics.
+
+func wrapOK(err error) error {
+	return fmt.Errorf("decode: %w", err)
+}
+
+func isOK(err error) bool {
+	return errors.Is(err, ErrStorm)
+}
+
+// io.EOF is a standard-library sentinel with documented identity semantics;
+// only module-declared sentinels are constrained.
+func eofOK(err error) bool {
+	return err == io.EOF
+}
+
+func nilOK(err error) bool {
+	return err == nil
+}

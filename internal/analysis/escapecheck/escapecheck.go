@@ -1,0 +1,89 @@
+// Package escapecheck is hotpathalloc's build-mode cross-check: it parses
+// the compiler's escape analysis output (`go build -gcflags=-m`) and flags
+// any "escapes to heap" / "moved to heap" site inside a //hepccl:hotpath
+// function that is not covered by a //hepccl:coldpath or //hepccl:amortized
+// statement. The AST analyzer reasons about constructs; this check asks the
+// compiler itself, so the two fail independently — a construct the AST rules
+// miss still trips the compiler's verdict, and vice versa.
+package escapecheck
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// Build compiles the module with escape-analysis diagnostics enabled and
+// returns the compiler output. The build itself must succeed. Inlining is
+// disabled (-l) so every allocation is reported at its source line inside the
+// function that owns it — with inlining on, an amortized make inside a callee
+// surfaces at the caller's call site, outside the callee's exempt range.
+func Build(root string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m -l", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("escapecheck: go build -gcflags=-m: %w\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+var escapeLine = regexp.MustCompile(`(?m)^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// Check maps escape sites from compiler output onto the program's hot-path
+// closure. root anchors the compiler's relative file paths.
+func Check(prog *load.Program, root, output string) []framework.Diagnostic {
+	marks := hepcclmark.Collect(prog)
+	hot := hepcclmark.ComputeHotSet(prog, marks)
+	hotRanges := hot.HotRanges(prog.Fset)
+	exempt := hot.ExemptRanges(prog.Fset, marks)
+
+	var diags []framework.Diagnostic
+	seen := map[string]bool{}
+	for _, m := range escapeLine.FindAllStringSubmatch(output, -1) {
+		file, msg := m[1], m[4]
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		var hf *hepcclmark.HotFunc
+		for r, f := range hotRanges {
+			if r.File == file && r.Start <= line && line <= r.End {
+				hf = f
+				break
+			}
+		}
+		if hf == nil {
+			continue
+		}
+		covered := false
+		for _, r := range exempt {
+			if r.File == file && r.Start <= line && line <= r.End {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", file, line, col, msg)
+		if seen[key] {
+			continue // generic shape instantiations repeat per package
+		}
+		seen[key] = true
+		diags = append(diags, framework.Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: "hotpathalloc/escapes",
+			Message:  fmt.Sprintf("compiler escape analysis: %s in hot path function %s", msg, hf.Describe()),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,85 @@
+// Package framework is the minimal analyzer harness behind hepcclvet — the
+// shape of golang.org/x/tools/go/analysis, reduced to what the hepccl
+// invariant checkers need and implemented on the standard library only (the
+// module takes no external dependencies). An Analyzer inspects a whole
+// type-checked Program at once, so whole-module properties (the hot-path
+// call closure, cross-package sentinel identity) need no fact plumbing.
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is the one-paragraph description shown by hepcclvet -help.
+	Doc string
+	// Run inspects the program and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer run over one program.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *load.Program
+	report   func(Diagnostic)
+}
+
+// Fset returns the program's file set.
+func (p *Pass) Fset() *token.FileSet { return p.Prog.Fset }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over prog and returns every diagnostic, sorted
+// by position.
+func Run(prog *load.Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Prog:     prog,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

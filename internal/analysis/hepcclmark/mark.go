@@ -1,0 +1,302 @@
+// Package hepcclmark parses the //hepccl: source directives that declare
+// the serving spine's hot-path invariants, and computes the hot-function
+// closure the hotpathalloc and nofloat analyzers check.
+//
+// Directives:
+//
+//	//hepccl:hotpath    (func doc)   function must be allocation- and
+//	                                 float-free, along with everything it
+//	                                 statically calls within the module
+//	//hepccl:coldpath   (func doc or statement) the function or statement is
+//	                                 off the hot path (error branch, panic
+//	                                 guard) and is exempt from hot-path rules
+//	//hepccl:amortized  (statement)  the statement allocates only until a
+//	                                 high-water mark (scratch growth) and is
+//	                                 exempt from allocation rules
+//	//hepccl:spsc       (type doc)   struct is a single-producer/single-
+//	                                 consumer shared structure; atomicring
+//	                                 enforces its field-access discipline
+//	//hepccl:const      (field)      spsc field is written only by
+//	                                 constructors, then read-only
+//
+// A statement directive sits on the statement's first line or the line
+// directly above it.
+package hepcclmark
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// Directive kinds.
+const (
+	Hotpath   = "hotpath"
+	Coldpath  = "coldpath"
+	Amortized = "amortized"
+	SPSC      = "spsc"
+	Const     = "const"
+)
+
+const prefix = "//hepccl:"
+
+// Marks indexes every //hepccl: directive in a program by file and line.
+type Marks struct {
+	fset  *token.FileSet
+	lines map[string]map[int][]string
+}
+
+// Collect scans every comment in the program for directives.
+func Collect(prog *load.Program) *Marks {
+	m := &Marks{fset: prog.Fset, lines: map[string]map[int][]string{}}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					kind := parseKind(c.Text)
+					if kind == "" {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fl := m.lines[pos.Filename]
+					if fl == nil {
+						fl = map[int][]string{}
+						m.lines[pos.Filename] = fl
+					}
+					fl[pos.Line] = append(fl[pos.Line], kind)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// parseKind extracts the directive kind from one comment line, or "".
+func parseKind(text string) string {
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	kind := strings.TrimPrefix(text, prefix)
+	if i := strings.IndexAny(kind, " \t"); i >= 0 {
+		kind = kind[:i]
+	}
+	return kind
+}
+
+// has reports whether the file has a kind directive on the given line.
+func (m *Marks) has(file string, line int, kind string) bool {
+	for _, k := range m.lines[file][line] {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeMarked reports whether a kind directive sits on the node's first line
+// or the line directly above it.
+func (m *Marks) NodeMarked(n ast.Node, kind string) bool {
+	pos := m.fset.Position(n.Pos())
+	return m.has(pos.Filename, pos.Line, kind) || m.has(pos.Filename, pos.Line-1, kind)
+}
+
+// DocMarked reports whether the comment group contains a kind directive.
+func (m *Marks) DocMarked(doc *ast.CommentGroup, kind string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if parseKind(c.Text) == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncMarked reports whether the function declaration carries a kind
+// directive, in its doc comment or directly above the func keyword.
+func (m *Marks) FuncMarked(fd *ast.FuncDecl, kind string) bool {
+	return m.DocMarked(fd.Doc, kind) || m.NodeMarked(fd, kind)
+}
+
+// HotFunc is one function in the hot-path closure.
+type HotFunc struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *load.Package
+	File *ast.File
+	// Direct marks functions carrying //hepccl:hotpath themselves; the rest
+	// were pulled in as static callees, Via naming the first caller found.
+	Direct bool
+	Via    *types.Func
+}
+
+// HotSet is the hot-path closure: every //hepccl:hotpath function plus
+// everything those functions statically call within the program, minus
+// functions marked //hepccl:coldpath. Calls through interfaces, function
+// values, and closures are not resolved — the hotpathalloc closure rule
+// flags those constructs at the call site instead.
+type HotSet struct {
+	Funcs map[*types.Func]*HotFunc
+}
+
+// funcIndex maps every declared function (by origin object, so generic
+// instantiations resolve to their declaration) to its declaration site.
+type declSite struct {
+	decl *ast.FuncDecl
+	pkg  *load.Package
+	file *ast.File
+}
+
+// ComputeHotSet walks the program's call graph from the annotated roots.
+func ComputeHotSet(prog *load.Program, marks *Marks) *HotSet {
+	decls := map[*types.Func]declSite{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj.Origin()] = declSite{fd, pkg, file}
+				}
+			}
+		}
+	}
+
+	hs := &HotSet{Funcs: map[*types.Func]*HotFunc{}}
+	var queue []*types.Func
+	for obj, site := range decls {
+		if marks.FuncMarked(site.decl, Hotpath) {
+			hs.Funcs[obj] = &HotFunc{Obj: obj, Decl: site.decl, Pkg: site.pkg, File: site.file, Direct: true}
+			queue = append(queue, obj)
+		}
+	}
+	// Deterministic traversal so Via attribution is stable run to run.
+	sort.Slice(queue, func(i, j int) bool { return queue[i].Pos() < queue[j].Pos() })
+
+	for len(queue) > 0 {
+		caller := queue[0]
+		queue = queue[1:]
+		site := decls[caller]
+		ast.Inspect(site.decl.Body, func(n ast.Node) bool {
+			if stmt, ok := n.(ast.Stmt); ok {
+				// Calls under an exempt statement are off the hot path and do
+				// not extend the closure.
+				if marks.NodeMarked(stmt, Coldpath) || marks.NodeMarked(stmt, Amortized) {
+					return false
+				}
+			}
+			ce, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := Callee(site.pkg.Info, ce)
+			if callee == nil {
+				return true
+			}
+			callee = callee.Origin()
+			cs, ok := decls[callee]
+			if !ok || hs.Funcs[callee] != nil {
+				return true // external, undeclared, or already visited
+			}
+			if marks.FuncMarked(cs.decl, Coldpath) {
+				return true
+			}
+			hs.Funcs[callee] = &HotFunc{Obj: callee, Decl: cs.decl, Pkg: cs.pkg, File: cs.file, Via: caller}
+			queue = append(queue, callee)
+			return true
+		})
+	}
+	return hs
+}
+
+// Callee resolves a call expression to the called named function, or nil
+// for conversions, builtins, and dynamic calls.
+func Callee(info *types.Info, ce *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(ce.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = x
+		}
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// Sorted returns the hot functions in source order.
+func (hs *HotSet) Sorted() []*HotFunc {
+	out := make([]*HotFunc, 0, len(hs.Funcs))
+	for _, hf := range hs.Funcs {
+		out = append(out, hf)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].Pkg.Path, out[j].Pkg.Path; a != b {
+			return a < b
+		}
+		return out[i].Decl.Pos() < out[j].Decl.Pos()
+	})
+	return out
+}
+
+// Describe names a hot function for diagnostics, including how it entered
+// the closure when it is not itself annotated.
+func (hf *HotFunc) Describe() string {
+	if hf.Direct {
+		return hf.Obj.Name()
+	}
+	return hf.Obj.Name() + " (hot via " + hf.Via.Name() + ")"
+}
+
+// LineRange is a file line span, used by the escape-output cross-check.
+type LineRange struct {
+	File       string
+	Start, End int
+}
+
+// ExemptRanges returns the line spans of every //hepccl:coldpath and
+// //hepccl:amortized statement inside hot functions — allocations the
+// escape-mode cross-check must not count against the hot path.
+func (hs *HotSet) ExemptRanges(fset *token.FileSet, marks *Marks) []LineRange {
+	var out []LineRange
+	for _, hf := range hs.Funcs {
+		ast.Inspect(hf.Decl.Body, func(n ast.Node) bool {
+			stmt, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			if marks.NodeMarked(stmt, Coldpath) || marks.NodeMarked(stmt, Amortized) {
+				start := fset.Position(stmt.Pos())
+				end := fset.Position(stmt.End())
+				out = append(out, LineRange{File: start.Filename, Start: start.Line, End: end.Line})
+				return false
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// HotRanges returns each hot function's body line span, keyed for
+// diagnostics by the function description.
+func (hs *HotSet) HotRanges(fset *token.FileSet) map[LineRange]*HotFunc {
+	out := map[LineRange]*HotFunc{}
+	for _, hf := range hs.Funcs {
+		start := fset.Position(hf.Decl.Pos())
+		end := fset.Position(hf.Decl.End())
+		out[LineRange{File: start.Filename, Start: start.Line, End: end.Line}] = hf
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+// Package hotpathalloc rejects heap-allocating constructs in the hot-path
+// closure: every //hepccl:hotpath function and everything it statically
+// calls within the module must be allocation-free in steady state, which is
+// the structural form of the serving spine's 0 allocs/op benchmark gate.
+//
+// Flagged constructs:
+//
+//   - make and new
+//   - slice and map composite literals, and &T{...} (escaping composite)
+//   - append whose destination does not chain to reused storage (a struct
+//     field, package variable, or parameter)
+//   - string <-> []byte/[]rune conversions
+//   - function literals (closure values allocate; dynamic calls also hide
+//     callees from the closure walk)
+//   - interface boxing of non-pointer-shaped concrete values, at call
+//     arguments, assignments, variable declarations, and returns
+//
+// Escape hatches: a statement marked //hepccl:amortized (scratch growth
+// capped by a high-water mark) or //hepccl:coldpath (error branch, panic
+// guard) is exempt, as is any function marked //hepccl:coldpath at the
+// declaration. The `go build -gcflags=-m` cross-check in cmd/hepcclvet
+// verifies the same property against the compiler's escape analysis.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+)
+
+// Analyzer is the hotpathalloc checker.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "reject heap-allocating constructs in //hepccl:hotpath functions and their static callees",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	marks := hepcclmark.Collect(pass.Prog)
+	hot := hepcclmark.ComputeHotSet(pass.Prog, marks)
+	for _, hf := range hot.Sorted() {
+		c := &checker{pass: pass, marks: marks, hf: hf, info: hf.Pkg.Info}
+		c.walk(hf.Decl.Body)
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *framework.Pass
+	marks *hepcclmark.Marks
+	hf    *hepcclmark.HotFunc
+	info  *types.Info
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type { return c.info.Types[e].Type }
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	args = append(args, c.hf.Describe())
+	c.pass.Reportf(pos, format+" in hot path function %s", args...)
+}
+
+func (c *checker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if stmt, ok := n.(ast.Stmt); ok {
+			if c.marks.NodeMarked(stmt, hepcclmark.Coldpath) || c.marks.NodeMarked(stmt, hepcclmark.Amortized) {
+				return false
+			}
+		}
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(e.Pos(), "closure literal allocates")
+			return false
+		case *ast.CompositeLit:
+			if t := c.info.Types[e].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					c.reportf(e.Pos(), "slice literal allocates")
+				case *types.Map:
+					c.reportf(e.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					c.reportf(e.Pos(), "address of composite literal escapes")
+				}
+			}
+		case *ast.CallExpr:
+			c.call(e)
+		case *ast.AssignStmt:
+			if e.Tok == token.ASSIGN && len(e.Lhs) == len(e.Rhs) {
+				for i, lhs := range e.Lhs {
+					if t := c.info.Types[lhs].Type; c.boxes(t, e.Rhs[i]) {
+						c.reportf(e.Rhs[i].Pos(), "interface boxing of %s value", c.typeOf(e.Rhs[i]))
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if e.Type != nil {
+				if t := c.info.Types[e.Type].Type; t != nil {
+					for _, v := range e.Values {
+						if c.boxes(t, v) {
+							c.reportf(v.Pos(), "interface boxing of %s value", c.typeOf(v))
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			c.returns(e)
+		}
+		return true
+	})
+}
+
+// call dispatches the per-call checks: builtins, conversions, and boxing of
+// arguments into interface parameters.
+func (c *checker) call(ce *ast.CallExpr) {
+	// Conversions.
+	if tv := c.info.Types[ce.Fun]; tv.IsType() && len(ce.Args) == 1 {
+		dst := tv.Type
+		src := c.info.Types[ce.Args[0]].Type
+		if src != nil && c.info.Types[ce.Args[0]].Value == nil {
+			if isString(dst) && isByteOrRuneSlice(src) {
+				c.reportf(ce.Pos(), "[]byte-to-string conversion allocates")
+			} else if isByteOrRuneSlice(dst) && isString(src) {
+				c.reportf(ce.Pos(), "string-to-[]byte conversion allocates")
+			}
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(ce.Fun).(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				c.reportf(ce.Pos(), "make allocates")
+			case "new":
+				c.reportf(ce.Pos(), "new allocates")
+			case "append":
+				if len(ce.Args) > 0 && !c.reusedStorage(ce.Args[0], map[types.Object]bool{}) {
+					c.reportf(ce.Pos(), "append without reserved capacity may allocate")
+				}
+			case "panic":
+				if len(ce.Args) == 1 && c.boxes(anyType, ce.Args[0]) {
+					c.reportf(ce.Args[0].Pos(), "interface boxing of %s value", c.typeOf(ce.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	// Regular calls: boxing of concrete arguments into interface parameters
+	// (including variadic ...any, the fmt call signature).
+	sig, ok := c.info.Types[ce.Fun].Type.(*types.Signature)
+	if !ok || ce.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range ce.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if c.boxes(pt, arg) {
+			c.reportf(arg.Pos(), "interface boxing of %s argument", c.typeOf(arg))
+		}
+	}
+}
+
+// returns checks boxing of concrete values into interface results.
+func (c *checker) returns(rs *ast.ReturnStmt) {
+	results := c.hf.Decl.Type.Results
+	if results == nil {
+		return
+	}
+	var rts []types.Type
+	for _, f := range results.List {
+		t := c.info.Types[f.Type].Type
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			rts = append(rts, t)
+		}
+	}
+	if len(rs.Results) != len(rts) {
+		return
+	}
+	for i, r := range rs.Results {
+		if c.boxes(rts[i], r) {
+			c.reportf(r.Pos(), "interface boxing of returned %s value", c.typeOf(r))
+		}
+	}
+}
+
+var anyType = types.Universe.Lookup("any").Type()
+
+// boxes reports whether assigning src to a destination of type dst converts
+// a non-pointer-shaped concrete value to an interface — a conversion the
+// runtime backs with a heap allocation. Constants are exempt (the compiler
+// boxes them in static data), as are pointer-shaped values (the interface
+// data word holds them directly).
+func (c *checker) boxes(dst types.Type, src ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv := c.info.Types[src]
+	if tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return false
+	}
+	if b, ok := st.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	return !pointerShaped(st)
+}
+
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 0 // zero-size: boxed via the runtime's shared zerobase
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// reusedStorage reports whether an append destination chains to storage
+// that persists across calls — a struct field, package-level variable, or
+// parameter (including reslices of one, and self-appends) — so growth is
+// amortized to zero by the workload's high-water mark. A fresh local slice
+// does not qualify.
+func (c *checker) reusedStorage(e ast.Expr, visited map[types.Object]bool) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.info.Uses[x]
+		if obj == nil {
+			obj = c.info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return false
+		}
+		if v.IsField() || c.isParam(v) || v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if visited[obj] {
+			return true // self-append cycle: x = append(x, ...)
+		}
+		visited[obj] = true
+		return c.localSources(obj, visited)
+	case *ast.SelectorExpr:
+		// A field selection or qualified package variable: storage that
+		// outlives the call.
+		if sel, ok := c.info.Selections[x]; ok {
+			return sel.Kind() == types.FieldVal
+		}
+		_, ok := c.info.Uses[x.Sel].(*types.Var)
+		return ok
+	case *ast.SliceExpr:
+		return c.reusedStorage(x.X, visited)
+	case *ast.IndexExpr:
+		return c.reusedStorage(x.X, visited)
+	case *ast.StarExpr:
+		return c.reusedStorage(x.X, visited)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			if b, ok := c.info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(x.Args) > 0 {
+				return c.reusedStorage(x.Args[0], visited)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// localSources finds every assignment to the local variable inside the hot
+// function and requires each source to be reused storage itself.
+func (c *checker) localSources(obj types.Object, visited map[types.Object]bool) bool {
+	found, ok := false, true
+	ast.Inspect(c.hf.Decl.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			lo := c.info.Defs[id]
+			if lo == nil {
+				lo = c.info.Uses[id]
+			}
+			if lo != obj {
+				continue
+			}
+			found = true
+			if !c.reusedStorage(as.Rhs[i], visited) {
+				ok = false
+			}
+		}
+		return true
+	})
+	return found && ok
+}
+
+// isParam reports whether v is a parameter or receiver of the hot function.
+func (c *checker) isParam(v *types.Var) bool {
+	ft := c.hf.Decl.Type
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if c.info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(ft.Params) || check(ft.Results) || check(c.hf.Decl.Recv)
+}

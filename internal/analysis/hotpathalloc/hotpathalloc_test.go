@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer, "hotalloc")
+}

@@ -1,0 +1,126 @@
+// Package hotalloc seeds heap-allocation violations inside //hepccl:hotpath
+// functions for the hotpathalloc fixture suite, alongside the reused-storage
+// and escape-hatch patterns the analyzer must accept.
+package hotalloc
+
+type sink struct {
+	scratch []int
+	out     []byte
+}
+
+//hepccl:hotpath
+func hotMake(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//hepccl:hotpath
+func hotNew() *sink {
+	return new(sink) // want `new allocates`
+}
+
+//hepccl:hotpath
+func hotLiterals(n int) int {
+	xs := []int{1, 2, n}   // want `slice literal allocates`
+	m := map[int]int{n: 1} // want `map literal allocates`
+	return xs[0] + m[n]
+}
+
+//hepccl:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want `closure literal allocates`
+}
+
+//hepccl:hotpath
+func hotConvert(s string, b []byte) (int, int) {
+	bs := []byte(s) // want `string-to-\[\]byte conversion allocates`
+	st := string(b) // want `\[\]byte-to-string conversion allocates`
+	return len(bs), len(st)
+}
+
+func seed() []int { return nil }
+
+//hepccl:hotpath
+func hotAppendFresh(v int) []int {
+	local := seed()
+	local = append(local, v) // want `append without reserved capacity may allocate`
+	return local
+}
+
+//hepccl:hotpath
+func hotEscape(v int) *int {
+	p := &holder{x: v} // want `address of composite literal escapes`
+	return &p.x
+}
+
+type holder struct{ x int }
+
+func take(v any) { _ = v }
+
+//hepccl:hotpath
+func hotBoxArg(n int) {
+	take(n) // want `interface boxing of int argument`
+}
+
+//hepccl:hotpath
+func hotBoxAssign(n int) any {
+	var x any
+	x = n // want `interface boxing of int value`
+	return x
+}
+
+//hepccl:hotpath
+func hotBoxReturn(v int) any {
+	return v // want `interface boxing of returned int value`
+}
+
+// helper enters the hot closure through hotCallee: the rules follow static
+// calls, not just annotated functions.
+func helper(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+//hepccl:hotpath
+func hotCallee(n int) []byte { return helper(n) }
+
+// Negative space: everything below must produce no diagnostics.
+
+//hepccl:hotpath
+func (s *sink) okAppendField(v int) { s.scratch = append(s.scratch, v) }
+
+//hepccl:hotpath
+func okAppendParam(dst []byte, v byte) []byte { return append(dst, v) }
+
+//hepccl:hotpath
+func (s *sink) okAmortized(n int) {
+	//hepccl:amortized
+	if cap(s.out) < n {
+		s.out = make([]byte, n)
+	}
+	s.out = s.out[:n]
+}
+
+//hepccl:hotpath
+func (s *sink) okColdBranch(fail bool) []int {
+	if fail {
+		//hepccl:coldpath
+		return append([]int(nil), 1, 2, 3)
+	}
+	return s.scratch
+}
+
+// coldHelper is kept out of the closure by its function-level mark.
+//
+//hepccl:coldpath
+func coldHelper(n int) []int { return make([]int, n) }
+
+//hepccl:hotpath
+func okColdCallee(n int) int { return len(coldHelper(n)) }
+
+//hepccl:hotpath
+func okConstantBox() { take(42) } // constants box in static data
+
+//hepccl:hotpath
+func okPointerBox(s *sink) { take(s) } // pointer-shaped values box without allocating
+
+// notHot is unannotated and unreached from any hot function: exempt.
+func notHot(n int) []int { return make([]int, n) }

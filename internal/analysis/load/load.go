@@ -1,0 +1,299 @@
+// Package load parses and type-checks Go packages for the hepcclvet
+// analyzers without depending on golang.org/x/tools. Module packages are
+// discovered with go/build, parsed with full comments (the analyzers read
+// //hepccl: directives), topologically sorted, and type-checked with
+// go/types; imports outside the module (the standard library — the module
+// has no external dependencies) are resolved from compiler export data
+// located with `go list -export`.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	// Path is the import path ("github.com/.../internal/adapt", or the
+	// bare fixture name for analysistest loads).
+	Path string
+	// Name is the package name from the source.
+	Name string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables for the files.
+	Info *types.Info
+}
+
+// Program is a set of packages type-checked together: either every package
+// of the module (hepcclvet runs) or a single fixture package (analysistest
+// runs). Every package in Packages counts as "module-local" for analyzer
+// rules that distinguish this code base from the standard library.
+type Program struct {
+	Fset     *token.FileSet
+	Module   string // module path; "" for fixture loads
+	Packages []*Package
+	byPath   map[string]*Package
+}
+
+// ByPath returns the loaded package with the given import path, or nil.
+func (p *Program) ByPath(path string) *Package { return p.byPath[path] }
+
+// LoadModule loads every buildable package under the module rooted at root
+// (the directory containing go.mod).
+func LoadModule(root string) (*Program, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	prog := &Program{Fset: token.NewFileSet(), Module: modPath, byPath: map[string]*Package{}}
+	for _, dir := range dirs {
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, fmt.Errorf("load: %s: %w", dir, err)
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg := &Package{Path: ip, Name: bp.Name, Dir: dir}
+		for _, f := range bp.GoFiles {
+			file, err := parser.ParseFile(prog.Fset, filepath.Join(dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			pkg.Files = append(pkg.Files, file)
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[ip] = pkg
+	}
+	if err := prog.typecheck(root); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// LoadDir loads the single package in dir under import path path — the
+// analysistest entry point for fixture packages, which may import only the
+// standard library.
+func LoadDir(dir, path string) (*Program, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", dir, err)
+	}
+	prog := &Program{Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+	pkg := &Package{Path: path, Name: bp.Name, Dir: dir}
+	for _, f := range bp.GoFiles {
+		file, err := parser.ParseFile(prog.Fset, filepath.Join(dir, f), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	prog.Packages = append(prog.Packages, pkg)
+	prog.byPath[path] = pkg
+	if err := prog.typecheck(dir); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// typecheck type-checks every package in dependency order. goDir is the
+// directory `go list` runs in (any directory inside a module or GOPATH).
+func (p *Program) typecheck(goDir string) error {
+	order, err := p.toposort()
+	if err != nil {
+		return err
+	}
+	var external []string
+	seen := map[string]bool{}
+	for _, pkg := range p.Packages {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == "unsafe" || p.byPath[ip] != nil || seen[ip] {
+					continue
+				}
+				seen[ip] = true
+				external = append(external, ip)
+			}
+		}
+	}
+	imp, err := newImporter(p.Fset, p, goDir, external)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range order {
+		conf := types.Config{Importer: imp}
+		pkg.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		tp, err := conf.Check(pkg.Path, p.Fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return fmt.Errorf("load: typecheck %s: %w", pkg.Path, err)
+		}
+		pkg.Types = tp
+	}
+	return nil
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("load: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module declaration in %s", gomod)
+}
+
+// toposort orders packages so every intra-program import precedes its
+// importer.
+func (p *Program) toposort() ([]*Package, error) {
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := map[*Package]int{}
+	var order []*Package
+	var visit func(pkg *Package) error
+	visit = func(pkg *Package) error {
+		switch state[pkg] {
+		case grey:
+			return fmt.Errorf("load: import cycle through %s", pkg.Path)
+		case black:
+			return nil
+		}
+		state[pkg] = grey
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				if dep := p.byPath[strings.Trim(imp.Path.Value, `"`)]; dep != nil {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[pkg] = black
+		order = append(order, pkg)
+		return nil
+	}
+	for _, pkg := range p.Packages {
+		if err := visit(pkg); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// progImporter resolves intra-program imports from the program itself and
+// everything else (the standard library) from compiler export data.
+type progImporter struct {
+	prog *Program
+	gc   types.ImporterFrom
+}
+
+// newImporter builds the importer, locating export data for the external
+// import set (plus transitive dependencies) with one `go list -export` run.
+func newImporter(fset *token.FileSet, prog *Program, goDir string, external []string) (*progImporter, error) {
+	exports := map[string]string{}
+	if len(external) > 0 {
+		sort.Strings(external)
+		args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}={{.Export}}"}, external...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = goDir
+		out, err := cmd.Output()
+		if err != nil {
+			msg := err.Error()
+			if ee, ok := err.(*exec.ExitError); ok {
+				msg = string(ee.Stderr)
+			}
+			return nil, fmt.Errorf("load: go list -export: %s", msg)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if ip, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok && file != "" {
+				exports[ip] = file
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("load: gc importer does not implement ImporterFrom")
+	}
+	return &progImporter{prog: prog, gc: gc}, nil
+}
+
+func (pi *progImporter) Import(path string) (*types.Package, error) {
+	return pi.ImportFrom(path, "", 0)
+}
+
+func (pi *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg := pi.prog.byPath[path]; pkg != nil {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("load: import %q before it was type-checked", path)
+		}
+		return pkg.Types, nil
+	}
+	return pi.gc.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,89 @@
+// Package nofloat rejects floating-point arithmetic, conversions, literals,
+// and variables inside the hot-path closure. Centroids travel in Q16.16
+// fixed point end to end; a stray float in the accumulation path silently
+// changes results against the hardware reference, breaks bit-exact
+// differential tests, and defeats the integer vectorization the serving
+// loops rely on. Statements marked //hepccl:coldpath are exempt
+// (diagnostic formatting of a measured rate is fine off the hot path).
+package nofloat
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+)
+
+// Analyzer is the nofloat checker.
+var Analyzer = &framework.Analyzer{
+	Name: "nofloat",
+	Doc:  "reject float32/float64 arithmetic, conversions, literals, and variables in //hepccl:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	marks := hepcclmark.Collect(pass.Prog)
+	hot := hepcclmark.ComputeHotSet(pass.Prog, marks)
+	for _, hf := range hot.Sorted() {
+		check(pass, marks, hf)
+	}
+	return nil
+}
+
+func check(pass *framework.Pass, marks *hepcclmark.Marks, hf *hepcclmark.HotFunc) {
+	info := hf.Pkg.Info
+	name := hf.Describe()
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in hot path function %s (use Q16.16 fixed point)", what, name)
+	}
+	// Parameters and results: a hot function must not traffic in floats.
+	for _, fl := range []*ast.FieldList{hf.Decl.Recv, hf.Decl.Type.Params, hf.Decl.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			if t := info.Types[f.Type].Type; isFloat(t) {
+				report(f.Type.Pos(), "float type in signature")
+			}
+		}
+	}
+	ast.Inspect(hf.Decl.Body, func(n ast.Node) bool {
+		if stmt, ok := n.(ast.Stmt); ok && marks.NodeMarked(stmt, hepcclmark.Coldpath) {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.BasicLit:
+			if e.Kind == token.FLOAT {
+				report(e.Pos(), "float literal")
+			}
+		case *ast.BinaryExpr:
+			if isFloat(info.Types[e].Type) || isFloat(info.Types[e.X].Type) {
+				report(e.OpPos, "float arithmetic")
+			}
+		case *ast.UnaryExpr:
+			if isFloat(info.Types[e].Type) {
+				report(e.OpPos, "float arithmetic")
+			}
+		case *ast.CallExpr:
+			if tv := info.Types[e.Fun]; tv.IsType() && isFloat(tv.Type) {
+				report(e.Pos(), "conversion to float")
+			}
+		case *ast.Ident:
+			// Any float-typed variable the function declares (var or :=).
+			if def, ok := info.Defs[e]; ok && def != nil && isFloat(def.Type()) {
+				report(e.Pos(), "float variable declaration")
+			}
+		}
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,12 @@
+package nofloat_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/nofloat"
+)
+
+func TestNoFloat(t *testing.T) {
+	analysistest.Run(t, "testdata", nofloat.Analyzer, "floatfix")
+}

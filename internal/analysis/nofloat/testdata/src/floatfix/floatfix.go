@@ -1,0 +1,58 @@
+// Package floatfix seeds floating-point violations inside //hepccl:hotpath
+// functions for the nofloat fixture suite. Centroids are Q16.16 fixed point;
+// any float that sneaks into the hot closure must be flagged.
+package floatfix
+
+//hepccl:hotpath
+func hotSig(x float64) float64 { // want `float type in signature` `float type in signature`
+	return x
+}
+
+//hepccl:hotpath
+func hotLit(x int) int {
+	_ = 0.25 // want `float literal`
+	return x
+}
+
+//hepccl:hotpath
+func hotVar(n int) int {
+	var acc float64 // want `float variable declaration`
+	acc = acc + 1.5 // want `float arithmetic` `float literal`
+	return n + int(acc)
+}
+
+//hepccl:hotpath
+func hotConv(n int) int {
+	f := float32(n) // want `conversion to float` `float variable declaration`
+	return int(f)
+}
+
+// ratio enters the hot closure via hotRatio: the rules follow static calls.
+func ratio(a, b int) int {
+	return int(float64(a) / float64(b)) // want `conversion to float` `conversion to float` `float arithmetic`
+}
+
+//hepccl:hotpath
+func hotRatio(a, b int) int { return ratio(a, b) }
+
+// Negative space: everything below must produce no diagnostics.
+
+//hepccl:hotpath
+func okColdFormat(num, den int) string {
+	if den == 0 {
+		return ""
+	}
+	//hepccl:coldpath
+	return fmtRate(float64(num) / float64(den))
+}
+
+// fmtRate stays out of the closure: its only call site is coldpath-marked.
+func fmtRate(r float64) string {
+	if r > 0.5 {
+		return "hi"
+	}
+	return "lo"
+}
+
+// notHot is unannotated and unreached from any hot function: exempt.
+func notHot(x float64) float64 { return x * 2.0 }

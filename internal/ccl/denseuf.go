@@ -18,7 +18,10 @@ type DenseUF struct {
 
 // Reset re-initializes the structure to n singleton sets 0..n-1, reusing
 // prior storage when it suffices.
+//
+//hepccl:hotpath
 func (u *DenseUF) Reset(n int) {
+	//hepccl:amortized
 	if cap(u.parent) < n {
 		u.parent = make([]int32, n)
 	}
@@ -32,6 +35,8 @@ func (u *DenseUF) Reset(n int) {
 func (u *DenseUF) Len() int { return len(u.parent) }
 
 // Add appends one new singleton set and returns its index.
+//
+//hepccl:hotpath
 func (u *DenseUF) Add() int32 {
 	l := int32(len(u.parent))
 	u.parent = append(u.parent, l)
@@ -39,6 +44,8 @@ func (u *DenseUF) Add() int32 {
 }
 
 // Find returns the root of x, halving the path as it goes.
+//
+//hepccl:hotpath
 func (u *DenseUF) Find(x int32) int32 {
 	p := u.parent
 	for p[x] != x {
@@ -49,6 +56,8 @@ func (u *DenseUF) Find(x int32) int32 {
 }
 
 // Union merges the sets of a and b and returns the surviving (smaller) root.
+//
+//hepccl:hotpath
 func (u *DenseUF) Union(a, b int32) int32 {
 	ra, rb := u.Find(a), u.Find(b)
 	switch {
@@ -67,6 +76,8 @@ func (u *DenseUF) Union(a, b int32) int32 {
 // halving only ever point elements at smaller indices, one ascending
 // double-dereference sweep (the same trick as the §4.3 merge-table
 // resolution) is complete.
+//
+//hepccl:hotpath
 func (u *DenseUF) Flatten() {
 	p := u.parent
 	for i := range p {
@@ -76,4 +87,6 @@ func (u *DenseUF) Flatten() {
 
 // Root returns the representative of x without compressing. After Flatten it
 // is a single table read.
+//
+//hepccl:hotpath
 func (u *DenseUF) Root(x int32) int32 { return u.parent[x] }

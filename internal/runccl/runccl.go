@@ -132,10 +132,14 @@ func (e *Engine) Pack(values []grid.Value, bitmap []uint64) []uint64 {
 // appends one Island per component to dst in compact raster order of first
 // appearance. dst is returned grown; pass dst[:0] of a reused slice for the
 // zero-allocation steady state.
+//
+//hepccl:hotpath
 func (e *Engine) Label(bitmap []uint64, values []grid.Value, dst []Island) []Island {
+	//hepccl:coldpath
 	if len(bitmap) != e.BitmapLen() {
 		panic(fmt.Sprintf("runccl: bitmap length %d, want %d", len(bitmap), e.BitmapLen()))
 	}
+	//hepccl:coldpath
 	if len(values) != e.rows*e.cols {
 		panic(fmt.Sprintf("runccl: values length %d, want %d", len(values), e.rows*e.cols))
 	}
@@ -249,9 +253,11 @@ func (e *Engine) connect() {
 func (e *Engine) accumulate(values []grid.Value, dst []Island) []Island {
 	e.uf.Flatten()
 	nr := len(e.runs)
+	//hepccl:amortized
 	if cap(e.remap) < nr {
 		e.remap = make([]int32, nr)
 	}
+	//hepccl:amortized
 	if len(e.rowM) < nr+1 {
 		e.rowM = make([]int64, nr+1)
 		e.colM = make([]int64, nr+1)
@@ -263,6 +269,7 @@ func (e *Engine) accumulate(values []grid.Value, dst []Island) []Island {
 	// Islands number at most runs; grow dst to the ceiling once and index it,
 	// truncating to the islands actually emitted at the end.
 	base := len(dst)
+	//hepccl:amortized
 	if cap(dst) < base+nr {
 		grown := make([]Island, base+nr, base+nr+nr/2+8)
 		copy(grown, dst)

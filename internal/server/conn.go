@@ -213,6 +213,7 @@ func (tr *timeoutReader) active() bool { return tr.idle > 0 || tr.assembly > 0 }
 // MarkBoundary declares that the next delivered byte starts a new event.
 func (tr *timeoutReader) MarkBoundary() { tr.started = false }
 
+//hepccl:hotpath
 func (tr *timeoutReader) Read(p []byte) (int, error) {
 	if tr.active() && !tr.draining() {
 		// During drain the shutdown path has armed an immediate deadline;
@@ -251,6 +252,8 @@ type resyncBreaker struct {
 
 // add accounts d more bad packets at time now and reports whether the
 // breaker trips. A zero limit disables the breaker.
+//
+//hepccl:hotpath
 func (b *resyncBreaker) add(now time.Time, d int) bool {
 	if b.limit <= 0 {
 		return false
@@ -280,6 +283,8 @@ func (c *conn) finishReads() {
 // enough for responseRingDepth coalesced buffers to pile up — the worker
 // waits here, which is the same backpressure the old channel send applied,
 // and the writer's deadline bounds how long the stall can last.
+//
+//hepccl:hotpath
 func (c *conn) pushResponse(buf []byte) {
 	for spins := 0; !c.out.push(buf); spins++ {
 		if spins < 64 {
@@ -364,6 +369,7 @@ func newDeadlineWriter(nc net.Conn, timeout time.Duration) *deadlineWriter {
 	return &deadlineWriter{nc: nc, timeout: timeout, buf: make([]byte, 0, 32<<10)}
 }
 
+//hepccl:hotpath
 func (w *deadlineWriter) Write(p []byte) (int, error) {
 	if len(w.buf)+len(p) > cap(w.buf) {
 		if err := w.Flush(); err != nil {
@@ -374,6 +380,7 @@ func (w *deadlineWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
+//hepccl:hotpath
 func (w *deadlineWriter) Flush() error {
 	if len(w.buf) == 0 {
 		return nil

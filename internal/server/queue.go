@@ -79,6 +79,8 @@ func (w *worker) addConn(c *conn) {
 // the select consumes immediately). Producers that observe parked==false are
 // safe to skip the send — their ring write is sequenced before the load, so
 // the worker's pre-park drain sees the event.
+//
+//hepccl:hotpath
 func (w *worker) notify() {
 	if w.parked.Load() {
 		select {
@@ -92,6 +94,8 @@ func (w *worker) notify() {
 // round-robining across connections so one saturated link cannot starve the
 // rest, and prunes connections whose reader has exited with nothing left
 // queued. Worker-side only.
+//
+//hepccl:hotpath
 func (w *worker) drain(dst []*event) []*event {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -117,6 +121,8 @@ func (w *worker) drain(dst []*event) []*event {
 
 // popOne takes a single event for the paced/full-pipeline serial modes.
 // Worker-side only.
+//
+//hepccl:hotpath
 func (w *worker) popOne() (*event, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -156,6 +162,8 @@ func (w *worker) prune() {
 // enqueue admits ev to its connection's worker lane under the overflow
 // policy. It reports whether the event was accepted; rejected events are
 // counted as drops (the caller still owns ev).
+//
+//hepccl:hotpath
 func (s *Server) enqueue(ev *event) bool {
 	c := ev.c
 	w := c.w

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// admissionHarness wires a bare Server, one worker lane, and n connections —
+// just enough state for enqueue/drain without sockets.
+func admissionHarness(depth, nconns int, policy OverflowPolicy) (*Server, *worker, []*conn) {
+	s := &Server{
+		cfg:      Config{QueueDepth: depth, Policy: policy}.withDefaults(),
+		draining: make(chan struct{}),
+	}
+	w := newWorker()
+	conns := make([]*conn, nconns)
+	for i := range conns {
+		conns[i] = &conn{in: newRing[*event](depth), w: w}
+		w.addConn(conns[i])
+	}
+	return s, w, conns
+}
+
+// TestEnqueueAdmissionCASRace hammers the derandomizer admission CAS from
+// many producers against a concurrently draining consumer. Invariants: fill
+// never exceeds QueueDepth, every accepted event is drained exactly once,
+// and accepted+rejected accounts for every attempt. Under -race this is the
+// data-race proof for the admission path.
+func TestEnqueueAdmissionCASRace(t *testing.T) {
+	const (
+		producers   = 8
+		perProducer = 5000
+		depth       = 16
+	)
+	s, w, conns := admissionHarness(depth, producers, PolicyDrop)
+	var accepted, rejected atomic.Int64
+	stop := make(chan struct{})
+	consumerDone := make(chan struct{})
+	var drained int64
+	go func() {
+		defer close(consumerDone)
+		dst := make([]*event, 0, depth)
+		final := false
+		for {
+			dst = w.drain(dst[:0])
+			if f := w.fill.Load(); f < 0 || f > depth {
+				t.Errorf("fill = %d outside [0,%d]", f, depth)
+			}
+			drained += int64(len(dst))
+			for _, ev := range dst {
+				putEvent(ev)
+			}
+			if len(dst) == 0 {
+				if final {
+					return
+				}
+				select {
+				case <-stop:
+					// Producers are done; one more empty drain proves the
+					// lane is fully swept.
+					final = true
+				default:
+					runtime.Gosched()
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(c *conn) {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				ev := getEvent()
+				ev.c = c
+				if s.enqueue(ev) {
+					accepted.Add(1)
+				} else {
+					putEvent(ev)
+					rejected.Add(1)
+				}
+			}
+		}(conns[i])
+	}
+	wg.Wait()
+	close(stop)
+	<-consumerDone
+	if got := accepted.Load() + rejected.Load(); got != producers*perProducer {
+		t.Fatalf("accepted %d + rejected %d = %d, want %d attempts",
+			accepted.Load(), rejected.Load(), got, producers*perProducer)
+	}
+	if drained != accepted.Load() {
+		t.Fatalf("drained %d events, accepted %d", drained, accepted.Load())
+	}
+	if f := w.fill.Load(); f != 0 {
+		t.Fatalf("fill = %d after full drain, want 0", f)
+	}
+}
+
+// TestEnqueueBlockPolicyBackpressure runs the same contention under
+// PolicyBlock: no event may be rejected — producers stall in the admission
+// loop until the consumer frees a slot — and the fill bound still holds.
+func TestEnqueueBlockPolicyBackpressure(t *testing.T) {
+	const (
+		producers   = 4
+		perProducer = 2000
+		depth       = 8
+		total       = producers * perProducer
+	)
+	s, w, conns := admissionHarness(depth, producers, PolicyBlock)
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		dst := make([]*event, 0, depth)
+		drained := 0
+		for drained < total {
+			dst = w.drain(dst[:0])
+			if f := w.fill.Load(); f < 0 || f > depth {
+				t.Errorf("fill = %d outside [0,%d]", f, depth)
+			}
+			drained += len(dst)
+			for _, ev := range dst {
+				putEvent(ev)
+			}
+			if len(dst) == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(c *conn) {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				ev := getEvent()
+				ev.c = c
+				if !s.enqueue(ev) {
+					t.Errorf("enqueue rejected an event under PolicyBlock")
+					putEvent(ev)
+				}
+			}
+		}(conns[i])
+	}
+	wg.Wait()
+	<-consumerDone
+	if f := w.fill.Load(); f != 0 {
+		t.Fatalf("fill = %d after consuming all %d events, want 0", f, total)
+	}
+}

@@ -19,9 +19,11 @@ import "sync/atomic"
 // The physical capacity is the logical depth rounded up to a power of two;
 // callers that need an exact bound (the derandomizer depth) enforce it with
 // an external admission counter and treat the ring as never-full.
+//
+//hepccl:spsc
 type ring[T any] struct {
-	buf  []T
-	mask uint64
+	buf  []T      //hepccl:const
+	mask uint64   //hepccl:const
 	_    [48]byte // keep head off the buf/mask line
 	head atomic.Uint64
 	_    [56]byte
@@ -51,6 +53,8 @@ func newRing[T any](depth int) *ring[T] {
 
 // push appends v, reporting false when the ring is physically full.
 // Producer-side only.
+//
+//hepccl:hotpath
 func (r *ring[T]) push(v T) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() > r.mask {
@@ -63,6 +67,8 @@ func (r *ring[T]) push(v T) bool {
 
 // pop removes the oldest element. Consumer-side only. The vacated slot is
 // zeroed so the ring never pins a popped element's storage.
+//
+//hepccl:hotpath
 func (r *ring[T]) pop() (T, bool) {
 	var zero T
 	h := r.head.Load()
@@ -78,6 +84,8 @@ func (r *ring[T]) pop() (T, bool) {
 // popBatch removes up to len(dst) elements in arrival order, returning the
 // count. Consumer-side only. One head store publishes the whole batch, so a
 // backlog costs one shared-line write instead of one per element.
+//
+//hepccl:hotpath
 func (r *ring[T]) popBatch(dst []T) int {
 	var zero T
 	h := r.head.Load()
@@ -100,6 +108,8 @@ func (r *ring[T]) popBatch(dst []T) int {
 // len reports the element count. Racy by nature (either end may move), but
 // each end's own view is exact: after the producer sees len()==0 having
 // stopped pushing, the consumer has taken everything.
+//
+//hepccl:hotpath
 func (r *ring[T]) len() int {
 	return int(r.tail.Load() - r.head.Load())
 }

@@ -239,3 +239,114 @@ func TestRingDrainAfterClose(t *testing.T) {
 		t.Fatalf("drained %d values, want %d", want, total)
 	}
 }
+
+// TestRingPositionOverflowUint64 drives the monotonic head/tail positions
+// across the uint64 overflow boundary. Positions are never wrapped into the
+// buffer; correctness across ^uint64(0) rests on 2^64 being a multiple of
+// the power-of-two buffer size, which keeps pos&mask continuous through the
+// overflow — this test pins that invariant.
+func TestRingPositionOverflowUint64(t *testing.T) {
+	r := newRing[int](8)
+	start := ^uint64(0) - 21 // overflow lands mid-test
+	r.head.Store(start)
+	r.tail.Store(start)
+	next, want := 0, 0
+	for round := 0; round < 16; round++ {
+		for i := 0; i < 5; i++ {
+			if !r.push(next) {
+				t.Fatalf("round %d: push %d rejected with len %d", round, next, r.len())
+			}
+			next++
+		}
+		if r.len() != 5 {
+			t.Fatalf("round %d: len = %d, want 5", round, r.len())
+		}
+		for i := 0; i < 5; i++ {
+			v, ok := r.pop()
+			if !ok || v != want {
+				t.Fatalf("round %d: pop = %d,%v, want %d,true", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	if tail := r.tail.Load(); tail >= start {
+		t.Fatalf("tail = %d never crossed the uint64 boundary (start %d)", tail, start)
+	}
+}
+
+// TestRingFullSpanningOverflow parks a full ring exactly across ^uint64(0):
+// the occupancy check (tail-head > mask) and the batched drain must both be
+// exact when tail has overflowed and head has not.
+func TestRingFullSpanningOverflow(t *testing.T) {
+	r := newRing[int](8)
+	start := ^uint64(0) - 3 // 4 slots before overflow, 4 after
+	r.head.Store(start)
+	r.tail.Store(start)
+	for i := 0; i < 8; i++ {
+		if !r.push(i) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if r.push(99) {
+		t.Fatal("push accepted on a full ring spanning the overflow")
+	}
+	if r.len() != 8 {
+		t.Fatalf("len = %d, want 8", r.len())
+	}
+	if r.tail.Load() >= r.head.Load() {
+		t.Fatal("test did not span the boundary: tail should have overflowed past head")
+	}
+	dst := make([]int, 8)
+	if n := r.popBatch(dst); n != 8 {
+		t.Fatalf("popBatch = %d, want 8", n)
+	}
+	for i := 0; i < 8; i++ {
+		if dst[i] != i {
+			t.Fatalf("dst[%d] = %d across the boundary", i, dst[i])
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("ring not empty after draining across the boundary")
+	}
+}
+
+// TestRingConcurrentSPSCOverflow repeats the producer/consumer hammer with
+// the positions seeded just below ^uint64(0), so the -race run also covers
+// the overflow window under real concurrency.
+func TestRingConcurrentSPSCOverflow(t *testing.T) {
+	const total = 200000
+	r := newRing[int](64)
+	start := ^uint64(0) - total/2 // overflow mid-run
+	r.head.Store(start)
+	r.tail.Store(start)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := 0; v < total; {
+			if r.push(v) {
+				v++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	dst := make([]int, 32)
+	want := 0
+	for want < total {
+		n := r.popBatch(dst)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if dst[i] != want {
+				t.Fatalf("out of order across overflow: got %d, want %d", dst[i], want)
+			}
+			want++
+		}
+	}
+	<-done
+	if head := r.head.Load(); head >= start {
+		t.Fatalf("head = %d never crossed the uint64 boundary", head)
+	}
+}

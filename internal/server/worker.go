@@ -186,6 +186,8 @@ func (s *Server) runSerial(w *worker, p *adapt.Pipeline) {
 // finishEvent records the outcome of one serially served event: response
 // handoff and counters on success, error counters otherwise, then latency
 // accounting and event-storage recycling.
+//
+//hepccl:hotpath
 func (s *Server) finishEvent(ev *event, rec *adapt.EventRecord, err error) {
 	if err != nil {
 		ev.c.stats.BadEvents.Add(1)
