@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt soak bench
+.PHONY: all build test race vet fmt soak gw-soak bench
 
 all: build vet test
 
@@ -12,7 +12,7 @@ test:
 
 # The concurrent pieces under the race detector (-short trims the soak).
 race:
-	$(GO) test -race -short ./internal/server ./internal/adapt ./cmd/hepccld ./cmd/loadgen
+	$(GO) test -race -short ./internal/server ./internal/gateway ./internal/adapt ./cmd/hepccld ./cmd/loadgen
 
 # go vet's standard suite + the module's hot-path analyzers + the compiler
 # escape-analysis cross-check. Must be clean before merging.
@@ -25,6 +25,13 @@ fmt:
 # Full-length chaos soak under -race, as the nightly CI job runs it.
 soak:
 	$(GO) test -race -run 'TestChaosSoak$$' -count=1 -v ./internal/server
+
+# Gateway chaos soak: gw + 2 in-process backends, one hard-killed mid-stream
+# and re-added on the same address, with the exact accounting identity
+# (offered == relayed + shed + inflight) asserted at quiesce. GW_SOAK_EVENTS
+# scales the run (default 1200 events; CI uses 6000).
+gw-soak:
+	GW_SOAK_EVENTS=$${GW_SOAK_EVENTS:-6000} $(GO) test -race -run 'TestGatewaySoak$$' -count=1 -v ./internal/gateway
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeEvent' -benchtime 100x -benchmem .

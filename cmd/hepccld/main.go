@@ -53,7 +53,9 @@ func run(args []string, out io.Writer) error {
 		workers     = fs.Int("workers", 1, "pipeline worker pool size")
 		queue       = fs.Int("queue", 64, "per-worker derandomizer queue depth (events)")
 		policyName  = fs.String("policy", "drop", "queue overflow policy: drop (derandomizer) or block (backpressure)")
+		shards      = fs.Int("acceptor-shards", 1, "accept-loop count; >1 uses SO_REUSEPORT listeners with lane-per-core worker placement")
 		paceHW      = fs.Bool("pace-hw", false, "throttle workers to the modeled FPGA event interval (E14 comparison)")
+		paceRate    = fs.Float64("pace-rate", 0, "throttle each worker to this many events/s (fixed-capacity backend model; 0 disables)")
 		full        = fs.Bool("full", false, "use the cycle-accurate ProcessEvent path instead of the serving fast path")
 		calibration = fs.Int("calibration", 20, "pedestal calibration events per worker at startup")
 		seed        = fs.Uint64("seed", 1, "calibration workload seed")
@@ -79,7 +81,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg, err := buildConfig(daemonOpts{
 		config: *configName, samples: *samples, workers: *workers, queue: *queue,
-		policy: *policyName, paceHW: *paceHW, full: *full,
+		policy: *policyName, shards: *shards, paceHW: *paceHW, paceRate: *paceRate, full: *full,
 		calibration: *calibration, seed: *seed,
 		idleTimeout: *idleTimeout, assemblyTimeout: *assemblyTimeout,
 		breakerBadPackets: *breakerBad, breakerWindow: *breakerWindow,
@@ -127,7 +129,9 @@ type daemonOpts struct {
 	workers     int
 	queue       int
 	policy      string
+	shards      int
 	paceHW      bool
+	paceRate    float64
 	full        bool
 	calibration int
 	seed        uint64
@@ -176,13 +180,18 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 			return server.Config{}, fmt.Errorf("%s = %g outside [0, 1)", p.name, p.v)
 		}
 	}
+	if o.paceRate < 0 {
+		return server.Config{}, fmt.Errorf("-pace-rate = %g must be >= 0", o.paceRate)
+	}
 	cfg := server.Config{
-		Pipeline:     pcfg,
-		Workers:      o.workers,
-		QueueDepth:   o.queue,
-		Policy:       policy,
-		PaceHardware: o.paceHW,
-		FullPipeline: o.full,
+		Pipeline:       pcfg,
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		Policy:         policy,
+		AcceptorShards: o.shards,
+		PaceHardware:   o.paceHW,
+		PaceRate:       o.paceRate,
+		FullPipeline:   o.full,
 
 		IdleTimeout:        o.idleTimeout,
 		AssemblyTimeout:    o.assemblyTimeout,

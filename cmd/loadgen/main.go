@@ -21,8 +21,6 @@
 package main
 
 import (
-	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,6 +52,11 @@ type connResult struct {
 	islands  int
 	err      error
 
+	// target indexes the -addr entry this connection drove; connects counts
+	// successful dials (the chaos path reconnects, so it can exceed 1).
+	target   int
+	connects int
+
 	// lats holds one client-measured end-to-end latency (send → record
 	// received) per matched event, populated only in saturation mode.
 	lats []time.Duration
@@ -68,7 +72,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:9310", "hepccld ingest address")
+		addr       = fs.String("addr", "127.0.0.1:9310", "ingest address, or a comma-separated list; connections round-robin across targets")
 		configName = fs.String("config", "cta", "pipeline configuration: adapt (1D) or cta (2D 43x43)")
 		samples    = fs.Int("samples", 4, "waveform samples per channel on the wire (0 keeps the config default)")
 		events     = fs.Int("events", 60000, "total events to send across all connections")
@@ -107,6 +111,16 @@ func run(args []string, out io.Writer) error {
 	}
 	useChaos := *corrupt > 0 || *disconnect > 0
 
+	var targets []string
+	for _, a := range strings.Split(*addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, a)
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("-addr names no targets")
+	}
+
 	cfg, err := pipelineConfig(*configName, *samples)
 	if err != nil {
 		return err
@@ -116,7 +130,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "loadgen: %d events to %s over %d conns, target %s (%s), %d B/event\n",
-		*events, *addr, *conns, rateName(*rate), arrivalName(*poisson), wireBytes)
+		*events, strings.Join(targets, ","), *conns, rateName(*rate), arrivalName(*poisson), wireBytes)
 	if useChaos {
 		fmt.Fprintf(out, "chaos:   corrupt %.3g%%/frame, disconnect %.3g%%/event, fault seed %d\n",
 			100**corrupt, 100**disconnect, *faultSeed)
@@ -135,6 +149,7 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(id, share int) {
 			defer wg.Done()
+			target := targets[id%len(targets)]
 			perConn := *rate / float64(*conns)
 			// Stagger the connections across the pacing window so their
 			// bursts interleave instead of hitting the daemon in lockstep.
@@ -142,7 +157,7 @@ func run(args []string, out io.Writer) error {
 			var res connResult
 			var sd, rd time.Duration
 			if useChaos {
-				res, sd, rd = driveChaosConn(*addr, templs, share, perConn, *poisson, phase,
+				res, sd, rd = driveChaosConn(target, templs, share, perConn, *poisson, phase,
 					detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst, chaosPlan{
 						corrupt:     *corrupt,
 						disconnect:  *disconnect,
@@ -150,11 +165,12 @@ func run(args []string, out io.Writer) error {
 						dialRetries: *dialTries,
 					})
 			} else if *rate <= 0 {
-				res, sd, rd = driveSatConn(*addr, templs, share, *timeout)
+				res, sd, rd = driveSatConn(target, templs, share, *timeout)
 			} else {
-				res, sd, rd = driveConn(*addr, templs, share, perConn, *poisson, phase,
+				res, sd, rd = driveConn(target, templs, share, perConn, *poisson, phase,
 					detector.NewRNG(*seed+uint64(id)+1), *timeout, *burst)
 			}
+			res.target = id % len(targets)
 			durMu.Lock()
 			if sd > sendDur {
 				sendDur = sd
@@ -189,6 +205,25 @@ func run(args []string, out io.Writer) error {
 	lost := total.sent - total.received
 	offered := float64(total.sent) / sendDur.Seconds()
 	served := float64(total.received) / recvDur.Seconds()
+	if len(targets) > 1 {
+		// Per-target accounting: with a list of ingest addresses the run is
+		// a fleet measurement, so break connects/retries and traffic out by
+		// target before the aggregate lines.
+		type targetStat struct{ conns, connects, retries, sent, received int }
+		per := make([]targetStat, len(targets))
+		for _, r := range results {
+			ts := &per[r.target]
+			ts.conns++
+			ts.connects += r.connects
+			ts.retries += r.dialRetries
+			ts.sent += r.sent
+			ts.received += r.received
+		}
+		for i, ts := range per {
+			fmt.Fprintf(out, "target   %s: conns %d, connects %d (+%d dial retries), sent %d, received %d\n",
+				targets[i], ts.conns, ts.connects, ts.retries, ts.sent, ts.received)
+		}
+	}
 	fmt.Fprintf(out, "sent     %d events in %.2fs -> %.0f ev/s offered\n",
 		total.sent, sendDur.Seconds(), offered)
 	fmt.Fprintf(out, "received %d records (%d islands) in %.2fs -> %.0f ev/s served\n",
@@ -327,6 +362,7 @@ func driveConn(addr string, templs []template, share int, perConn float64,
 		return res, time.Since(start), time.Since(start)
 	}
 	defer nc.Close()
+	res.connects = 1
 
 	var sendDur time.Duration
 	writeErr := make(chan error, 1)
@@ -418,6 +454,7 @@ func driveSatConn(addr string, templs []template, share int,
 		return res, time.Since(start), time.Since(start)
 	}
 	defer nc.Close()
+	res.connects = 1
 
 	// Per-slot private template copies: every slot of a write batch carries a
 	// different event id, so each needs its own bytes (the shared templates
@@ -508,37 +545,24 @@ func driveSatConn(addr string, templs []template, share int,
 // accumulate client-observed end-to-end latencies.
 func readRecordsLat(nc net.Conn, timeout time.Duration, start time.Time,
 	sendNs []int64) (records, islands int, lats []time.Duration, err error) {
-	br := bufio.NewReaderSize(nc, 64<<10)
+	// The scanner's DeadlineRearmer re-arms every adapt.DeadlineRearmEvery
+	// records, not every record: in saturation mode records arrive tens of
+	// thousands of times per second and the deadline update is a measurable
+	// share of client CPU on the shared loopback host. A stalled server
+	// still trips the deadline armed at the head of the current window.
+	sc := adapt.NewRecordScanner(nc, adapt.NewDeadlineRearmer(nc, timeout))
 	lats = make([]time.Duration, 0, len(sendNs))
-	var hdr [8]byte
-	var body []byte
 	for {
-		// Re-arm the deadline every 64 records, not every record: in
-		// saturation mode records arrive tens of thousands of times per
-		// second and the deadline update is a measurable share of client CPU
-		// on the shared loopback host. A stalled server still trips the
-		// deadline armed at the head of the current window.
-		if records&63 == 0 {
-			nc.SetReadDeadline(time.Now().Add(timeout))
-		}
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		rec, err := sc.Next()
+		if err != nil {
 			if err == io.EOF {
-				return records, islands, lats, nil
+				return sc.Records, sc.Islands, lats, nil
 			}
-			return records, islands, lats, fmt.Errorf("record header: %w", err)
+			return sc.Records, sc.Islands, lats, fmt.Errorf("record stream: %w", err)
 		}
-		if id := binary.BigEndian.Uint32(hdr[:4]); int(id) < len(sendNs) {
+		if id := adapt.RecordEventID(rec); int(id) < len(sendNs) {
 			lats = append(lats, time.Since(start)-time.Duration(sendNs[id]))
 		}
-		n := int(binary.BigEndian.Uint32(hdr[4:]))
-		if cap(body) < n*22 {
-			body = make([]byte, n*22)
-		}
-		if _, err := io.ReadFull(br, body[:n*22]); err != nil {
-			return records, islands, lats, fmt.Errorf("record body: %w", err)
-		}
-		records++
-		islands += n
 	}
 }
 
@@ -612,6 +636,7 @@ func driveChaosConn(addr string, templs []template, share int, perConn float64,
 		if err != nil {
 			return nil, err
 		}
+		res.connects++
 		done := make(chan segResult, 1)
 		segs = append(segs, done)
 		go func() {
@@ -727,28 +752,18 @@ func driveChaosConn(addr string, templs []template, share int, perConn float64,
 	return finish(sendDur)
 }
 
-// readRecords consumes downlink records until EOF, returning counts.
+// readRecords consumes downlink records until EOF, returning counts. Framing
+// and deadline amortization live in adapt.RecordScanner — the same reader the
+// gateway uses for its backend relays.
 func readRecords(nc net.Conn, timeout time.Duration) (records, islands int, err error) {
-	br := bufio.NewReaderSize(nc, 64<<10)
-	var hdr [8]byte
-	var body []byte
+	sc := adapt.NewRecordScanner(nc, adapt.NewDeadlineRearmer(nc, timeout))
 	for {
-		nc.SetReadDeadline(time.Now().Add(timeout))
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if _, err := sc.Next(); err != nil {
 			if err == io.EOF {
-				return records, islands, nil
+				return sc.Records, sc.Islands, nil
 			}
-			return records, islands, fmt.Errorf("record header: %w", err)
+			return sc.Records, sc.Islands, fmt.Errorf("record stream: %w", err)
 		}
-		n := int(binary.BigEndian.Uint32(hdr[4:]))
-		if cap(body) < n*22 {
-			body = make([]byte, n*22)
-		}
-		if _, err := io.ReadFull(br, body[:n*22]); err != nil {
-			return records, islands, fmt.Errorf("record body: %w", err)
-		}
-		records++
-		islands += n
 	}
 }
 

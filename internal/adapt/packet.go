@@ -58,6 +58,11 @@ type Packet struct {
 // headerBytes is the wire size of the header plus the trailing checksum.
 const headerBytes = 2 + 1 + 1 + 4 + 8 + 1
 
+// PacketHeaderBytes exports the frame header wire size for consumers that
+// frame without decoding (the gateway's flush-boundary check: fewer buffered
+// bytes than a header means no complete frame can be buffered either).
+const PacketHeaderBytes = headerBytes
+
 // ErrChecksumMismatch reports a frame whose trailing checksum does not match
 // its contents. It is a shared sentinel (not formatted per failure) because a
 // noisy link produces it at line rate and the stream reader only counts it.

@@ -1,0 +1,202 @@
+package adapt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Raw event hand-off: the framing layer an L4 router needs. A gateway that
+// consistent-hashes events across backends must group frames into events and
+// read each event's id, but it should pay for nothing else — no checksum, no
+// sample decode, no Packet construction. RawEventReader is that layer: it
+// walks the same self-framing wire format as StreamReader (magic hunt,
+// header-derived length, held-frame interruption recovery) and hands the
+// caller the event's raw wire bytes, still in marshal order, ready to be
+// written verbatim to whichever backend the event hashes to. Payload
+// corruption passes through — the backend's fused checksum+decode is the
+// single point of validation, exactly as a hardware event builder forwards
+// triggers it never inspects.
+
+// RawEventReader frames events out of a packet stream without decoding them.
+// It is not safe for concurrent use; a gateway runs one per client link.
+type RawEventReader struct {
+	r *bufio.Reader
+	// held retains the raw bytes of a valid-looking frame that interrupted an
+	// event assembly (it belongs to a later event); the next assembly starts
+	// from it instead of re-reading the wire, bounding a lost frame's damage
+	// to one event — the same contract as StreamReader's held Packet.
+	held    []byte
+	hasHeld bool
+	// SkippedBytes counts bytes discarded while hunting for a frame magic.
+	SkippedBytes int
+}
+
+// NewRawEventReader returns a raw framer over r.
+func NewRawEventReader(r io.Reader) *RawEventReader {
+	return &RawEventReader{r: bufio.NewReaderSize(r, streamBufSize)}
+}
+
+// Reset discards buffered state and counters and switches the reader to r,
+// retaining the internal buffers.
+func (rr *RawEventReader) Reset(r io.Reader) {
+	rr.r.Reset(r)
+	rr.hasHeld = false
+	rr.SkippedBytes = 0
+}
+
+// Buffered reports how many un-consumed bytes sit in the read window. A
+// forwarder uses it as the natural flush boundary: when nothing is buffered,
+// the next ReadEvent will block on the socket, so everything staged for the
+// backends should be flushed first.
+//
+//hepccl:hotpath
+func (rr *RawEventReader) Buffered() int { return rr.r.Buffered() }
+
+// peekFrame positions the window on the next frame and returns it (header
+// through checksum, unvalidated beyond magic and length). It owns resync: on
+// garbage it hunts for the next magic pair exactly as StreamReader does.
+// Returns io.EOF only at a clean end of stream.
+//
+//hepccl:hotpath
+func (rr *RawEventReader) peekFrame() ([]byte, error) {
+	for {
+		hdr, err := rr.r.Peek(headerBytes)
+		if err != nil || hdr[0] != magicHi || hdr[1] != magicLo {
+			if len(hdr) >= 2 && hdr[0] == magicHi && hdr[1] == magicLo {
+				// Aligned frame but the header itself is truncated.
+				//hepccl:coldpath
+				if err != io.EOF {
+					return nil, wrapErr(err)
+				}
+				n, derr := rr.drainAll()
+				rr.SkippedBytes += n
+				//hepccl:coldpath
+				if derr != nil {
+					return nil, wrapErr(derr)
+				}
+				return nil, io.EOF
+			}
+			if len(hdr) < 2 {
+				//hepccl:coldpath
+				if err == io.EOF {
+					rr.SkippedBytes += len(hdr)
+					rr.r.Discard(len(hdr))
+					return nil, io.EOF
+				}
+				return nil, wrapErr(err)
+			}
+			// Out of sync: hunt over the buffered window.
+			win := hdr
+			if n := rr.r.Buffered(); n > len(win) {
+				win, _ = rr.r.Peek(n)
+			}
+			at := scanMagic(win)
+			if at < 0 {
+				n := len(win)
+				if win[n-1] == magicHi {
+					n--
+				}
+				rr.SkippedBytes += n
+				rr.r.Discard(n)
+				continue
+			}
+			rr.SkippedBytes += at
+			rr.r.Discard(at)
+			continue
+		}
+		total := headerBytes + 2*ChannelsPerASIC*int(hdr[headerBytes-1]) + 2
+		frame, err := rr.r.Peek(total)
+		if err != nil {
+			//hepccl:coldpath
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				return nil, wrapErr(err)
+			}
+			// Stream ended mid-frame: a truncated tail, not a fault.
+			rr.SkippedBytes += len(frame)
+			rr.r.Discard(len(frame))
+			return nil, io.EOF
+		}
+		return frame, nil
+	}
+}
+
+// ReadEventInto appends the raw wire bytes of the next event — `asics` frames
+// sharing one event id — onto dst (reusing its capacity) and returns the
+// event id with the extended slice. Frames are forwarded as found: magic and
+// length are checked (that is what framing requires), checksums are not.
+//
+// A frame carrying a different event id interrupts the assembly: the partial
+// event's bytes are discarded, the interrupting frame is retained for the
+// next call, and ErrIncompleteEvent is returned — identical recovery to
+// StreamReader.ReadEventInto, so one lost frame costs exactly one event.
+//
+//hepccl:hotpath
+func (rr *RawEventReader) ReadEventInto(dst []byte, asics int) (uint32, []byte, error) {
+	//hepccl:coldpath
+	if asics < 1 {
+		return 0, dst, fmt.Errorf("adapt: RawEventReader needs asics >= 1")
+	}
+	dst = dst[:0]
+	var event uint32
+	i := 0
+	if rr.hasHeld {
+		rr.hasHeld = false
+		event = binary.BigEndian.Uint32(rr.held[4:])
+		//hepccl:amortized
+		dst = append(dst, rr.held...)
+		i = 1
+	}
+	for ; i < asics; i++ {
+		frame, err := rr.peekFrame()
+		if err != nil {
+			//hepccl:coldpath
+			if i == 0 {
+				return 0, dst, err
+			}
+			//hepccl:coldpath
+			if err == io.EOF {
+				return event, dst[:0], fmt.Errorf("%w: got %d of %d packets for event %d",
+					ErrIncompleteEvent, i, asics, event)
+			}
+			//hepccl:coldpath
+			return event, dst[:0], fmt.Errorf("%w: after %d of %d packets for event %d: %w",
+				ErrIncompleteEvent, i, asics, event, err)
+		}
+		ev := binary.BigEndian.Uint32(frame[4:])
+		if i == 0 {
+			event = ev
+		} else if ev != event {
+			// Keep the interrupting frame (copy: its window bytes are about to
+			// be discarded) so the next assembly resumes from it.
+			//hepccl:amortized
+			rr.held = append(rr.held[:0], frame...)
+			rr.hasHeld = true
+			rr.r.Discard(len(frame))
+			//hepccl:coldpath
+			return event, dst[:0], fmt.Errorf("%w: event %d interrupted by packet from event %d",
+				ErrIncompleteEvent, event, ev)
+		}
+		//hepccl:amortized
+		dst = append(dst, frame...)
+		rr.r.Discard(len(frame))
+	}
+	return event, dst, nil
+}
+
+// drainAll consumes the rest of the stream, returning the byte count and any
+// non-EOF error.
+func (rr *RawEventReader) drainAll() (int, error) {
+	n := 0
+	for {
+		m, err := rr.r.Discard(32 << 10)
+		n += m
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package adapt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// rawTestEvents digitizes n small events and returns them both as packets
+// and as their marshaled wire images.
+func rawTestEvents(t *testing.T, n, asics int) ([][]Packet, [][]byte) {
+	t.Helper()
+	cfg := DefaultADAPT()
+	cfg.ASICs = asics
+	cfg.SamplesPerChannel = 4
+	rng := detector.NewRNG(7)
+	dig := detector.DefaultDigitizer()
+	dig.Samples = cfg.SamplesPerChannel
+	tracker := detector.DefaultTracker()
+	tracker.Channels = cfg.ASICs * ChannelsPerASIC
+	tracker.Threshold = 0
+	events := make([][]Packet, n)
+	wires := make([][]byte, n)
+	for i := range events {
+		ev, err := GenerateEvent(tracker.Event(rng).Values, cfg.ASICs,
+			uint32(i), uint64(i), dig, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[i] = ev
+		var buf []byte
+		for p := range ev {
+			b, err := ev[p].Marshal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf = append(buf, b...)
+		}
+		wires[i] = buf
+	}
+	return events, wires
+}
+
+func TestRawEventReaderCleanStream(t *testing.T) {
+	const asics = 4
+	_, wires := rawTestEvents(t, 8, asics)
+	var stream []byte
+	for _, w := range wires {
+		stream = append(stream, w...)
+	}
+	rr := NewRawEventReader(bytes.NewReader(stream))
+	var buf []byte
+	for i, want := range wires {
+		ev, got, err := rr.ReadEventInto(buf, asics)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != uint32(i) {
+			t.Fatalf("event %d: id %d", i, ev)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("event %d: raw bytes differ (%d vs %d bytes)", i, len(got), len(want))
+		}
+		buf = got
+	}
+	if _, _, err := rr.ReadEventInto(buf, asics); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestRawEventReaderResyncAndGarbage(t *testing.T) {
+	const asics = 3
+	_, wires := rawTestEvents(t, 3, asics)
+	var stream []byte
+	stream = append(stream, []byte{0xde, 0xad, 0xbe, 0xef}...) // leading garbage
+	stream = append(stream, wires[0]...)
+	stream = append(stream, 0xA1) // lone magic-high byte between events
+	stream = append(stream, wires[1]...)
+	stream = append(stream, wires[2][:37]...) // truncated final frame
+	rr := NewRawEventReader(bytes.NewReader(stream))
+	var buf []byte
+	for i := 0; i < 2; i++ {
+		ev, got, err := rr.ReadEventInto(buf, asics)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != uint32(i) || !bytes.Equal(got, wires[i]) {
+			t.Fatalf("event %d: id=%d bytes ok=%v", i, ev, bytes.Equal(got, wires[i]))
+		}
+		buf = got
+	}
+	// The truncated tail ends the stream: incomplete event, then EOF.
+	if _, _, err := rr.ReadEventInto(buf, asics); !errors.Is(err, ErrIncompleteEvent) && err != io.EOF {
+		t.Fatalf("want incomplete/EOF on truncated tail, got %v", err)
+	}
+	if rr.SkippedBytes == 0 {
+		t.Fatal("expected skipped bytes from garbage and truncation")
+	}
+}
+
+func TestRawEventReaderInterruption(t *testing.T) {
+	const asics = 4
+	_, wires := rawTestEvents(t, 3, asics)
+	frame := func(i, j int) []byte {
+		// All frames share one geometry, so split evenly.
+		sz := len(wires[i]) / asics
+		return wires[i][j*sz : (j+1)*sz]
+	}
+	// Event 0 loses its last frame; event 1 arrives complete.
+	var stream []byte
+	for j := 0; j < asics-1; j++ {
+		stream = append(stream, frame(0, j)...)
+	}
+	stream = append(stream, wires[1]...)
+	rr := NewRawEventReader(bytes.NewReader(stream))
+	_, buf, err := rr.ReadEventInto(nil, asics)
+	if !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent, got %v", err)
+	}
+	if len(buf) != 0 {
+		t.Fatalf("partial event must return empty bytes, got %d", len(buf))
+	}
+	// The interrupting frame was retained: event 1 reassembles completely.
+	ev, got, err := rr.ReadEventInto(buf, asics)
+	if err != nil {
+		t.Fatalf("event after interruption: %v", err)
+	}
+	if ev != 1 || !bytes.Equal(got, wires[1]) {
+		t.Fatalf("retained-frame reassembly failed: id=%d equal=%v", ev, bytes.Equal(got, wires[1]))
+	}
+}
+
+func TestRecordScannerRoundTrip(t *testing.T) {
+	recs := []EventRecord{
+		{Event: 0, Islands: []IslandRecord{{Label: 1, Pixels: 3, Sum: 42, RowQ16: 1 << 16, ColQ16: 2 << 16}}},
+		{Event: 1},
+		{Event: 2, Islands: []IslandRecord{
+			{Label: 1, Pixels: 2, Sum: 7, RowQ16: 0, ColQ16: 0},
+			{Label: 2, Pixels: 5, Sum: 99, RowQ16: 3 << 15, ColQ16: 1 << 14},
+		}},
+	}
+	var stream []byte
+	var wires [][]byte
+	for i := range recs {
+		w := recs[i].Marshal()
+		wires = append(wires, w)
+		stream = append(stream, w...)
+	}
+	rs := NewRecordScanner(bytes.NewReader(stream), nil)
+	for i, want := range wires {
+		got, err := rs.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: bytes differ", i)
+		}
+		if RecordEventID(got) != recs[i].Event || RecordIslandCount(got) != len(recs[i].Islands) {
+			t.Fatalf("record %d: header fields wrong", i)
+		}
+	}
+	if _, err := rs.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if rs.Records != len(recs) || rs.Islands != 3 {
+		t.Fatalf("counters: records=%d islands=%d", rs.Records, rs.Islands)
+	}
+}
+
+func TestRecordScannerMidRecordEOF(t *testing.T) {
+	rec := EventRecord{Event: 9, Islands: []IslandRecord{{Label: 1, Pixels: 1, Sum: 1}}}
+	w := rec.Marshal()
+	rs := NewRecordScanner(bytes.NewReader(w[:len(w)-3]), nil)
+	if _, err := rs.Next(); err == nil || err == io.EOF {
+		t.Fatalf("mid-record EOF must be an error, got %v", err)
+	}
+}
+
+// countingDeadliner records SetReadDeadline calls.
+type countingDeadliner struct{ n int }
+
+func (c *countingDeadliner) SetReadDeadline(time.Time) error { c.n++; return nil }
+
+func TestDeadlineRearmerCadence(t *testing.T) {
+	c := &countingDeadliner{}
+	d := NewDeadlineRearmer(c, time.Second)
+	for i := 0; i < 3*DeadlineRearmEvery; i++ {
+		if err := d.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.n != 3 {
+		t.Fatalf("re-armed %d times over 3 windows, want 3", c.n)
+	}
+	// Zero timeout: no calls.
+	c2 := &countingDeadliner{}
+	d2 := NewDeadlineRearmer(c2, 0)
+	for i := 0; i < 10; i++ {
+		d2.Tick()
+	}
+	if c2.n != 0 {
+		t.Fatalf("zero-timeout rearmer armed %d times", c2.n)
+	}
+}

@@ -1,0 +1,393 @@
+package gateway
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// Per-client forwarding. One goroutine frames events off the client link
+// with adapt.RawEventReader and writes each event's raw bytes to the
+// upstream connection for its chosen backend; one relay goroutine per
+// upstream frames downlink records with adapt.RecordScanner and writes them
+// back to the client. Upstream connections are per (client, backend) and
+// lazily dialed, which gives per-source FIFO ordering for free: a client's
+// events for one backend travel a single ordered TCP stream, and hepccld
+// answers a connection's events in order.
+//
+// Accounting is exact by construction: every event framed off a client is
+// counted offered, and ends in exactly one of relayed (a record reached the
+// client), shed_overload, shed_no_backend, shed_backend_failed,
+// shed_backend_dropped — or is still in flight. Charging and settling share
+// the upstream's mutex, so an event charged concurrently with the stream
+// dying is always either in the settle remainder or individually shed,
+// never both and never neither. The soak test asserts the identity
+// offered == relayed + shed_total + inflight at quiesce.
+
+// upstreamFlushEvery caps how many events stage in one upstream write
+// buffer before a forced flush, bounding latency under a steady client
+// stream that never drains the read window.
+const upstreamFlushEvery = 32
+
+// upstream is one lazily-dialed (client, backend) connection pair.
+type upstream struct {
+	b  *Backend
+	nc *net.TCPConn
+	bw *bufio.Writer
+
+	// mu guards outstanding and the closed transition; charge (forwarder)
+	// and settle (relay) both take it, so the final remainder is exact.
+	mu sync.Mutex
+	// outstanding counts events written (or staged) on this connection and
+	// not yet relayed.
+	outstanding int64
+	// closed means no further writes: set by graceful half-close, write
+	// failure, or the relay's settle.
+	closed atomic.Bool
+
+	// pending counts events staged since the last flush (forwarder-owned).
+	pending int
+}
+
+// clientConn is the per-client forwarding state.
+type clientConn struct {
+	g  *Gateway
+	nc *net.TCPConn
+	rr *adapt.RawEventReader
+
+	// wmu serializes relay goroutines writing downlink records.
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	ups     map[*Backend]*upstream
+	relayWG sync.WaitGroup
+	gen     uint64
+
+	eventBuf []byte
+}
+
+// handleConn owns one client connection for its lifetime.
+func (g *Gateway) handleConn(nc net.Conn) {
+	defer g.connsWG.Done()
+	defer g.stats.conns.Add(-1)
+	tc, ok := nc.(*net.TCPConn)
+	if !ok {
+		nc.Close()
+		return
+	}
+	tc.SetNoDelay(false)
+	c := &clientConn{
+		g:   g,
+		nc:  tc,
+		rr:  adapt.NewRawEventReader(tc),
+		bw:  bufio.NewWriterSize(tc, 64<<10),
+		ups: make(map[*Backend]*upstream, 4),
+		gen: g.gen.Load(),
+	}
+	c.run()
+}
+
+// run is the forwarding loop: frame, place, forward, flush.
+func (c *clientConn) run() {
+	g := c.g
+	defer c.nc.Close()
+	for {
+		if gen := g.gen.Load(); gen != c.gen {
+			c.gen = gen
+			c.sweepUpstreams()
+		}
+		event, buf, err := c.rr.ReadEventInto(c.eventBuf, g.cfg.ASICs)
+		c.eventBuf = buf
+		if err != nil {
+			if errors.Is(err, adapt.ErrIncompleteEvent) {
+				// One broken event; the reader resynced. Count and continue.
+				g.stats.clientErrors.Add(1)
+				continue
+			}
+			// EOF is the client's graceful half-close; anything else ends
+			// the connection the same way, after draining what's in flight.
+			if err != io.EOF {
+				g.stats.clientErrors.Add(1)
+				g.logf("gateway: client %s: %v", c.nc.RemoteAddr(), err)
+			}
+			c.finish()
+			return
+		}
+		g.stats.offered.Add(1)
+		c.forward(event, buf)
+		// Flush boundary: when the read window holds no complete frame the
+		// next read blocks on the socket, so push staged work downstream
+		// first.
+		if c.rr.Buffered() < adapt.PacketHeaderBytes {
+			c.flushAll()
+		}
+	}
+}
+
+// forward places one framed event and writes it upstream, shedding with
+// accounting when the fleet cannot take it.
+func (c *clientConn) forward(event uint32, raw []byte) {
+	g := c.g
+	for attempt := 0; ; attempt++ {
+		t := g.table.Load()
+		b := c.pick(t, event)
+		if b == nil {
+			if t.routable == 0 {
+				g.stats.shedNoBackend.Add(1)
+				return
+			}
+			// Whole chain overloaded: hold and retry — the prober refreshes
+			// health underneath us — then shed.
+			if attempt >= g.cfg.HoldRetries {
+				g.stats.shedOverload.Add(1)
+				return
+			}
+			c.flushAll() // let held-up backends drain while we wait
+			time.Sleep(g.cfg.HoldDelay)
+			continue
+		}
+		u, err := c.upstreamFor(b)
+		if err != nil {
+			g.stats.shedBackendFailed.Add(1)
+			b.failed.Add(1)
+			g.markBackendDown(b, err)
+			return
+		}
+		if !c.charge(u) {
+			// The relay settled this upstream between pick and charge: the
+			// event was never written, charge it individually.
+			delete(c.ups, b)
+			g.stats.shedBackendFailed.Add(1)
+			b.failed.Add(1)
+			return
+		}
+		if _, err := u.bw.Write(raw); err != nil {
+			// The event stays charged; the relay's settle classifies it.
+			c.failUpstream(u, err)
+			return
+		}
+		if u.pending++; u.pending >= upstreamFlushEvery {
+			c.flushUpstream(u)
+		}
+		return
+	}
+}
+
+// charge reserves one in-flight slot on u, failing if the upstream already
+// died.
+func (c *clientConn) charge(u *upstream) bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.closed.Load() {
+		return false
+	}
+	u.outstanding++
+	u.b.inflight.Add(1)
+	u.b.forwarded.Add(1)
+	c.g.stats.inflight.Add(1)
+	return true
+}
+
+// pick chooses a backend for the event's slot chain: ring order starting at
+// the health-spilled primary, skipping overloaded backends and candidates
+// past their bounded-load cap. nil means nothing in the chain can take the
+// event right now.
+func (c *clientConn) pick(t *table, event uint32) *Backend {
+	sc := t.chain(event)
+	if sc.n == 0 {
+		return nil
+	}
+	loadCap := c.loadCap(t)
+	for k := int8(0); k < sc.n; k++ {
+		b := sc.bs[(sc.primary+k)%sc.n]
+		if b.HealthClass() == healthOverloaded {
+			continue
+		}
+		if b.Inflight() > loadCap && k < sc.n-1 {
+			// Bounded load: past the cap, overflow to the next candidate.
+			// The last candidate takes the event regardless — bounded-load
+			// placement spreads, it never sheds; only overload sheds.
+			continue
+		}
+		return b
+	}
+	return nil
+}
+
+// loadCap is the bounded-load ceiling: LoadFactorPct of the fleet-mean
+// in-flight, plus a burst allowance so quiet fleets don't bounce.
+func (c *clientConn) loadCap(t *table) int64 {
+	if t.routable == 0 {
+		return 1 << 62
+	}
+	total := c.g.stats.inflight.Load()
+	return (total*int64(c.g.cfg.LoadFactorPct))/(int64(t.routable)*100) + 8
+}
+
+// upstreamFor returns the live upstream for b, dialing if needed.
+func (c *clientConn) upstreamFor(b *Backend) (*upstream, error) {
+	if u, ok := c.ups[b]; ok {
+		return u, nil
+	}
+	nc, err := net.DialTimeout("tcp", b.Addr, c.g.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	tc := nc.(*net.TCPConn)
+	tc.SetNoDelay(false)
+	// Deep socket buffers absorb backend backpressure bursts: the forwarder
+	// is one goroutine per client, so a write blocking on one backend
+	// head-of-line-blocks events bound for the others.
+	tc.SetWriteBuffer(1 << 20)
+	u := &upstream{b: b, nc: tc, bw: bufio.NewWriterSize(tc, 64<<10)}
+	b.conns.Add(1)
+	c.ups[b] = u
+	c.relayWG.Add(1)
+	go c.relay(u)
+	return u, nil
+}
+
+// flushUpstream pushes one upstream's staged events onto the wire.
+func (c *clientConn) flushUpstream(u *upstream) {
+	if u.closed.Load() || u.pending == 0 {
+		return
+	}
+	u.pending = 0
+	if t := c.g.cfg.UpstreamWriteTimeout; t > 0 {
+		u.nc.SetWriteDeadline(time.Now().Add(t))
+	}
+	if err := u.bw.Flush(); err != nil {
+		c.failUpstream(u, err)
+	}
+}
+
+// flushAll flushes every upstream with staged events.
+func (c *clientConn) flushAll() {
+	for _, u := range c.ups {
+		c.flushUpstream(u)
+	}
+}
+
+// failUpstream tears an upstream down after a write error. Closing the
+// socket forces the relay off its read; the relay's settle classifies the
+// charged-but-unanswered events as failed.
+func (c *clientConn) failUpstream(u *upstream, err error) {
+	if u.closed.Swap(true) {
+		return
+	}
+	u.pending = 0
+	u.nc.Close()
+	delete(c.ups, u.b)
+	c.g.markBackendDown(u.b, err)
+}
+
+// closeWriteUpstream half-closes an upstream: the backend sees EOF, drains
+// its in-flight events, streams the remaining records, then closes — the
+// relay runs to completion behind it.
+func (c *clientConn) closeWriteUpstream(u *upstream) {
+	c.flushUpstream(u)
+	if u.closed.Swap(true) {
+		return
+	}
+	u.nc.CloseWrite()
+}
+
+// sweepUpstreams reacts to a table generation change: upstreams to backends
+// that left the ring (draining, detached) are half-closed so the backend can
+// finish its in-flight work and the drain can complete.
+func (c *clientConn) sweepUpstreams() {
+	for b, u := range c.ups {
+		if b.AdminState() != adminJoined {
+			c.closeWriteUpstream(u)
+			delete(c.ups, b) // a re-added backend gets a fresh upstream
+		}
+	}
+}
+
+// finish is the graceful teardown after the client stops sending: flush and
+// half-close every upstream, let the relays drain the responses, then close
+// the downlink.
+func (c *clientConn) finish() {
+	for b, u := range c.ups {
+		c.closeWriteUpstream(u)
+		delete(c.ups, b)
+	}
+	c.relayWG.Wait()
+	c.wmu.Lock()
+	c.bw.Flush()
+	c.wmu.Unlock()
+	c.nc.CloseWrite()
+}
+
+// relay streams one upstream's downlink records back to the client,
+// settling whatever never came back when the stream ends.
+func (c *clientConn) relay(u *upstream) {
+	defer c.relayWG.Done()
+	defer u.b.conns.Add(-1)
+	defer u.nc.Close()
+	sc := adapt.NewRecordScanner(u.nc, adapt.NewDeadlineRearmer(u.nc, c.g.cfg.UpstreamReadTimeout))
+	for {
+		rec, err := sc.Next()
+		if err != nil {
+			c.settle(u, err)
+			return
+		}
+		u.mu.Lock()
+		u.outstanding--
+		u.mu.Unlock()
+		u.b.inflight.Add(-1)
+		u.b.relayed.Add(1)
+		c.g.stats.inflight.Add(-1)
+		c.g.stats.relayed.Add(1)
+		c.writeRecord(rec, sc.Buffered() >= adapt.RecordHeaderBytes)
+	}
+}
+
+// settle classifies an ended upstream's unanswered events: a clean EOF means
+// the backend consumed them without answering (its derandomizer dropped
+// them); anything else is a connection failure.
+func (c *clientConn) settle(u *upstream, err error) {
+	u.mu.Lock()
+	u.closed.Store(true)
+	left := u.outstanding
+	u.outstanding = 0
+	u.mu.Unlock()
+	if left > 0 {
+		u.b.inflight.Add(-left)
+		c.g.stats.inflight.Add(-left)
+	}
+	if err == io.EOF {
+		if left > 0 {
+			u.b.dropped.Add(uint64(left))
+			c.g.stats.shedBackendDropped.Add(uint64(left))
+		}
+		return
+	}
+	if left > 0 {
+		u.b.failed.Add(uint64(left))
+		c.g.stats.shedBackendFailed.Add(uint64(left))
+	}
+	c.g.markBackendDown(u.b, err)
+}
+
+// writeRecord relays one record to the client; flushes when the scanner has
+// no further complete record buffered (the relay is about to block).
+func (c *clientConn) writeRecord(rec []byte, more bool) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(rec); err != nil {
+		return // client gone; the forwarder notices on its own side
+	}
+	if !more {
+		if t := c.g.cfg.ClientWriteTimeout; t > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(t))
+		}
+		c.bw.Flush()
+	}
+}

@@ -1,0 +1,38 @@
+package gateway
+
+// Integer mixing for event placement. The gateway routes by event id, a dense
+// counter-like u32, so the placement hash must decorrelate low bits; splitmix64
+// is the standard single-multiply finalizer family with full avalanche, needs
+// no tables and no dependencies, and keeps the routing path float-free.
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix on u64.
+//
+//hepccl:hotpath
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a backend address into a u64 vnode seed (FNV-1a then
+// avalanche, so near-identical addresses — ":9310" vs ":9312" — land far
+// apart on the ring).
+func hashString(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return splitmix64(h)
+}
+
+// slotSalt decorrelates slot probe points from vnode hashes.
+const slotSalt = 0x5ca1ab1e0ddba11
+
+// slotOf maps an event id to its routing slot.
+//
+//hepccl:hotpath
+func slotOf(event uint32, mask uint32) uint32 {
+	return uint32(splitmix64(uint64(event))) & mask
+}

@@ -1,0 +1,183 @@
+package gateway
+
+import (
+	"testing"
+)
+
+func joinedBackend(addr string, h healthClass) *Backend {
+	b := newBackend(addr, addr+"-stats")
+	b.health.Store(int32(h))
+	return b
+}
+
+func primaries(t *table) map[string]int {
+	owners := map[string]int{}
+	for i := range t.slots {
+		sc := &t.slots[i]
+		if sc.n > 0 {
+			owners[sc.bs[sc.primary].Addr]++
+		}
+	}
+	return owners
+}
+
+// TestTableBalance checks every backend owns a reasonable share of slots.
+func TestTableBalance(t *testing.T) {
+	fleet := []*Backend{
+		joinedBackend("a:1", healthGood),
+		joinedBackend("b:1", healthGood),
+		joinedBackend("c:1", healthGood),
+	}
+	tab := buildTable(fleet, 512, 64)
+	if tab.routable != 3 || tab.joined != 3 {
+		t.Fatalf("routable %d joined %d, want 3/3", tab.routable, tab.joined)
+	}
+	owners := primaries(tab)
+	for _, b := range fleet {
+		n := owners[b.Addr]
+		// Fair share is ~171 of 512; vnode variance should stay well inside
+		// a 2x band.
+		if n < 512/6 || n > 512/2+512/6 {
+			t.Fatalf("backend %s owns %d of 512 slots (badly unbalanced: %v)", b.Addr, n, owners)
+		}
+	}
+}
+
+// TestTableStability asserts the consistent-hashing contract: removing one
+// backend reassigns only the slots it owned, and re-adding it restores the
+// original assignment exactly.
+func TestTableStability(t *testing.T) {
+	a := joinedBackend("a:1", healthGood)
+	b := joinedBackend("b:1", healthGood)
+	c := joinedBackend("c:1", healthGood)
+	full := buildTable([]*Backend{a, b, c}, 512, 64)
+	without := buildTable([]*Backend{a, c}, 512, 64)
+	moved := 0
+	for s := range full.slots {
+		was := full.slots[s].bs[full.slots[s].primary]
+		now := without.slots[s].bs[without.slots[s].primary]
+		if was != b && was != now {
+			t.Fatalf("slot %d moved %s -> %s though %s was not removed", s, was.Addr, now.Addr, was.Addr)
+		}
+		if was == b {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed backend owned no slots; stability test vacuous")
+	}
+	restored := buildTable([]*Backend{a, b, c}, 512, 64)
+	for s := range full.slots {
+		if full.slots[s].bs[full.slots[s].primary] != restored.slots[s].bs[restored.slots[s].primary] {
+			t.Fatalf("slot %d not restored after re-add", s)
+		}
+	}
+}
+
+// TestTableDegradedSpill: a degraded backend loses its primaries to ring
+// successors but stays in every chain it was in (last-resort candidate),
+// and recovers its exact slots when healthy again.
+func TestTableDegradedSpill(t *testing.T) {
+	a := joinedBackend("a:1", healthGood)
+	b := joinedBackend("b:1", healthGood)
+	c := joinedBackend("c:1", healthGood)
+	fleet := []*Backend{a, b, c}
+	healthy := buildTable(fleet, 512, 64)
+	before := primaries(healthy)
+
+	b.setHealth(healthDegraded)
+	spilled := buildTable(fleet, 512, 64)
+	owners := primaries(spilled)
+	if owners[b.Addr] != 0 {
+		t.Fatalf("degraded backend still owns %d slots", owners[b.Addr])
+	}
+	if spilled.routable != 3 {
+		t.Fatalf("degraded backend should stay routable, routable = %d", spilled.routable)
+	}
+	// Chain membership is ring-derived, so it must be unchanged.
+	inChain := 0
+	for s := range spilled.slots {
+		for j := int8(0); j < spilled.slots[s].n; j++ {
+			if spilled.slots[s].bs[j] == b {
+				inChain++
+			}
+		}
+	}
+	if inChain == 0 {
+		t.Fatal("degraded backend vanished from every chain")
+	}
+	// Slots that were not b's keep their owner.
+	for s := range healthy.slots {
+		was := healthy.slots[s].bs[healthy.slots[s].primary]
+		if was == b {
+			continue
+		}
+		if now := spilled.slots[s].bs[spilled.slots[s].primary]; now != was {
+			t.Fatalf("slot %d owner changed %s -> %s on unrelated degradation", s, was.Addr, now.Addr)
+		}
+	}
+
+	b.setHealth(healthGood)
+	recovered := buildTable(fleet, 512, 64)
+	after := primaries(recovered)
+	if after[a.Addr] != before[a.Addr] || after[b.Addr] != before[b.Addr] || after[c.Addr] != before[c.Addr] {
+		t.Fatalf("recovery did not restore ownership: before %v after %v", before, after)
+	}
+}
+
+// TestTableDown: an unreachable backend leaves the ring entirely — no chain
+// membership, routable count drops.
+func TestTableDown(t *testing.T) {
+	a := joinedBackend("a:1", healthGood)
+	b := joinedBackend("b:1", healthDown)
+	c := joinedBackend("c:1", healthGood)
+	tab := buildTable([]*Backend{a, b, c}, 512, 64)
+	if tab.routable != 2 || tab.joined != 3 {
+		t.Fatalf("routable %d joined %d, want 2/3", tab.routable, tab.joined)
+	}
+	for s := range tab.slots {
+		for j := int8(0); j < tab.slots[s].n; j++ {
+			if tab.slots[s].bs[j] == b {
+				t.Fatalf("down backend still in slot %d chain", s)
+			}
+		}
+	}
+}
+
+// TestTableAllDegraded: a fleet degraded everywhere still assigns every slot
+// (better degraded service than none).
+func TestTableAllDegraded(t *testing.T) {
+	fleet := []*Backend{
+		joinedBackend("a:1", healthDegraded),
+		joinedBackend("b:1", healthDegraded),
+	}
+	tab := buildTable(fleet, 512, 64)
+	for s := range tab.slots {
+		if tab.slots[s].n == 0 {
+			t.Fatalf("slot %d unassigned in all-degraded fleet", s)
+		}
+	}
+}
+
+// TestSlotOf sanity-checks the event hash spreads dense ids.
+func TestSlotOf(t *testing.T) {
+	const mask = 511
+	counts := make([]int, mask+1)
+	for id := uint32(0); id < 1<<16; id++ {
+		counts[slotOf(id, mask)]++
+	}
+	min, max := 1<<30, 0
+	for _, n := range counts {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	// 65536 ids over 512 slots is 128 per slot; a decent mix stays within
+	// a generous band.
+	if min < 64 || max > 256 {
+		t.Fatalf("dense event ids bunch up: min %d max %d per slot", min, max)
+	}
+}

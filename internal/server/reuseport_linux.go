@@ -1,0 +1,39 @@
+//go:build linux
+
+package server
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// reusePortSupported reports whether this platform can open multiple
+// listeners on one address via SO_REUSEPORT, letting the kernel shard
+// incoming connections across acceptor goroutines without a shared accept
+// lock.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT on Linux. The syscall package does not export
+// it (it lives in x/sys/unix, which this module deliberately avoids); the
+// value is 15 on every Linux architecture this module targets.
+const soReusePort = 0xf
+
+// listenReusePort opens a TCP listener on addr with SO_REUSEPORT set, so N
+// such listeners on the same address each receive a kernel-chosen share of
+// incoming connections.
+func listenReusePort(addr string) (net.Listener, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	return lc.Listen(context.Background(), "tcp", addr)
+}

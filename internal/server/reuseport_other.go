@@ -1,0 +1,19 @@
+//go:build !linux
+
+package server
+
+import (
+	"fmt"
+	"net"
+)
+
+// reusePortSupported: without SO_REUSEPORT the acceptor shards fall back to
+// sharing one listener — the accept loops still run per shard and the
+// lane-per-core worker placement is unchanged, only the kernel-side socket
+// sharding is lost.
+const reusePortSupported = false
+
+// listenReusePort is unavailable on this platform.
+func listenReusePort(addr string) (net.Listener, error) {
+	return nil, fmt.Errorf("server: SO_REUSEPORT not supported on this platform")
+}

