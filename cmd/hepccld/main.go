@@ -8,6 +8,8 @@
 //
 //	hepccld -config cta -samples 4 -workers 2 -queue 64        # CTA 43x43
 //	hepccld -config adapt -listen :9310 -stats :9311 -pace-hw  # 1D flight
+//	hepccld -record /data/wal -policy block                    # durable ingest
+//	hepccld -replay /data/wal -replay-rate 2 -policy block     # re-serve at 2x
 //
 // The -stats endpoint serves GET /stats (JSON counters, queue high-water
 // mark, latency percentiles, EWMA events_per_sec and ns_per_event gauges) and
@@ -75,6 +77,16 @@ func run(args []string, out io.Writer) error {
 			"recent loss fraction above which /healthz reports overloaded, HTTP 503 (0 uses the default)")
 		degradedResync = fs.Float64("degraded-resync", 0,
 			"recent bad-packets-per-event fraction above which /healthz reports degraded (0 uses the default)")
+
+		recordDir = fs.String("record", "",
+			"append every admitted event's raw frames to a write-ahead log in this directory (empty disables)")
+		recordSegMB  = fs.Int("record-segment-mb", 64, "WAL segment size in MiB")
+		recordRetain = fs.Int("record-retain", 0,
+			"keep only the newest N sealed WAL segments (0 keeps everything)")
+		replayDir = fs.String("replay", "",
+			"replay a recorded WAL through the local server instead of serving external clients, then exit")
+		replayRate = fs.Float64("replay-rate", 0,
+			"replay pacing multiplier over the recorded timing: 1 = recorded speed, 2 = double, 0 = as fast as possible")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +99,8 @@ func run(args []string, out io.Writer) error {
 		breakerBadPackets: *breakerBad, breakerWindow: *breakerWindow,
 		degradedLoss: *degradedLoss, overloadLoss: *overloadLoss,
 		degradedResync: *degradedResync,
+		recordDir:      *recordDir, recordSegMB: *recordSegMB, recordRetain: *recordRetain,
+		replayDir: *replayDir, replayRate: *replayRate,
 	})
 	if err != nil {
 		return err
@@ -99,6 +113,9 @@ func run(args []string, out io.Writer) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *replayDir != "" {
+		return runReplay(srv, *listen, *replayDir, *replayRate, cfg.Logger, out)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -119,6 +136,44 @@ func run(args []string, out io.Writer) error {
 		cfg.Logger.Printf("hepccld: drained: in=%d out=%d dropped=%d", snap.EventsIn, snap.EventsOut, snap.Dropped)
 		return nil
 	}
+}
+
+// runReplay serves the configured pipeline on addr, streams the recorded WAL
+// through it, prints the accounting summary, and drains.
+func runReplay(srv *server.Server, addr, dir string, rate float64, logger *log.Logger, out io.Writer) error {
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ListenAndServe(addr) }()
+	// Wait for the listener so the replay dial cannot race the bind.
+	for i := 0; srv.Addr() == nil; i++ {
+		select {
+		case err := <-serveDone:
+			return err
+		default:
+		}
+		if i > 1000 {
+			return fmt.Errorf("replay: server never bound %s", addr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, rerr := server.Replay(ctx, server.ReplayOptions{
+		Addr:   srv.Addr().String(),
+		Dir:    dir,
+		Rate:   rate,
+		Logger: logger,
+	})
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	<-serveDone
+	snap := srv.StatsSnapshot()
+	fmt.Fprintf(out, "replay: events=%d records=%d served=%d dropped=%d bad=%d incomplete=%d crc=%08x torn=%d\n",
+		res.Events, res.DownlinkRecords, snap.EventsOut, snap.Dropped,
+		snap.BadEvents, snap.IncompleteEvents, res.DownlinkCRC, res.Torn)
+	return rerr
 }
 
 // daemonOpts carries the resolved flag values buildConfig turns into a
@@ -143,6 +198,12 @@ type daemonOpts struct {
 	degradedLoss      float64
 	overloadLoss      float64
 	degradedResync    float64
+
+	recordDir    string
+	recordSegMB  int
+	recordRetain int
+	replayDir    string
+	replayRate   float64
 }
 
 // buildConfig resolves flags into a server configuration.
@@ -183,6 +244,15 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 	if o.paceRate < 0 {
 		return server.Config{}, fmt.Errorf("-pace-rate = %g must be >= 0", o.paceRate)
 	}
+	if o.replayRate < 0 {
+		return server.Config{}, fmt.Errorf("-replay-rate = %g must be >= 0", o.replayRate)
+	}
+	if o.recordDir != "" && o.recordDir == o.replayDir {
+		return server.Config{}, fmt.Errorf("-record and -replay point at the same directory %q", o.recordDir)
+	}
+	if o.recordSegMB < 0 {
+		return server.Config{}, fmt.Errorf("-record-segment-mb = %d must be >= 0", o.recordSegMB)
+	}
 	cfg := server.Config{
 		Pipeline:       pcfg,
 		Workers:        o.workers,
@@ -200,6 +270,10 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 		DegradedLossRate:   o.degradedLoss,
 		OverloadLossRate:   o.overloadLoss,
 		DegradedResyncRate: o.degradedResync,
+
+		RecordDir:          o.recordDir,
+		RecordSegmentBytes: int64(o.recordSegMB) << 20,
+		RecordRetain:       o.recordRetain,
 	}
 	if o.calibration > 0 {
 		dig := detector.DefaultDigitizer()

@@ -119,4 +119,43 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-degraded-loss", "2"}, io.Discard); err == nil {
 		t.Fatal("out-of-range health threshold must fail before listening")
 	}
+	if err := run([]string{"-record", "/tmp/x", "-replay", "/tmp/x"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "same directory") {
+		t.Fatalf("record and replay over one directory must fail: got %v", err)
+	}
+	if err := run([]string{"-replay-rate", "-1"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-replay-rate") {
+		t.Fatalf("negative replay rate must fail: got %v", err)
+	}
+}
+
+// TestBuildConfigRecordFlags: the durability flags must flow through.
+func TestBuildConfigRecordFlags(t *testing.T) {
+	cfg, err := buildConfig(daemonOpts{
+		config: "adapt", workers: 1, queue: 8, policy: "block", seed: 1,
+		recordDir: "/data/wal", recordSegMB: 16, recordRetain: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RecordDir != "/data/wal" || cfg.RecordSegmentBytes != 16<<20 || cfg.RecordRetain != 4 {
+		t.Fatalf("record config = %q/%d/%d", cfg.RecordDir, cfg.RecordSegmentBytes, cfg.RecordRetain)
+	}
+}
+
+// TestRunReplayEmptyLog: -replay over an empty directory must come up, serve
+// zero events, print the summary, and exit cleanly.
+func TestRunReplayEmptyLog(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-config", "adapt", "-policy", "block", "-calibration", "0",
+		"-listen", "127.0.0.1:0", "-log-interval", "0",
+		"-replay", t.TempDir(),
+	}, &out)
+	if err != nil {
+		t.Fatalf("replay over empty log: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay: events=0") {
+		t.Fatalf("missing replay summary:\n%s", out.String())
+	}
 }

@@ -1,0 +1,200 @@
+package adapt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// eventBytes marshals an event's frames back-to-back.
+func eventBytes(t *testing.T, packets []Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewStreamWriter(&buf).WriteEvent(packets); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCaptureCleanStream(t *testing.T) {
+	const asics = 3
+	evA := makePackets(t, asics, 1)
+	evB := makePackets(t, asics, 2)
+	rawA := eventBytes(t, evA)
+	rawB := eventBytes(t, evB)
+
+	sr := NewStreamReader(bytes.NewReader(append(append([]byte(nil), rawA...), rawB...)))
+	sr.SetCapture(true)
+	var dst []Packet
+	for i, want := range [][]byte{rawA, rawB} {
+		var err error
+		dst, err = sr.ReadEventInto(dst, asics)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !bytes.Equal(sr.Captured(), want) {
+			t.Fatalf("event %d: captured %d bytes, want %d verbatim", i, len(sr.Captured()), len(want))
+		}
+	}
+}
+
+func TestCaptureSkipsGarbage(t *testing.T) {
+	const asics = 2
+	ev := makePackets(t, asics, 5)
+	raw := eventBytes(t, ev)
+	stream := append([]byte{0xDE, 0xAD, 0xA1, 0x00}, raw...)
+
+	sr := NewStreamReader(bytes.NewReader(stream))
+	sr.SetCapture(true)
+	if _, err := sr.ReadEventInto(nil, asics); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sr.Captured(), raw) {
+		t.Fatal("capture included skipped garbage")
+	}
+	if sr.SkippedBytes == 0 {
+		t.Fatal("garbage not counted as skipped")
+	}
+}
+
+func TestCaptureCorruptedFrameDropped(t *testing.T) {
+	const asics = 2
+	ev := makePackets(t, asics, 5)
+	f0, err := ev[0].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := ev[1].Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A corrupted copy of frame 0 precedes the real event: its checksum fails,
+	// so it must be resynced past and never captured.
+	badF0 := append([]byte(nil), f0...)
+	badF0[len(badF0)/2] ^= 0xFF
+	stream := append(append(append([]byte(nil), badF0...), f0...), f1...)
+
+	sr := NewStreamReader(bytes.NewReader(stream))
+	sr.SetCapture(true)
+	if _, err := sr.ReadEventInto(nil, asics); err != nil {
+		t.Fatal(err)
+	}
+	if want := append(append([]byte(nil), f0...), f1...); !bytes.Equal(sr.Captured(), want) {
+		t.Fatalf("captured %d bytes, want the %d clean bytes only", len(sr.Captured()), len(want))
+	}
+	if sr.BadPackets == 0 {
+		t.Fatal("corrupted frame not counted")
+	}
+}
+
+// TestCaptureInterruptedAssembly exercises the heldRaw path: an assembly of
+// event 1 is interrupted by event 2's first frame; the retained frame's bytes
+// must seed event 2's capture.
+func TestCaptureInterruptedAssembly(t *testing.T) {
+	const asics = 3
+	ev1 := makePackets(t, asics, 1)
+	ev2 := makePackets(t, asics, 2)
+	raw2 := eventBytes(t, ev2)
+	// Event 1 loses its last frame; event 2 follows in full.
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	if err := sw.WritePacket(&ev1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WritePacket(&ev1[1]); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(raw2)
+
+	sr := NewStreamReader(&buf)
+	sr.SetCapture(true)
+	if _, err := sr.ReadEventInto(nil, asics); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent, got %v", err)
+	}
+	dst, err := sr.ReadEventInto(nil, asics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].Event != 2 {
+		t.Fatalf("resumed assembly got event %d, want 2", dst[0].Event)
+	}
+	if !bytes.Equal(sr.Captured(), raw2) {
+		t.Fatalf("captured %d bytes for the resumed event, want %d verbatim", len(sr.Captured()), len(raw2))
+	}
+}
+
+// TestCaptureSkimInterruption: a skim of a condemned event is interrupted by a
+// packet from the next event; that packet's raw bytes must survive into the
+// next real assembly's capture.
+func TestCaptureSkimInterruption(t *testing.T) {
+	const asics = 3
+	ev1 := makePackets(t, asics, 1)
+	ev2 := makePackets(t, asics, 2)
+	raw2 := eventBytes(t, ev2)
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	// Event 1 is short one frame, so the skim runs into event 2.
+	if err := sw.WritePacket(&ev1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WritePacket(&ev1[1]); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(raw2)
+
+	sr := NewStreamReader(&buf)
+	sr.SetCapture(true)
+	if _, err := sr.SkimEvent(asics); !errors.Is(err, ErrIncompleteEvent) {
+		t.Fatalf("want ErrIncompleteEvent from skim, got %v", err)
+	}
+	dst, err := sr.ReadEventInto(nil, asics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].Event != 2 {
+		t.Fatalf("post-skim assembly got event %d, want 2", dst[0].Event)
+	}
+	if !bytes.Equal(sr.Captured(), raw2) {
+		t.Fatalf("captured %d bytes after skim interruption, want %d verbatim", len(sr.Captured()), len(raw2))
+	}
+	if _, err := sr.ReadEventInto(dst, asics); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+// TestCaptureSkimmedEventNotCaptured: a completed skim leaves no capture.
+func TestCaptureSkimmedEventNotCaptured(t *testing.T) {
+	const asics = 2
+	ev1 := makePackets(t, asics, 1)
+	ev2 := makePackets(t, asics, 2)
+	raw2 := eventBytes(t, ev2)
+	stream := append(eventBytes(t, ev1), raw2...)
+
+	sr := NewStreamReader(bytes.NewReader(stream))
+	sr.SetCapture(true)
+	if _, err := sr.SkimEvent(asics); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Captured()) != 0 {
+		t.Fatalf("skim captured %d bytes, want 0", len(sr.Captured()))
+	}
+	if _, err := sr.ReadEventInto(nil, asics); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sr.Captured(), raw2) {
+		t.Fatal("assembly after skim captured wrong bytes")
+	}
+}
+
+func TestCaptureOffByDefault(t *testing.T) {
+	const asics = 2
+	stream := eventBytes(t, makePackets(t, asics, 1))
+	sr := NewStreamReader(bytes.NewReader(stream))
+	if _, err := sr.ReadEventInto(nil, asics); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Captured()) != 0 {
+		t.Fatalf("capture accumulated %d bytes while off", len(sr.Captured()))
+	}
+}

@@ -84,6 +84,17 @@ type StreamReader struct {
 	// — a later call resumes the hunt — but it returns control to the
 	// caller, which a pure-garbage link would otherwise never do.
 	BadPacketBudget int
+	// capturing, when set, makes each event assembly also accumulate the raw
+	// wire bytes of its accepted frames in capture, so a recorder can append
+	// exactly what was admitted without a second decode pass. Skipped garbage
+	// and corrupted frames are never captured, and skimmed (condemned) events
+	// are not captured either. heldRaw shadows held: when an interrupting
+	// packet is retained for the next assembly, its wire bytes move from
+	// capture to heldRaw so the next capture can replay them.
+	capturing    bool
+	capture      []byte
+	heldRaw      []byte
+	lastFrameLen int
 }
 
 // streamBufSize is the read window. It must exceed the largest possible
@@ -102,6 +113,28 @@ func (sr *StreamReader) Reset(r io.Reader) {
 	sr.hasHeld = false
 	sr.SkippedBytes = 0
 	sr.BadPackets = 0
+	sr.capture = sr.capture[:0]
+	sr.heldRaw = sr.heldRaw[:0]
+	sr.lastFrameLen = 0
+}
+
+// SetCapture toggles raw-frame capture. While on, every successful
+// ReadEventInto leaves the event's exact wire bytes in Captured.
+func (sr *StreamReader) SetCapture(on bool) { sr.capturing = on }
+
+// Captured returns the raw wire bytes of the frames accepted by the last
+// successful event assembly, in stream order. The slice is reused by the next
+// assembly; copy it to retain it.
+func (sr *StreamReader) Captured() []byte { return sr.capture }
+
+// stashHeldRaw moves the interrupting frame's wire bytes (the last frame
+// appended to capture) into heldRaw, mirroring the held-packet swap.
+//
+//hepccl:coldpath
+func (sr *StreamReader) stashHeldRaw() {
+	n := len(sr.capture) - sr.lastFrameLen
+	sr.heldRaw = append(sr.heldRaw[:0], sr.capture[n:]...)
+	sr.capture = sr.capture[:n]
 }
 
 // wrapErr passes io.EOF through untouched and wraps everything else.
@@ -292,6 +325,12 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 			}
 			continue
 		}
+		if sr.capturing {
+			// The window slice dies at Discard, so the copy happens here.
+			//hepccl:amortized
+			sr.capture = append(sr.capture, frame...)
+			sr.lastFrameLen = total
+		}
 		sr.r.Discard(total)
 		return nil
 	}
@@ -325,6 +364,7 @@ func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
 	if asics < 1 {
 		return 0, fmt.Errorf("adapt: SkimEvent needs asics >= 1")
 	}
+	sr.capture = sr.capture[:0]
 	if sr.hasHeld {
 		sr.skim, sr.held = sr.held, sr.skim
 		sr.hasHeld = false
@@ -373,9 +413,14 @@ func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
 		}
 		if sr.skim.Event != event {
 			// Keep the interrupting packet (swap storage, don't copy) so the
-			// next assembly resumes from it.
+			// next assembly resumes from it. Its wire bytes were captured by
+			// the full decode; move them alongside.
 			sr.held, sr.skim = sr.skim, sr.held
 			sr.hasHeld = true
+			if sr.capturing {
+				//hepccl:coldpath
+				sr.stashHeldRaw()
+			}
 			//hepccl:coldpath
 			return event, fmt.Errorf("%w: event %d interrupted by packet from event %d",
 				ErrIncompleteEvent, event, sr.held.Event)
@@ -413,9 +458,16 @@ func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error)
 		dst = make([]Packet, asics)
 	}
 	dst = dst[:asics]
+	sr.capture = sr.capture[:0]
 	if sr.hasHeld {
 		dst[0], sr.held = sr.held, dst[0]
 		sr.hasHeld = false
+		if sr.capturing {
+			// Replay the retained packet's wire bytes into this capture.
+			//hepccl:amortized
+			sr.capture = append(sr.capture, sr.heldRaw...)
+			sr.lastFrameLen = len(sr.heldRaw)
+		}
 	} else if err := sr.ReadPacketInto(&dst[0]); err != nil {
 		return nil, err
 	}
@@ -435,6 +487,10 @@ func (sr *StreamReader) ReadEventInto(dst []Packet, asics int) ([]Packet, error)
 			// next assembly resumes from it.
 			sr.held, dst[i] = dst[i], sr.held
 			sr.hasHeld = true
+			if sr.capturing {
+				//hepccl:coldpath
+				sr.stashHeldRaw()
+			}
 			//hepccl:coldpath
 			return nil, fmt.Errorf("%w: event %d interrupted by packet from event %d",
 				ErrIncompleteEvent, dst[0].Event, sr.held.Event)

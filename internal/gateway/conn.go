@@ -29,11 +29,29 @@ import (
 // dying is always either in the settle remainder or individually shed,
 // never both and never neither. The soak test asserts the identity
 // offered == relayed + shed_total + inflight at quiesce.
+//
+// Backend death does not shed what it can still save: each charged event's
+// raw bytes stay held on the upstream until its record comes back, and when
+// the connection dies with events unanswered, the never-retried ones are
+// resubmitted once to a new slot owner instead of being shed. The retried
+// counter tallies those resubmissions; a resubmitted event is still exactly
+// one offered event and still lands in exactly one terminal bucket, so the
+// identity above is unchanged. An event whose retry also dies sheds as
+// backend_failed — one retry, never a storm.
 
 // upstreamFlushEvery caps how many events stage in one upstream write
 // buffer before a forced flush, bounding latency under a steady client
 // stream that never drains the read window.
 const upstreamFlushEvery = 32
+
+// heldEvent is one charged event's identity and raw bytes, kept until its
+// record comes back so a dying connection can resubmit it instead of
+// shedding it.
+type heldEvent struct {
+	event   uint32
+	retried bool
+	raw     []byte
+}
 
 // upstream is one lazily-dialed (client, backend) connection pair.
 type upstream struct {
@@ -41,12 +59,17 @@ type upstream struct {
 	nc *net.TCPConn
 	bw *bufio.Writer
 
-	// mu guards outstanding and the closed transition; charge (forwarder)
-	// and settle (relay) both take it, so the final remainder is exact.
+	// mu guards the held queue and the closed transition; charge (forwarder)
+	// and ack/settle (relay) both take it, so the final remainder is exact.
 	mu sync.Mutex
-	// outstanding counts events written (or staged) on this connection and
-	// not yet relayed.
-	outstanding int64
+	// held queues the charged-but-unanswered events in write order;
+	// held[head:] are live. hepccld answers a connection's events in order,
+	// so a record always settles the queue front (a skipped entry was
+	// dropped by the backend, proven by the later record arriving).
+	held []heldEvent
+	head int
+	// free recycles raw buffers from answered events.
+	free [][]byte
 	// closed means no further writes: set by graceful half-close, write
 	// failure, or the relay's settle.
 	closed atomic.Bool
@@ -159,13 +182,12 @@ func (c *clientConn) forward(event uint32, raw []byte) {
 			g.markBackendDown(b, err)
 			return
 		}
-		if !c.charge(u) {
+		if !c.charge(u, event, raw, false) {
 			// The relay settled this upstream between pick and charge: the
-			// event was never written, charge it individually.
+			// event was never written. Drop the dead upstream and re-pick —
+			// the rebuilt table routes around the failure.
 			delete(c.ups, b)
-			g.stats.shedBackendFailed.Add(1)
-			b.failed.Add(1)
-			return
+			continue
 		}
 		if _, err := u.bw.Write(raw); err != nil {
 			// The event stays charged; the relay's settle classifies it.
@@ -179,19 +201,60 @@ func (c *clientConn) forward(event uint32, raw []byte) {
 	}
 }
 
-// charge reserves one in-flight slot on u, failing if the upstream already
-// died.
-func (c *clientConn) charge(u *upstream) bool {
+// charge reserves one in-flight slot on u and stashes a copy of the event's
+// raw bytes for one-shot resubmission, failing if the upstream already died.
+func (c *clientConn) charge(u *upstream, event uint32, raw []byte, retried bool) bool {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	if u.closed.Load() {
 		return false
 	}
-	u.outstanding++
+	var buf []byte
+	if n := len(u.free); n > 0 {
+		buf, u.free = u.free[n-1], u.free[:n-1]
+	}
+	u.held = append(u.held, heldEvent{event: event, retried: retried, raw: append(buf[:0], raw...)})
 	u.b.inflight.Add(1)
 	u.b.forwarded.Add(1)
 	c.g.stats.inflight.Add(1)
 	return true
+}
+
+// ack settles the held entry answered by a record for event id, returning
+// how many older entries were skipped over — events the backend consumed and
+// never answered, proven dropped by the later record's arrival. A record for
+// an id not held at all settles the queue front instead (positional
+// fallback, so accounting never drifts on a confused stream).
+func (u *upstream) ack(id uint32) int64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	j := u.head
+	for ; j < len(u.held); j++ {
+		if u.held[j].event == id {
+			break
+		}
+	}
+	if j == len(u.held) {
+		if u.head == len(u.held) {
+			return 0 // nothing held at all
+		}
+		j = u.head
+	}
+	skipped := int64(j - u.head)
+	for i := u.head; i <= j; i++ {
+		u.free = append(u.free, u.held[i].raw)
+		u.held[i].raw = nil
+	}
+	u.head = j + 1
+	if u.head == len(u.held) {
+		u.held = u.held[:0]
+		u.head = 0
+	} else if u.head >= 64 && u.head*2 >= len(u.held) {
+		n := copy(u.held, u.held[u.head:])
+		u.held = u.held[:n]
+		u.head = 0
+	}
+	return skipped
 }
 
 // pick chooses a backend for the event's slot chain: ring order starting at
@@ -338,9 +401,16 @@ func (c *clientConn) relay(u *upstream) {
 			c.settle(u, err)
 			return
 		}
-		u.mu.Lock()
-		u.outstanding--
-		u.mu.Unlock()
+		if skipped := u.ack(adapt.RecordEventID(rec)); skipped > 0 {
+			// Per-connection FIFO order: entries older than this record got
+			// no answer, so the backend dropped them. Classify them now —
+			// waiting for stream end would only misfile them as failed if
+			// the connection later dies.
+			u.b.inflight.Add(-skipped)
+			u.b.dropped.Add(uint64(skipped))
+			c.g.stats.inflight.Add(-skipped)
+			c.g.stats.shedBackendDropped.Add(uint64(skipped))
+		}
 		u.b.inflight.Add(-1)
 		u.b.relayed.Add(1)
 		c.g.stats.inflight.Add(-1)
@@ -351,13 +421,17 @@ func (c *clientConn) relay(u *upstream) {
 
 // settle classifies an ended upstream's unanswered events: a clean EOF means
 // the backend consumed them without answering (its derandomizer dropped
-// them); anything else is a connection failure.
+// them); anything else is a connection failure — never-retried events are
+// resubmitted once to a new slot owner, already-retried ones shed as failed.
 func (c *clientConn) settle(u *upstream, err error) {
 	u.mu.Lock()
 	u.closed.Store(true)
-	left := u.outstanding
-	u.outstanding = 0
+	held := u.held[u.head:]
+	u.held = nil
+	u.head = 0
+	u.free = nil
 	u.mu.Unlock()
+	left := int64(len(held))
 	if left > 0 {
 		u.b.inflight.Add(-left)
 		c.g.stats.inflight.Add(-left)
@@ -369,10 +443,135 @@ func (c *clientConn) settle(u *upstream, err error) {
 		}
 		return
 	}
-	if left > 0 {
-		u.b.failed.Add(uint64(left))
-		c.g.stats.shedBackendFailed.Add(uint64(left))
+	// Mark the backend down first: the rebuild routes the resubmissions'
+	// pick away from the connection that just died.
+	c.g.markBackendDown(u.b, err)
+	var spent uint64
+	fresh := held[:0]
+	for i := range held {
+		if held[i].retried {
+			spent++
+		} else {
+			fresh = append(fresh, held[i])
+		}
 	}
+	if spent > 0 {
+		u.b.failed.Add(spent)
+		c.g.stats.shedBackendFailed.Add(spent)
+	}
+	if len(fresh) > 0 {
+		c.resubmit(fresh, u.b)
+	}
+}
+
+// resubmit replays never-retried events from a dead upstream to new slot
+// owners, one retry each. It runs on the dead upstream's relay goroutine;
+// the retry upstreams it dials are private — never in c.ups, which the
+// forwarder owns — written, half-closed, and drained by their own relays.
+func (c *clientConn) resubmit(events []heldEvent, dead *Backend) {
+	g := c.g
+	targets := make(map[*Backend]*upstream, 2)
+	for i := range events {
+		he := &events[i]
+		b := c.placeRetry(he.event, dead)
+		if b == nil {
+			continue // placeRetry accounted the shed
+		}
+		u, ok := targets[b]
+		if !ok {
+			u = c.dialRetry(b)
+			targets[b] = u // a nil caches the dial failure
+		}
+		if u == nil {
+			b.failed.Add(1)
+			g.stats.shedBackendFailed.Add(1)
+			continue
+		}
+		if !c.charge(u, he.event, he.raw, true) {
+			// The retry target died under us mid-batch and its relay
+			// settled; this event was never written there.
+			b.failed.Add(1)
+			g.stats.shedBackendFailed.Add(1)
+			continue
+		}
+		if _, err := u.bw.Write(he.raw); err != nil {
+			// Stays charged; the retry relay's settle sheds it as spent.
+			c.failRetry(u, err)
+			continue
+		}
+		g.stats.retried.Add(1)
+	}
+	for _, u := range targets {
+		if u == nil || u.closed.Load() {
+			continue
+		}
+		if t := g.cfg.UpstreamWriteTimeout; t > 0 {
+			u.nc.SetWriteDeadline(time.Now().Add(t))
+		}
+		if err := u.bw.Flush(); err != nil {
+			c.failRetry(u, err)
+			continue
+		}
+		u.closed.Store(true)
+		u.nc.CloseWrite()
+	}
+}
+
+// placeRetry picks a new owner for a resubmitted event, treating the dead
+// backend as unroutable and holding through table lag the same way forward
+// holds through overload. nil means the event sheds, already accounted.
+func (c *clientConn) placeRetry(event uint32, dead *Backend) *Backend {
+	g := c.g
+	for attempt := 0; ; attempt++ {
+		t := g.table.Load()
+		b := c.pick(t, event)
+		if b == dead {
+			b = nil // rebuild has not propagated yet; hold
+		}
+		if b != nil {
+			return b
+		}
+		if t.routable == 0 {
+			g.stats.shedNoBackend.Add(1)
+			return nil
+		}
+		if attempt >= g.cfg.HoldRetries {
+			g.stats.shedOverload.Add(1)
+			return nil
+		}
+		time.Sleep(g.cfg.HoldDelay)
+	}
+}
+
+// dialRetry dials a dedicated upstream for one resubmission batch and starts
+// its relay. nil means the dial failed (and the backend is marked down).
+func (c *clientConn) dialRetry(b *Backend) *upstream {
+	nc, err := net.DialTimeout("tcp", b.Addr, c.g.cfg.DialTimeout)
+	if err != nil {
+		c.g.markBackendDown(b, err)
+		return nil
+	}
+	tc := nc.(*net.TCPConn)
+	tc.SetNoDelay(false)
+	if t := c.g.cfg.UpstreamWriteTimeout; t > 0 {
+		tc.SetWriteDeadline(time.Now().Add(t))
+	}
+	u := &upstream{b: b, nc: tc, bw: bufio.NewWriterSize(tc, 64<<10)}
+	b.conns.Add(1)
+	// Safe from this relay goroutine: its own Done has not run, so the
+	// WaitGroup cannot be at zero while we Add.
+	c.relayWG.Add(1)
+	go c.relay(u)
+	return u
+}
+
+// failRetry tears a retry upstream down after a write error; its relay
+// settles the charged events (all retried, so they shed as failed).
+func (c *clientConn) failRetry(u *upstream, err error) {
+	if u.closed.Swap(true) {
+		return
+	}
+	u.nc.Close()
 	c.g.markBackendDown(u.b, err)
 }
 

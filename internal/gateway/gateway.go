@@ -5,8 +5,9 @@
 // table, with bounded-load overflow to ring successors; backend health is
 // probed from each hepccld's three-state /healthz, spilling slots away from
 // degraded backends, holding-and-retrying (then shedding, with exact
-// accounting) on overloaded ones, and supporting draining removal and hot
-// re-addition without disturbing the rest of the ring. Responses relay back
+// accounting) on overloaded ones, resubmitting events held on a dead
+// backend's connection once to a new slot owner, and supporting draining
+// removal and hot re-addition without disturbing the rest of the ring. Responses relay back
 // on the client connection that offered the event; per-source FIFO order is
 // preserved per backend because one client's events for one backend share a
 // single ordered upstream connection.

@@ -36,12 +36,26 @@ type backendHandle struct {
 
 // startBackend serves one hepccld on ephemeral ports.
 func startBackend(t *testing.T, policy server.OverflowPolicy, listen string) *backendHandle {
+	return startPacedBackend(t, policy, listen, 0)
+}
+
+// startPacedBackend serves one hepccld throttled to rate events/s (0
+// disables) so events pile up in flight — the substrate for killing a
+// backend with work outstanding.
+func startPacedBackend(t *testing.T, policy server.OverflowPolicy, listen string, rate float64) *backendHandle {
 	t.Helper()
+	queue := 64
+	if rate > 0 {
+		// A shallow queue keeps a throttled backend's backlog in the socket,
+		// not the derandomizer, so a kill severs with data unread.
+		queue = 16
+	}
 	s, err := server.New(server.Config{
 		Pipeline:   testPipeline(),
 		Workers:    1,
-		QueueDepth: 64,
+		QueueDepth: queue,
 		Policy:     policy,
+		PaceRate:   rate,
 		StatsAddr:  "127.0.0.1:0",
 	})
 	if err != nil {
@@ -89,6 +103,11 @@ func (h *backendHandle) kill() {
 
 // startGateway serves a gateway over the handles with fast probe cadence.
 func startGateway(t *testing.T, handles ...*backendHandle) *Gateway {
+	return startGatewayCfg(t, nil, handles...)
+}
+
+// startGatewayCfg is startGateway with a config hook applied before New.
+func startGatewayCfg(t *testing.T, mut func(*Config), handles ...*backendHandle) *Gateway {
 	t.Helper()
 	cfg := Config{
 		ASICs:         testPipeline().ASICs,
@@ -100,6 +119,9 @@ func startGateway(t *testing.T, handles ...*backendHandle) *Gateway {
 	}
 	for _, h := range handles {
 		cfg.Backends = append(cfg.Backends, BackendSpec{Addr: h.addr, StatsAddr: h.stats})
+	}
+	if mut != nil {
+		mut(&cfg)
 	}
 	g, err := New(cfg)
 	if err != nil {
@@ -199,6 +221,11 @@ func checkIdentity(t *testing.T, g *Gateway) FleetSnapshot {
 	if snap.Offered != snap.Relayed+snap.Shed.Total()+uint64(snap.Inflight) {
 		t.Fatalf("accounting identity broken: offered %d != relayed %d + shed %d + inflight %d",
 			snap.Offered, snap.Relayed, snap.Shed.Total(), snap.Inflight)
+	}
+	// Retried is supplementary (resubmissions, not a terminal bucket), but
+	// one-retry-per-event bounds it by what was offered.
+	if snap.Retried > snap.Offered {
+		t.Fatalf("retried %d exceeds offered %d", snap.Retried, snap.Offered)
 	}
 	return snap
 }
@@ -350,6 +377,119 @@ func TestGatewayDrainZeroLoss(t *testing.T) {
 	}
 }
 
+// crashProxy forwards TCP bytes to a backend and converts any backend-side
+// termination into an RST toward its clients — an in-process kill() lets the
+// dying server's conn teardown FIN gracefully, which a real process crash
+// never does, and the gateway rightly treats a clean EOF as "backend dropped
+// these", not "backend died". The proxy restores crash semantics.
+type crashProxy struct {
+	ln   net.Listener
+	addr string
+}
+
+func startCrashProxy(t *testing.T, target string) *crashProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &crashProxy{ln: ln, addr: ln.Addr().String()}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			tc := nc.(*net.TCPConn)
+			up, err := net.Dial("tcp", target)
+			if err != nil {
+				tc.SetLinger(0)
+				tc.Close()
+				continue
+			}
+			ut := up.(*net.TCPConn)
+			go func() { // client -> backend: graceful half-close forwards
+				io.Copy(ut, tc)
+				ut.CloseWrite()
+			}()
+			go func() { // backend -> client: ANY end is a crash: RST out
+				io.Copy(tc, ut)
+				tc.SetLinger(0)
+				tc.Close()
+				ut.Close()
+			}()
+		}
+	}()
+	return p
+}
+
+// TestGatewayRetryOnBackendDeath kills a slow backend with events piled up
+// in flight and requires zero loss: every held event must be resubmitted to
+// the surviving backend and answered exactly once, with nothing shed and the
+// retried counter accounting for the resubmissions.
+func TestGatewayRetryOnBackendDeath(t *testing.T) {
+	// b0 paced slow so events pile up on it, fronted by the crash proxy so
+	// its death reaches the gateway as an RST; b1 unpaced takes the retries.
+	// Bounded load is effectively off so the pile-up stays on b0.
+	b0 := startPacedBackend(t, server.PolicyBlock, "", 200)
+	proxy := startCrashProxy(t, b0.addr)
+	front := &backendHandle{srv: b0.srv, addr: proxy.addr, stats: b0.stats, dead: true}
+	b1 := startBackend(t, server.PolicyBlock, "")
+	g := startGatewayCfg(t, func(cfg *Config) { cfg.LoadFactorPct = 100000 }, front, b1)
+
+	const total = 400
+	events := makeEvents(t, total, 0)
+	nc, err := net.Dial("tcp", g.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	rc := collectRecords(nc)
+	sw := adapt.NewStreamWriter(nc)
+	for _, ev := range events {
+		if err := sw.WriteEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill b0 once the whole stream is placed and it demonstrably holds a
+	// backlog. The crash proxy turns its death into an RST on the gateway's
+	// upstream, exactly like a crashed process.
+	var killed *Backend
+	for _, b := range g.fleet() {
+		if b.Addr == proxy.addr {
+			killed = b
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for g.stats.offered.Load() < total || killed.Inflight() < 80 {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow backend never accumulated a backlog (offered %d, inflight %d)",
+				g.stats.offered.Load(), killed.Inflight())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b0.kill()
+
+	nc.(*net.TCPConn).CloseWrite()
+	n, ids := rc.wait(t)
+	snap := checkIdentity(t, g)
+	if snap.Retried == 0 {
+		t.Fatalf("killing a backend with in-flight events must resubmit them: %+v", snap)
+	}
+	if n != total || snap.Relayed != total || snap.Shed.Total() != 0 {
+		t.Fatalf("records=%d relayed=%d shed=%+v, want %d/%d/none — backend death must not lose held events",
+			n, snap.Relayed, snap.Shed, total, total)
+	}
+	for _, ev := range events {
+		if ids[ev[0].Event] != 1 {
+			t.Fatalf("event %d answered %d times; retry must never duplicate", ev[0].Event, ids[ev[0].Event])
+		}
+	}
+	t.Logf("retry: offered=%d relayed=%d retried=%d", snap.Offered, snap.Relayed, snap.Retried)
+}
+
 // TestGatewaySoak is the chaos smoke: a client streams continuously while
 // one backend is hard-killed mid-run and later re-added on the same address.
 // The accounting identity must hold exactly: every offered event is either
@@ -424,7 +564,7 @@ func TestGatewaySoak(t *testing.T) {
 
 	send(events[2*perPhase:])
 	nc.(*net.TCPConn).CloseWrite()
-	n, _ := rc.wait(t)
+	n, ids := rc.wait(t)
 
 	snap := checkIdentity(t, g)
 	if snap.Inflight != 0 {
@@ -436,14 +576,21 @@ func TestGatewaySoak(t *testing.T) {
 	if snap.Offered != uint64(3*perPhase) {
 		t.Fatalf("offered %d, want %d", snap.Offered, 3*perPhase)
 	}
-	// The kill may shed events (severed in-flight, events routed in the
+	// The kill may shed events (severed retries, events routed in the
 	// window before the prober reacts) but must never lose one silently.
 	if snap.Relayed+snap.Shed.Total() != snap.Offered {
 		t.Fatalf("lost events: offered %d relayed %d shed %d",
 			snap.Offered, snap.Relayed, snap.Shed.Total())
 	}
+	// Resubmission must never answer one event twice.
+	for id, k := range ids {
+		if k > 1 {
+			t.Fatalf("event %d answered %d times", id, k)
+		}
+	}
 	if killed.forwarded.Load() == 0 {
 		t.Fatal("killed backend never took traffic")
 	}
-	t.Logf("soak: offered=%d relayed=%d shed=%+v", snap.Offered, snap.Relayed, snap.Shed)
+	t.Logf("soak: offered=%d relayed=%d retried=%d shed=%+v",
+		snap.Offered, snap.Relayed, snap.Retried, snap.Shed)
 }

@@ -13,9 +13,13 @@ import (
 
 // gwStats is the gateway-level accounting. Every offered event lands in
 // exactly one terminal bucket (relayed or one of the sheds) or is in flight.
+// retried is supplementary, not a bucket: it counts events resubmitted to a
+// new owner after a backend death, each of which still terminates exactly
+// once — so offered == relayed + shed + inflight holds with retries active.
 type gwStats struct {
 	offered            atomic.Uint64
 	relayed            atomic.Uint64
+	retried            atomic.Uint64
 	shedOverload       atomic.Uint64
 	shedNoBackend      atomic.Uint64
 	shedBackendFailed  atomic.Uint64
@@ -47,8 +51,11 @@ func (s ShedSnapshot) Total() uint64 {
 
 // FleetSnapshot is the aggregated /stats document.
 type FleetSnapshot struct {
-	Offered      uint64       `json:"offered"`
-	Relayed      uint64       `json:"relayed"`
+	Offered uint64 `json:"offered"`
+	Relayed uint64 `json:"relayed"`
+	// Retried counts events resubmitted once to a new slot owner after a
+	// backend death severed the connection holding them.
+	Retried      uint64       `json:"retried"`
 	Shed         ShedSnapshot `json:"shed"`
 	Inflight     int64        `json:"inflight"`
 	ClientErrors uint64       `json:"client_errors"`
@@ -65,6 +72,7 @@ func (g *Gateway) StatsSnapshot() FleetSnapshot {
 	snap := FleetSnapshot{
 		Offered: g.stats.offered.Load(),
 		Relayed: g.stats.relayed.Load(),
+		Retried: g.stats.retried.Load(),
 		Shed: ShedSnapshot{
 			Overload:       g.stats.shedOverload.Load(),
 			NoBackend:      g.stats.shedNoBackend.Load(),

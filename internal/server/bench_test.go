@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/wal"
 )
 
 // loopStream replays one serialized event stream forever — an infinite clean
@@ -29,8 +30,15 @@ func (l *loopStream) Read(p []byte) (int, error) {
 // handoff, batched serving, and response serialization into a pooled write
 // buffer. It is single-goroutine on purpose — the point is the per-event CPU
 // and allocation cost of the path, not scheduler throughput — and the CI
-// bench smoke gates on allocs/op == 0 in steady state.
+// bench smoke gates on allocs/op == 0 in steady state. The record variant
+// runs the same spine with frame capture and WAL appends enabled, gating that
+// durability stays off the allocator too.
 func BenchmarkIngestPath(b *testing.B) {
+	b.Run("bare", func(b *testing.B) { benchIngestPath(b, false) })
+	b.Run("record", func(b *testing.B) { benchIngestPath(b, true) })
+}
+
+func benchIngestPath(b *testing.B, record bool) {
 	cfg := testConfig()
 	p, err := adapt.New(cfg)
 	if err != nil {
@@ -48,6 +56,16 @@ func BenchmarkIngestPath(b *testing.B) {
 		}
 	}
 	sr := adapt.NewStreamReader(&loopStream{data: stream})
+	var wlog *wal.Writer
+	if record {
+		w, _, err := wal.Open(wal.Options{Dir: b.TempDir(), Retain: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.Close()
+		wlog = w
+		sr.SetCapture(true)
+	}
 
 	const batch = 32
 	queue := newRing[*event](64)
@@ -68,6 +86,11 @@ func BenchmarkIngestPath(b *testing.B) {
 				b.Fatal(err)
 			}
 			ev.packets = packets
+			if wlog != nil {
+				if err := wlog.Append(packets[0].Event, sr.Captured()); err != nil {
+					b.Fatal(err)
+				}
+			}
 			if !queue.push(ev) {
 				b.Fatal("ingest ring full")
 			}

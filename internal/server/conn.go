@@ -61,6 +61,12 @@ func (c *conn) readLoop() {
 		draining: s.isDraining,
 	}
 	sr := adapt.NewStreamReader(tr)
+	// With recording on, the stream reader accumulates each accepted event's
+	// raw wire bytes alongside the decode — no second pass over the stream.
+	wlog := s.wal
+	if wlog != nil {
+		sr.SetCapture(true)
+	}
 	brk := resyncBreaker{window: s.cfg.BreakerWindow, limit: s.cfg.BreakerBadPackets}
 	if s.cfg.BreakerBadPackets > 0 {
 		// Surface control (ErrResyncStorm) often enough for the breaker to
@@ -156,6 +162,13 @@ func (c *conn) readLoop() {
 			ev.enqueued = time.Now()
 			c.stats.EventsIn.Add(1)
 			s.stats.EventsIn.Add(1)
+			if wlog != nil {
+				// Write ahead of the enqueue so a crash never serves an event
+				// the log missed. A failed append sticky-fails the writer and
+				// shows up in /healthz; ingest itself keeps flowing.
+				//hepccl:amortized
+				wlog.Append(packets[0].Event, sr.Captured())
+			}
 			c.inflight.Add(1)
 			if s.enqueue(ev) {
 				ev = getEvent()

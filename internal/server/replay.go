@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/wal"
+)
+
+// Replay re-serves a recorded WAL through a live ingest endpoint: each
+// record's raw wire bytes are streamed over one TCP connection in append
+// order, optionally paced by the recorded inter-event timing, while the
+// responses are drained and fingerprinted. Because one connection pins to one
+// worker and the payloads are byte-identical to the recorded uplink, a replay
+// against a block-policy server is deterministic: two replays of the same log
+// produce identical served/dropped/bad/incomplete counts and an identical
+// downlink byte stream.
+
+// replayCRCTable fingerprints replay downlink streams (CRC-32C).
+var replayCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ReplayOptions parameterizes one replay run.
+type ReplayOptions struct {
+	// Addr is the ingest endpoint to replay against.
+	Addr string
+	// Dir is the WAL directory to read.
+	Dir string
+	// Rate scales the recorded pacing: 1 replays at recorded speed, 2 at
+	// double speed, and 0 (or negative) replays as fast as the link accepts.
+	Rate float64
+	// Logger receives progress lines. Nil is silent.
+	Logger *log.Logger
+}
+
+// ReplayResult summarizes one replay run.
+type ReplayResult struct {
+	// Events and Bytes count the records streamed and their payload bytes.
+	Events uint64
+	// Bytes is the total payload bytes written.
+	Bytes uint64
+	// Torn is how many torn segments the scan encountered (0 for a log that
+	// was repaired by a recording restart).
+	Torn int
+	// DownlinkRecords and DownlinkBytes count the response stream.
+	DownlinkRecords uint64
+	DownlinkBytes   uint64
+	// DownlinkCRC is the CRC-32C of the entire response byte stream, the
+	// fingerprint two replays of the same log must agree on.
+	DownlinkCRC uint32
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// Replay streams the WAL at opts.Dir into opts.Addr and drains the responses.
+// It returns once the log is exhausted and the server has answered everything
+// it will answer (the connection's write side is closed and the response
+// stream read to EOF).
+func Replay(ctx context.Context, opts ReplayOptions) (ReplayResult, error) {
+	var res ReplayResult
+	sc, err := wal.NewScanner(opts.Dir)
+	if err != nil {
+		return res, err
+	}
+	defer sc.Close()
+
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", opts.Addr)
+	if err != nil {
+		return res, fmt.Errorf("replay: dial %s: %w", opts.Addr, err)
+	}
+	defer nc.Close()
+
+	// Drain responses concurrently so server backpressure cannot deadlock the
+	// uplink against an unread downlink.
+	type drainResult struct {
+		records uint64
+		bytes   uint64
+		crc     uint32
+		err     error
+	}
+	drained := make(chan drainResult, 1)
+	go func() {
+		var dr drainResult
+		rs := adapt.NewRecordScanner(nc, nil)
+		for {
+			rec, err := rs.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				dr.err = err
+				break
+			}
+			dr.records++
+			dr.bytes += uint64(len(rec))
+			dr.crc = crc32.Update(dr.crc, replayCRCTable, rec)
+		}
+		drained <- dr
+	}()
+
+	start := time.Now()
+	bw := bufio.NewWriterSize(nc, 256<<10)
+	var firstTs uint64
+	haveFirst := false
+	werr := func() error {
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			rec, err := sc.Next()
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+			if opts.Rate > 0 {
+				if !haveFirst {
+					firstTs, haveFirst = rec.TsNanos, true
+				}
+				target := time.Duration(float64(rec.TsNanos-firstTs) / opts.Rate)
+				if wait := time.Until(start.Add(target)); wait > 0 {
+					// Flush what is queued before sleeping so pacing gaps are
+					// pacing gaps, not buffering artifacts.
+					if err := bw.Flush(); err != nil {
+						return err
+					}
+					time.Sleep(wait)
+				}
+			}
+			if _, err := bw.Write(rec.Payload); err != nil {
+				return err
+			}
+			res.Events++
+			res.Bytes += uint64(len(rec.Payload))
+		}
+	}()
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	res.Torn = sc.Torn()
+	if werr != nil {
+		// Abort: tear the whole connection down so the drainer unblocks.
+		nc.Close()
+	} else if cw, ok := nc.(interface{ CloseWrite() error }); ok {
+		// Half-close the uplink so the server sees a clean end of stream,
+		// serves the tail, and closes the downlink — unblocking the drainer.
+		werr = cw.CloseWrite()
+	}
+	dr := <-drained
+	res.DownlinkRecords = dr.records
+	res.DownlinkBytes = dr.bytes
+	res.DownlinkCRC = dr.crc
+	res.Duration = time.Since(start)
+	if werr != nil {
+		return res, fmt.Errorf("replay: uplink: %w", werr)
+	}
+	if dr.err != nil {
+		return res, fmt.Errorf("replay: downlink: %w", dr.err)
+	}
+	if l := opts.Logger; l != nil {
+		l.Printf("replay: %d events (%d bytes) in %v, %d records back (%d bytes, crc %08x)",
+			res.Events, res.Bytes, res.Duration.Round(time.Millisecond),
+			res.DownlinkRecords, res.DownlinkBytes, res.DownlinkCRC)
+	}
+	return res, nil
+}

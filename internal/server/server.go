@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
+	"github.com/wustl-adapt/hepccl/internal/wal"
 )
 
 // Config parameterizes one ingest server.
@@ -85,6 +86,20 @@ type Config struct {
 	// to resync (bad packets + incomplete events vs events assembled) at
 	// which /healthz reports "degraded". Default 0.05.
 	DegradedResyncRate float64
+	// RecordDir, when non-empty, appends the raw wire bytes of every decoded
+	// event to a write-ahead log in this directory (see internal/wal) before
+	// it is enqueued, so a crash can never have served an event the log
+	// missed. Skimmed (condemned-before-read) events are not recorded; an
+	// event that decodes but then loses the enqueue race under drop policy is
+	// in the log yet counted dropped, so the log bounds the accepted load
+	// from above by at most those rare rejections. Opening the log recovers
+	// from a previous crash by truncating at the last valid record.
+	RecordDir string
+	// RecordSegmentBytes sets the WAL segment size. Zero means the wal
+	// package default (64 MiB).
+	RecordSegmentBytes int64
+	// RecordRetain, when positive, keeps only the newest N sealed segments.
+	RecordRetain int
 	// LogInterval emits a periodic one-line stats summary. Zero disables.
 	LogInterval time.Duration
 	// Logger receives the periodic line and lifecycle messages. Nil means
@@ -143,12 +158,19 @@ type Server struct {
 	draining  chan struct{}
 	drainOnce sync.Once
 
+	// acceptWG tracks the accept loops. Shutdown waits it out (the closed
+	// listeners make the loops exit) before waiting on readersWG, so no
+	// late-accepted connection can Add a reader concurrently with the Wait.
+	acceptWG  sync.WaitGroup
 	readersWG sync.WaitGroup
 	workersWG sync.WaitGroup
 	connsWG   sync.WaitGroup
 
 	statsSrv *http.Server
 	statsLn  net.Listener
+
+	// wal, when non-nil, receives the raw bytes of every admitted event.
+	wal *wal.Writer
 
 	health healthWindow
 	rates  rateWindow
@@ -182,6 +204,22 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		pipes[i] = p
+	}
+	if cfg.RecordDir != "" {
+		w, info, err := wal.Open(wal.Options{
+			Dir:          cfg.RecordDir,
+			SegmentBytes: cfg.RecordSegmentBytes,
+			Retain:       cfg.RecordRetain,
+			Logger:       cfg.Logger,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: record log: %w", err)
+		}
+		s.wal = w
+		if l := cfg.Logger; l != nil {
+			l.Printf("hepccld: recording to %s (%d segments recovered, %d tail records, %d torn bytes truncated)",
+				cfg.RecordDir, info.Segments, info.TailRecords, info.TornBytes)
+		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := newWorker()
@@ -255,13 +293,18 @@ func (s *Server) Serve(ln net.Listener) error {
 func (s *Server) serveListeners(lns []net.Listener) error {
 	s.mu.Lock()
 	s.lns = append(s.lns[:0], lns...)
-	s.mu.Unlock()
 	if s.isDraining() {
+		s.mu.Unlock()
 		for _, ln := range lns {
 			ln.Close()
 		}
 		return ErrServerClosed
 	}
+	// Registered under the same lock Shutdown closes listeners under: either
+	// the loops exist before Shutdown runs (it closes their listeners and
+	// waits them out), or draining was observed above and none start.
+	s.acceptWG.Add(len(lns))
+	s.mu.Unlock()
 	s.startStats()
 	stopLog := s.startPeriodicLog()
 	defer stopLog()
@@ -292,6 +335,7 @@ func (s *Server) serveListeners(lns []net.Listener) error {
 // acceptLoop accepts connections on ln and pins them to shard's worker
 // partition until Shutdown or a fatal accept error.
 func (s *Server) acceptLoop(ln net.Listener, shard int) error {
+	defer s.acceptWG.Done()
 	var backoff time.Duration
 	for {
 		nc, err := ln.Accept()
@@ -412,6 +456,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
+		// The listeners are closed, so the accept loops are on their way
+		// out; once they are gone no new reader can appear.
+		s.acceptWG.Wait()
 		s.readersWG.Wait()
 		// All readers have exited: the ingest rings are frozen. Tell the
 		// workers to serve the remainder and retire.
@@ -433,6 +480,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if s.statsSrv != nil {
 		s.statsSrv.Close()
+	}
+	if s.wal != nil {
+		// On the clean path every reader has exited; on the ctx path a racing
+		// Append serializes against Close on the writer's mutex and then
+		// sticky-fails, which is fine for a server being torn down.
+		if cerr := s.wal.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/wal"
 )
 
 // latencyHist is a lock-free log-scale histogram of event latencies
@@ -194,6 +196,10 @@ type HealthSnapshot struct {
 	DegradedLossRate   float64 `json:"degraded_loss_rate"`
 	OverloadLossRate   float64 `json:"overload_loss_rate"`
 	DegradedResyncRate float64 `json:"degraded_resync_rate"`
+	// WALAppendErrors is the recording log's failed-append count. Any failure
+	// sticky-fails the writer, so a nonzero value degrades an otherwise-ok
+	// verdict: the server still serves but the durability guarantee is gone.
+	WALAppendErrors uint64 `json:"wal_append_errors,omitempty"`
 }
 
 // healthWindow holds the counter baseline of the previous health evaluation
@@ -274,6 +280,11 @@ func (s *Server) HealthSnapshot() HealthSnapshot {
 		snap.ResyncFraction = 1
 		snap.State = HealthDegraded
 	}
+	if s.wal != nil {
+		if snap.WALAppendErrors = s.wal.AppendErrors(); snap.WALAppendErrors > 0 && snap.State == HealthOK {
+			snap.State = HealthDegraded
+		}
+	}
 	h.snap = snap
 	return snap
 }
@@ -343,7 +354,9 @@ type Snapshot struct {
 	NsPerEvent    float64     `json:"ns_per_event"`   // EWMA pipeline time per event
 	CounterSnapshot
 	Latency LatencySnapshot `json:"latency"`
-	Conns   []ConnSnapshot  `json:"conns"`
+	// WAL is the recording log's state, present only when recording.
+	WAL   *wal.Snapshot  `json:"wal,omitempty"`
+	Conns []ConnSnapshot `json:"conns"`
 }
 
 // StatsSnapshot returns a consistent-enough view of the server statistics.
@@ -362,6 +375,10 @@ func (s *Server) StatsSnapshot() Snapshot {
 		CounterSnapshot: st.counters.snapshot(),
 	}
 	snap.EventsPerSec, snap.NsPerEvent = s.rates.update(st)
+	if s.wal != nil {
+		w := s.wal.Snapshot()
+		snap.WAL = &w
+	}
 	for _, w := range s.workers {
 		// A lane's admitted-but-undrained fill is the ring-spine analogue of
 		// the old channel length.

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSegmentBytes assembles a well-formed in-memory segment with n records.
+func buildSegmentBytes(index uint64, n int) []byte {
+	seg := make([]byte, segHeaderLen)
+	copy(seg, segMagic)
+	binary.BigEndian.PutUint32(seg[8:], segVersion)
+	binary.BigEndian.PutUint64(seg[12:], index)
+	binary.BigEndian.PutUint64(seg[20:], 1234567890)
+	for i := 0; i < n; i++ {
+		ev := uint32(i)
+		payload := payloadFor(ev, 20+i*13)
+		hdr := make([]byte, recHeaderLen)
+		binary.BigEndian.PutUint32(hdr, recMagic)
+		binary.BigEndian.PutUint32(hdr[4:], uint32(len(payload)))
+		binary.BigEndian.PutUint32(hdr[8:], ev)
+		binary.BigEndian.PutUint64(hdr[12:], uint64(i)*1000)
+		crc := crc32.Update(0, castagnoli, hdr[:20])
+		crc = crc32.Update(crc, castagnoli, payload)
+		binary.BigEndian.PutUint32(hdr[20:], crc)
+		seg = append(seg, hdr...)
+		seg = append(seg, payload...)
+	}
+	return seg
+}
+
+// FuzzSegmentScan throws chaos-corrupted segments at the recovery scanner:
+// byte flips, truncation, mid-record cuts, and appended garbage, driven by the
+// fuzzer's choice bytes. The scanner must never panic, never return a record
+// whose CRC does not cover its bytes, and always terminate.
+func FuzzSegmentScan(f *testing.F) {
+	clean := buildSegmentBytes(1, 8)
+	f.Add(clean, []byte{})
+	f.Add(clean, []byte{0x01, 0x10, 0x00})       // flip a byte near the front
+	f.Add(clean, []byte{0x02, 0x00, 0x40})       // truncate mid-record
+	f.Add(clean, []byte{0x03, 0xA1, 0xFA, 0x55}) // append garbage
+	f.Add([]byte("HEPCWAL1 short"), []byte{})
+	f.Add([]byte{}, []byte{})
+
+	f.Fuzz(func(t *testing.T, seg []byte, ops []byte) {
+		// Apply the op stream: each op consumes up to 3 bytes of choice.
+		for len(ops) >= 3 {
+			kind, a, b := ops[0], ops[1], ops[2]
+			ops = ops[3:]
+			if len(seg) == 0 {
+				break
+			}
+			pos := (int(a)<<8 | int(b)) % len(seg)
+			switch kind % 4 {
+			case 0: // flip one byte
+				seg[pos] ^= 1 << (a % 8)
+			case 1: // truncate (torn write / mid-record cut)
+				seg = seg[:pos]
+			case 2: // zero a run (preallocation debris boundary)
+				end := pos + int(a)%64
+				if end > len(seg) {
+					end = len(seg)
+				}
+				for i := pos; i < end; i++ {
+					seg[i] = 0
+				}
+			case 3: // splice garbage
+				seg = append(seg[:pos:pos], append([]byte{a, b, 0xFF}, seg[pos:]...)...)
+			}
+		}
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, segName(1))
+		if err := os.WriteFile(path, seg, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScanner(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		n, searchFrom := 0, 0
+		for {
+			rec, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+			// Re-encode the record from its returned fields. nextRecord only
+			// returns records whose stored CRC matches, so the re-encoded
+			// bytes must appear verbatim in the file, in order — anything
+			// else means the scanner surfaced a bad-CRC record.
+			enc := make([]byte, recHeaderLen+len(rec.Payload))
+			binary.BigEndian.PutUint32(enc, recMagic)
+			binary.BigEndian.PutUint32(enc[4:], uint32(len(rec.Payload)))
+			binary.BigEndian.PutUint32(enc[8:], rec.Event)
+			binary.BigEndian.PutUint64(enc[12:], rec.TsNanos)
+			crc := crc32.Update(0, castagnoli, enc[:20])
+			crc = crc32.Update(crc, castagnoli, rec.Payload)
+			binary.BigEndian.PutUint32(enc[20:], crc)
+			copy(enc[recHeaderLen:], rec.Payload)
+			at := bytes.Index(seg[searchFrom:], enc)
+			if at < 0 {
+				t.Fatalf("record %d (event %d) not found verbatim in segment bytes", n, rec.Event)
+			}
+			searchFrom += at + len(enc)
+			n++
+			if n > len(seg) {
+				t.Fatalf("scanner returned %d records from a %d-byte segment", n, len(seg))
+			}
+		}
+		if uint64(n) != sc.Records() {
+			t.Fatalf("Records() = %d, returned %d", sc.Records(), n)
+		}
+
+		// repairSegment must also terminate and leave a file the scanner
+		// then reads with zero torn segments.
+		if _, err := repairSegment(path); err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+		sc2, err := NewScanner(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc2.Close()
+		m := 0
+		for {
+			if _, err := sc2.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				t.Fatalf("post-repair scan: %v", err)
+			}
+			m++
+		}
+		if m != n {
+			t.Fatalf("repair changed record count: %d -> %d", n, m)
+		}
+		if sc2.Torn() != 0 {
+			t.Fatalf("post-repair scan still torn: %d segments, %d bytes", sc2.Torn(), sc2.TornBytes())
+		}
+	})
+}

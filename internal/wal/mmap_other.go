@@ -1,0 +1,18 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// mmapSupported is false here: segments buffer in the heap and flush at seal
+// or Sync, so recording works but a process kill can lose buffered records.
+// The recovery scanner behaves identically either way.
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	panic("wal: mapFile called on a platform without mmap support")
+}
+
+func unmapFile(data []byte) error {
+	panic("wal: unmapFile called on a platform without mmap support")
+}
