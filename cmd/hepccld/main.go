@@ -8,6 +8,8 @@
 //
 //	hepccld -config cta -samples 4 -workers 2 -queue 64        # CTA 43x43
 //	hepccld -config adapt -listen :9310 -stats :9311 -pace-hw  # 1D flight
+//	hepccld -config 512x512 -tile-workers 4                    # megapixel, tiled CCL
+//	hepccld -config 512x512 -serve single                      # force one-core A/B
 //	hepccld -record /data/wal -policy block                    # durable ingest
 //	hepccld -replay /data/wal -replay-rate 2 -policy block     # re-serve at 2x
 //
@@ -28,6 +30,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,8 +54,10 @@ func run(args []string, out io.Writer) error {
 		listen      = fs.String("listen", "127.0.0.1:9310", "event-ingest listen address")
 		statsAddr   = fs.String("stats", "", "stats endpoint address (empty disables)")
 		pprofOn     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -stats address")
-		configName  = fs.String("config", "cta", "pipeline configuration: adapt (1D) or cta (2D 43x43)")
+		configName  = fs.String("config", "cta", "pipeline configuration: adapt (1D), cta (2D 43x43), or RxC (2D frame geometry, e.g. 512x512)")
 		samples     = fs.Int("samples", 4, "waveform samples per channel on the wire (0 keeps the config default)")
+		serveName   = fs.String("serve", "auto", "2D labeling backend: auto (size cutover), single (run-based, one core), tiled (tile-parallel pool), pixel (reference)")
+		tileWorkers = fs.Int("tile-workers", 0, "tile-parallel labeling pool size (0 = GOMAXPROCS, capped)")
 		workers     = fs.Int("workers", 1, "pipeline worker pool size")
 		queue       = fs.Int("queue", 64, "per-worker derandomizer queue depth (events)")
 		policyName  = fs.String("policy", "drop", "queue overflow policy: drop (derandomizer) or block (backpressure)")
@@ -92,7 +98,8 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg, err := buildConfig(daemonOpts{
-		config: *configName, samples: *samples, workers: *workers, queue: *queue,
+		config: *configName, samples: *samples, serve: *serveName, tileWorkers: *tileWorkers,
+		workers: *workers, queue: *queue,
 		policy: *policyName, shards: *shards, paceHW: *paceHW, paceRate: *paceRate, full: *full,
 		calibration: *calibration, seed: *seed,
 		idleTimeout: *idleTimeout, assemblyTimeout: *assemblyTimeout,
@@ -181,6 +188,8 @@ func runReplay(srv *server.Server, addr, dir string, rate float64, logger *log.L
 type daemonOpts struct {
 	config      string
 	samples     int
+	serve       string
+	tileWorkers int
 	workers     int
 	queue       int
 	policy      string
@@ -206,6 +215,24 @@ type daemonOpts struct {
 	replayRate   float64
 }
 
+// parseGeometry parses a "RxC" frame geometry like "512x512" or "768x1024".
+func parseGeometry(s string) (rows, cols int, err error) {
+	i := strings.IndexByte(s, 'x')
+	if i <= 0 || i == len(s)-1 {
+		return 0, 0, fmt.Errorf("geometry %q is not RxC", s)
+	}
+	if rows, err = strconv.Atoi(s[:i]); err != nil {
+		return 0, 0, fmt.Errorf("geometry %q: bad rows", s)
+	}
+	if cols, err = strconv.Atoi(s[i+1:]); err != nil {
+		return 0, 0, fmt.Errorf("geometry %q: bad cols", s)
+	}
+	if rows <= 0 || cols <= 0 {
+		return 0, 0, fmt.Errorf("geometry %q: dimensions must be positive", s)
+	}
+	return rows, cols, nil
+}
+
 // buildConfig resolves flags into a server configuration.
 func buildConfig(o daemonOpts) (server.Config, error) {
 	var pcfg adapt.Config
@@ -215,11 +242,31 @@ func buildConfig(o daemonOpts) (server.Config, error) {
 	case "cta":
 		pcfg = adapt.DefaultCTA()
 	default:
-		return server.Config{}, fmt.Errorf("unknown -config %q", o.config)
+		rows, cols, err := parseGeometry(o.config)
+		if err != nil {
+			return server.Config{}, fmt.Errorf("unknown -config %q (want adapt, cta, or RxC like 512x512)", o.config)
+		}
+		pcfg = adapt.DefaultFrame(rows, cols)
 	}
 	if o.samples > 0 {
 		pcfg.SamplesPerChannel = o.samples
 	}
+	switch o.serve {
+	case "", "auto":
+		pcfg.Serve = adapt.ServeRun
+	case "pixel":
+		pcfg.Serve = adapt.ServePixel
+	case "single":
+		pcfg.Serve = adapt.ServeRunSingle
+	case "tiled":
+		pcfg.Serve = adapt.ServeTiled
+	default:
+		return server.Config{}, fmt.Errorf("unknown -serve %q (want auto, single, tiled, or pixel)", o.serve)
+	}
+	if o.tileWorkers < 0 {
+		return server.Config{}, fmt.Errorf("-tile-workers = %d must be >= 0", o.tileWorkers)
+	}
+	pcfg.TileWorkers = o.tileWorkers
 	var policy server.OverflowPolicy
 	switch o.policy {
 	case "drop":

@@ -73,7 +73,7 @@ func run(args []string, out io.Writer) error {
 	fs.SetOutput(out)
 	var (
 		addr       = fs.String("addr", "127.0.0.1:9310", "ingest address, or a comma-separated list; connections round-robin across targets")
-		configName = fs.String("config", "cta", "pipeline configuration: adapt (1D) or cta (2D 43x43)")
+		configName = fs.String("config", "cta", "pipeline configuration: adapt (1D), cta (2D 43x43), or RxC (2D frame geometry, e.g. 512x512)")
 		samples    = fs.Int("samples", 4, "waveform samples per channel on the wire (0 keeps the config default)")
 		events     = fs.Int("events", 60000, "total events to send across all connections")
 		rate       = fs.Float64("rate", 15000, "aggregate target event rate in events/s (0 = unpaced)")
@@ -280,7 +280,11 @@ func pipelineConfig(name string, samples int) (adapt.Config, error) {
 	case "cta":
 		cfg = adapt.DefaultCTA()
 	default:
-		return cfg, fmt.Errorf("unknown -config %q", name)
+		var rows, cols int
+		if n, err := fmt.Sscanf(name, "%dx%d", &rows, &cols); n != 2 || err != nil || rows <= 0 || cols <= 0 {
+			return cfg, fmt.Errorf("unknown -config %q (want adapt, cta, or RxC like 512x512)", name)
+		}
+		cfg = adapt.DefaultFrame(rows, cols)
 	}
 	if samples > 0 {
 		cfg.SamplesPerChannel = samples
@@ -331,13 +335,22 @@ func digitizeTemplates(cfg adapt.Config, n int, seed uint64) ([]template, int, e
 	return templs, wire, nil
 }
 
-// makeTruth builds one event's true photo-electron image.
+// makeTruth builds one event's true photo-electron image. Camera-scale 2D
+// frames get the CTA shower model; megapixel frames (past the tiled-labeling
+// cutover) get a field of random blobs at ~2% occupancy, the workload the
+// tile-parallel engine is sized for — one shower in a megapixel frame would
+// light a few hundred pixels and measure nothing but dark-channel overhead.
 func makeTruth(cfg adapt.Config, rng *detector.RNG) []grid.Value {
 	channels := cfg.ASICs * adapt.ChannelsPerASIC
 	if cfg.Detection.TwoDimension {
 		rows, cols := cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols
-		cam := detector.CameraConfig{Rows: rows, Cols: cols, NSBMeanPE: 0.1}
-		img := cam.Shower(cam.TypicalShower(rng), rng)
+		var img *grid.Grid
+		if rows*cols > adapt.TiledCutoverPixels {
+			img = detector.RandomIslands(rows, cols, rows*cols/400, 1.5, rng)
+		} else {
+			cam := detector.CameraConfig{Rows: rows, Cols: cols, NSBMeanPE: 0.1}
+			img = cam.Shower(cam.TypicalShower(rng), rng)
+		}
 		flat := make([]grid.Value, channels)
 		copy(flat, img.Flat())
 		return flat

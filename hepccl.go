@@ -207,6 +207,16 @@ func ADAPTConfig() PipelineConfig { return adapt.DefaultADAPT() }
 // CTAConfig returns the CTA-style 43×43 2D configuration.
 func CTAConfig() PipelineConfig { return adapt.DefaultCTA() }
 
+// FrameConfig returns a 2D configuration for an arbitrary rows×cols frame
+// geometry. Frames larger than TiledCutoverPixels serve through the
+// tile-parallel labeling engine; smaller frames keep the single-core
+// run-based path. Set PipelineConfig.Serve / TileWorkers to override.
+func FrameConfig(rows, cols int) PipelineConfig { return adapt.DefaultFrame(rows, cols) }
+
+// TiledCutoverPixels is the frame size above which the default serving
+// configuration labels with the tile-parallel engine.
+const TiledCutoverPixels = adapt.TiledCutoverPixels
+
 // Workload generation and centroiding.
 type (
 	// RNG is the deterministic generator all workloads use.

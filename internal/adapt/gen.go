@@ -23,6 +23,9 @@ func GenerateEvent(pe []grid.Value, asics int, event uint32, timestamp uint64,
 	if asics < 1 {
 		return nil, fmt.Errorf("adapt: need at least one ASIC")
 	}
+	if asics > MaxASICs {
+		return nil, fmt.Errorf("adapt: %d ASICs exceed the %d the wire index addresses", asics, MaxASICs)
+	}
 	if len(pe) > asics*ChannelsPerASIC {
 		return nil, fmt.Errorf("adapt: %d channels exceed %d ASICs × 16", len(pe), asics)
 	}
@@ -39,6 +42,7 @@ func GenerateEvent(pe []grid.Value, asics int, event uint32, timestamp uint64,
 		pkt.Header = Header{
 			Magic:             PacketMagic,
 			ASIC:              uint8(a),
+			Flags:             uint8(a >> 8),
 			Event:             event,
 			Timestamp:         timestamp,
 			SamplesPerChannel: uint8(dig.Samples),

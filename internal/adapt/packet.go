@@ -24,9 +24,15 @@ const PacketMagic uint16 = 0xA1FA
 type Header struct {
 	// Magic must equal PacketMagic.
 	Magic uint16
-	// ASIC identifies the source digitizer within the event.
+	// ASIC is the low byte of the source digitizer index within the event.
 	ASIC uint8
-	// Flags carries readout status bits (0 = nominal).
+	// Flags is the high byte of the digitizer index. Historically this byte
+	// carried readout status bits with 0 = nominal, and every configuration
+	// of at most 256 ASICs still writes 0 here — those wire frames are
+	// bit-identical to the original format. Megapixel frame geometries need
+	// more digitizers than one byte can address (a 512×512 frame is 16384
+	// 16-channel ASICs), so the otherwise-unused byte extends the index:
+	// ASICIndex() = Flags<<8 | ASIC, addressing up to 65536 ASICs.
 	Flags uint8
 	// Event is the trigger sequence number.
 	Event uint32
@@ -54,6 +60,15 @@ type Packet struct {
 	// SamplesPerChannel samples.
 	Samples [ChannelsPerASIC][]int32
 }
+
+// ASICIndex returns the packet's full digitizer index, combining the
+// historical one-byte ASIC field with the Flags extension byte.
+//
+//hepccl:hotpath
+func (h *Header) ASICIndex() int { return int(h.Flags)<<8 | int(h.ASIC) }
+
+// MaxASICs is the largest digitizer count the two-byte wire index addresses.
+const MaxASICs = 1 << 16
 
 // headerBytes is the wire size of the header plus the trailing checksum.
 const headerBytes = 2 + 1 + 1 + 4 + 8 + 1

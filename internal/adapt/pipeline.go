@@ -8,6 +8,7 @@ import (
 	"github.com/wustl-adapt/hepccl/internal/design"
 	"github.com/wustl-adapt/hepccl/internal/grid"
 	"github.com/wustl-adapt/hepccl/internal/runccl"
+	"github.com/wustl-adapt/hepccl/internal/tileccl"
 )
 
 // Config parameterizes one build of the FPGA pipeline — the values the real
@@ -30,9 +31,25 @@ type Config struct {
 	// (the TWO_DIMENSION switch).
 	Detection design.TopConfig
 	// Serve selects ServeEvent's 2D labeling backend. The zero value is the
-	// bit-packed run-based engine; ServePixel keeps the per-pixel reference.
+	// bit-packed run-based engine family with the automatic size cutover:
+	// frames above TiledCutoverPixels label on the tile-parallel engine,
+	// smaller ones on single-core runccl. ServePixel keeps the per-pixel
+	// reference; ServeRunSingle and ServeTiled pin one run-based engine for
+	// A/B measurement.
 	Serve ServeBackend
+	// TileWorkers caps the tile-parallel engine's labeling concurrency
+	// (including the calling worker); 0 uses the engine default,
+	// min(GOMAXPROCS, 8). Ignored unless the tiled backend is selected.
+	TileWorkers int
 }
+
+// TiledCutoverPixels is the frame size above which the default run-based
+// backend switches from single-core runccl to the tile-parallel engine. One
+// 128×128 frame (16384 px) sits exactly at the threshold and stays
+// single-core; everything the paper studies (≤64×64) is far below it, so the
+// cutover cannot touch the 43×43 serving hot path. Above it, per-event work
+// is large enough that tile fan-out repays the merge overhead.
+const TiledCutoverPixels = 1 << 14
 
 // ServeBackend selects the island-labeling engine behind ServeEvent's 2D
 // path. Both produce the identical island partition, statistics, and compact
@@ -40,13 +57,19 @@ type Config struct {
 type ServeBackend int
 
 const (
-	// ServeRun (the default) is the bit-packed run-based engine
-	// (internal/runccl): labeling cost scales with lit content, not array
-	// area.
+	// ServeRun (the default) is the bit-packed run-based engine family
+	// (internal/runccl, internal/tileccl): labeling cost scales with lit
+	// content, not array area, and frames above TiledCutoverPixels fan tiles
+	// out across the tile-parallel worker pool.
 	ServeRun ServeBackend = iota
 	// ServePixel is the raster-scan per-pixel union-find, kept as the
 	// reference implementation for differential testing.
 	ServePixel
+	// ServeRunSingle pins single-core runccl regardless of frame size — the
+	// baseline side of the tiled-vs-single A/B.
+	ServeRunSingle
+	// ServeTiled pins the tile-parallel engine regardless of frame size.
+	ServeTiled
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +79,10 @@ func (b ServeBackend) String() string {
 		return "pixel"
 	case ServeRun:
 		return "run"
+	case ServeRunSingle:
+		return "run-single"
+	case ServeTiled:
+		return "tiled"
 	default:
 		return fmt.Sprintf("ServeBackend(%d)", int(b))
 	}
@@ -72,6 +99,31 @@ func DefaultADAPT() Config {
 		GainADC:           40,
 		ThresholdPE:       2,
 		Detection:         design.TopConfig{OneDPipelined: true},
+	}
+}
+
+// DefaultFrame returns a configuration for an arbitrary 2D frame geometry —
+// the pixel-telescope / imaging workload class beyond the paper's cameras.
+// Channel math is the same as DefaultCTA (⌈px/16⌉ 16-channel ASICs,
+// zero-padded); the readout window is short (4 samples) because at megapixel
+// scale the wire cost per event is dominated by channel count, and backend
+// selection follows Config.Serve's automatic size cutover.
+func DefaultFrame(rows, cols int) Config {
+	px := rows * cols
+	return Config{
+		ASICs:             (px + ChannelsPerASIC - 1) / ChannelsPerASIC,
+		SamplesPerChannel: 4,
+		PedestalPerSample: 200,
+		GainADC:           40,
+		ThresholdPE:       2,
+		Detection: design.TopConfig{
+			TwoDimension: true,
+			TwoD: design.Config{
+				Rows: rows, Cols: cols,
+				Connectivity: grid.FourWay,
+				Stage:        design.StagePipelined,
+			},
+		},
 	}
 }
 
@@ -100,11 +152,13 @@ func DefaultCTA() Config {
 // and scratch state and is not safe for concurrent use; concurrent servers
 // run one Pipeline per worker (see internal/server).
 type Pipeline struct {
-	cfg       Config
-	merger    *Merger
-	pedestals []int64 // per flat channel, integral units
-	serve     serveScratch
-	runEngine *runccl.Engine // 2D run-based serving backend; nil under ServePixel or 1D
+	cfg        Config
+	merger     *Merger
+	pedestals  []int64 // per flat channel, integral units
+	serve      serveScratch
+	runEngine  *runccl.Engine  // 2D single-core run-based backend; nil otherwise
+	tileEngine *tileccl.Engine // 2D tile-parallel backend; nil otherwise
+	seen       []uint64        // checkEvent duplicate-ASIC bitmap, one bit per ASIC
 
 	// Serving-path precomputation. cutoff is the ADC-domain zero-suppression
 	// threshold: with rounded division by gain g, pe > T ⇔ net ≥ (T+1)·g −
@@ -133,10 +187,23 @@ type Pipeline struct {
 	pcMax uint64
 }
 
-// New validates the configuration and builds the pipeline.
+// New validates the configuration and builds the pipeline. Pipelines whose
+// backend selection resolves to the tile-parallel engine own a worker pool;
+// call Close when discarding one (Close is a no-op otherwise).
 func New(cfg Config) (*Pipeline, error) {
 	if cfg.ASICs < 1 {
 		return nil, fmt.Errorf("adapt: need at least one ASIC")
+	}
+	if cfg.ASICs > MaxASICs {
+		return nil, fmt.Errorf("adapt: %d ASICs exceed the %d the wire index addresses", cfg.ASICs, MaxASICs)
+	}
+	switch cfg.Serve {
+	case ServeRun, ServePixel, ServeRunSingle, ServeTiled:
+	default:
+		return nil, fmt.Errorf("adapt: unknown serve backend %d", int(cfg.Serve))
+	}
+	if cfg.TileWorkers < 0 {
+		return nil, fmt.Errorf("adapt: negative tile worker count %d", cfg.TileWorkers)
 	}
 	if cfg.SamplesPerChannel < 1 || cfg.SamplesPerChannel > 255 {
 		return nil, fmt.Errorf("adapt: samples per channel %d outside 1..255", cfg.SamplesPerChannel)
@@ -176,17 +243,33 @@ func New(cfg Config) (*Pipeline, error) {
 			p.pcMax = lim
 		}
 	}
-	if cfg.Detection.TwoDimension && cfg.Serve == ServeRun {
+	if cfg.Detection.TwoDimension && cfg.Serve != ServePixel {
 		conn := cfg.Detection.TwoD.Connectivity
 		if !conn.Valid() {
 			conn = grid.FourWay // matches the pixel path's "not 8-way ⇒ 4-way"
 		}
-		p.runEngine, err = runccl.NewEngine(cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols, conn)
-		if err != nil {
-			return nil, fmt.Errorf("adapt: %w", err)
+		rows, cols := cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols
+		px := rows * cols
+		var wpr int
+		if cfg.Serve == ServeTiled || (cfg.Serve == ServeRun && px > TiledCutoverPixels) {
+			p.tileEngine, err = tileccl.New(tileccl.Config{
+				Rows: rows, Cols: cols,
+				Connectivity: conn,
+				Workers:      cfg.TileWorkers,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("adapt: %w", err)
+			}
+			wpr = p.tileEngine.WordsPerRow()
+		} else {
+			p.runEngine, err = runccl.NewEngine(rows, cols, conn)
+			if err != nil {
+				return nil, fmt.Errorf("adapt: %w", err)
+			}
+			wpr = p.runEngine.WordsPerRow()
 		}
-		cols, wpr := cfg.Detection.TwoD.Cols, p.runEngine.WordsPerRow()
-		px := cfg.Detection.TwoD.Rows * cols
+		// Both engines share the bitmap layout, so one litWord/litMask table
+		// serves either.
 		p.litWord = make([]int32, px)
 		p.litMask = make([]uint64, px)
 		for fl := 0; fl < px; fl++ {
@@ -195,7 +278,31 @@ func New(cfg Config) (*Pipeline, error) {
 			p.litMask[fl] = 1 << uint(c&63)
 		}
 	}
+	p.seen = make([]uint64, (cfg.ASICs+63)/64)
 	return p, nil
+}
+
+// Close releases the pipeline's tile-parallel worker pool, if any. The
+// pipeline must not process further events after Close.
+func (p *Pipeline) Close() {
+	if p.tileEngine != nil {
+		p.tileEngine.Close()
+	}
+}
+
+// ServeEngine describes the labeling backend ServeEvent resolved to — the
+// /stats gauge surface. tileWorkers is 0 unless the tiled engine is active.
+func (p *Pipeline) ServeEngine() (backend string, tileWorkers int) {
+	switch {
+	case !p.cfg.Detection.TwoDimension:
+		return "1d", 0
+	case p.tileEngine != nil:
+		return ServeTiled.String(), p.tileEngine.Workers()
+	case p.runEngine != nil:
+		return ServeRun.String(), 0
+	default:
+		return ServePixel.String(), 0
+	}
 }
 
 // refreshLimits rebuilds the per-channel ADC suppression limits and the
@@ -235,7 +342,7 @@ func (p *Pipeline) Calibrate(events [][]Packet) error {
 		}
 		for _, pkt := range packets {
 			ints := pkt.Integrals()
-			base := int(pkt.ASIC) * ChannelsPerASIC
+			base := pkt.ASICIndex() * ChannelsPerASIC
 			for ch, v := range ints {
 				sums[base+ch] += v
 			}
@@ -260,19 +367,26 @@ func (p *Pipeline) checkEvent(packets []Packet) error {
 	if len(packets) != p.cfg.ASICs {
 		return fmt.Errorf("event has %d packets, want %d", len(packets), p.cfg.ASICs)
 	}
-	var seen [256]bool
+	// seen is a persistent one-bit-per-ASIC table (only ⌈ASICs/64⌉ words to
+	// clear — cheaper than a fixed 256-byte array for small configs, and the
+	// Flags-extended index space makes a fixed array impossible anyway).
+	seen := p.seen
+	for i := range seen {
+		seen[i] = 0
+	}
 	event := packets[0].Event
 	for i := range packets {
 		pkt := &packets[i]
+		asic := pkt.ASICIndex()
 		//hepccl:coldpath
-		if int(pkt.ASIC) >= p.cfg.ASICs {
-			return fmt.Errorf("packet from unknown ASIC %d", pkt.ASIC)
+		if asic >= p.cfg.ASICs {
+			return fmt.Errorf("packet from unknown ASIC %d", asic)
 		}
 		//hepccl:coldpath
-		if seen[pkt.ASIC] {
-			return fmt.Errorf("duplicate packet from ASIC %d", pkt.ASIC)
+		if seen[asic>>6]&(1<<uint(asic&63)) != 0 {
+			return fmt.Errorf("duplicate packet from ASIC %d", asic)
 		}
-		seen[pkt.ASIC] = true
+		seen[asic>>6] |= 1 << uint(asic&63)
 		//hepccl:coldpath
 		if pkt.Event != event {
 			return fmt.Errorf("event id mismatch: ASIC %d has %d, want %d", pkt.ASIC, pkt.Event, event)
@@ -310,6 +424,12 @@ type EventResult struct {
 // packet handling → integration → pedestal subtraction → photon counting →
 // zero-suppression → merge → island detection (+ centroiding).
 func (p *Pipeline) ProcessEvent(packets []Packet) (*EventResult, error) {
+	// The cycle-accurate path models the hardware Merge module, whose ASIC
+	// streams are keyed by the one-byte wire field; frame geometries beyond
+	// 256 ASICs exist only on the serving path.
+	if p.cfg.ASICs > 256 {
+		return nil, fmt.Errorf("adapt: cycle-accurate pipeline supports at most 256 ASICs, have %d (use ServeEvent)", p.cfg.ASICs)
+	}
 	if err := p.checkEvent(packets); err != nil {
 		return nil, fmt.Errorf("adapt: %w", err)
 	}

@@ -16,8 +16,9 @@ import (
 const (
 	// RecordHeaderBytes is the downlink record header size (event id + count).
 	RecordHeaderBytes = 8
-	// RecordIslandBytes is the size of one serialized island entry.
-	RecordIslandBytes = 22
+	// RecordIslandBytes is the size of one serialized island entry (label u32,
+	// pixels u32, sum u64, row/col centroid Q16.16).
+	RecordIslandBytes = 24
 )
 
 // DeadlineRearmEvery is how many reads one armed deadline covers. Re-arming

@@ -81,19 +81,26 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 	}
 	merged := sc.merged
 	det := p.cfg.Detection
-	eng := p.runEngine
+	// The run-based family (single-core runccl or the tile-parallel engine —
+	// both consume the identical bitmap layout) versus the per-pixel path.
+	bitmapLen := 0
+	if p.runEngine != nil {
+		bitmapLen = p.runEngine.BitmapLen()
+	} else if p.tileEngine != nil {
+		bitmapLen = p.tileEngine.BitmapLen()
+	}
 	var bitmap []uint64
 	px := 0
-	if eng != nil {
+	if bitmapLen > 0 {
 		//hepccl:amortized
 		if sc.bitmap == nil {
-			sc.bitmap = make([]uint64, eng.BitmapLen())
+			sc.bitmap = make([]uint64, bitmapLen)
 		}
 		bitmap = sc.bitmap
 		for i := range bitmap {
 			bitmap[i] = 0
 		}
-		px = eng.Rows() * eng.Cols()
+		px = det.TwoD.Rows * det.TwoD.Cols
 	} else {
 		// The backends that scan every pixel need dark channels to read
 		// zero. The run backend consults only lit bitmap positions, so it
@@ -123,7 +130,7 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 			merged[fl] = PhotonCount(le.raw-p.pedestals[fl], gain)
 		}
 	}
-	if eng != nil {
+	if bitmap != nil {
 		for _, le := range lit {
 			if fl := int(le.fl); fl < px {
 				bitmap[p.litWord[fl]] |= p.litMask[fl]
@@ -136,19 +143,24 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 	if !det.TwoDimension {
 		return p.serve1D(merged, rec)
 	}
-	if eng != nil {
+	if bitmap != nil {
 		return p.serveRun2D(bitmap, merged[:px], rec)
 	}
 	return p.serve2D(merged, rec)
 }
 
-// serveRun2D labels the packed lit bitmap with the run-based engine and
-// copies its island summaries into the downlink record. Statistics come out
-// bit-identical to serve2D: same integer moments, same Q16.16 rounding, same
-// compact raster numbering.
+// serveRun2D labels the packed lit bitmap with whichever run-based engine
+// the pipeline resolved to — single-core runccl or the tile-parallel pool —
+// and copies its island summaries into the downlink record. Both engines
+// produce bit-identical output, itself bit-identical to serve2D: same
+// integer moments, same Q16.16 rounding, same compact raster numbering.
 func (p *Pipeline) serveRun2D(bitmap []uint64, values []grid.Value, rec *EventRecord) error {
 	sc := &p.serve
-	sc.islands = p.runEngine.Label(bitmap, values, sc.islands[:0])
+	if p.tileEngine != nil {
+		sc.islands = p.tileEngine.Label(bitmap, values, sc.islands[:0])
+	} else {
+		sc.islands = p.runEngine.Label(bitmap, values, sc.islands[:0])
+	}
 	n := len(sc.islands)
 	//hepccl:amortized
 	if cap(rec.Islands) < n {
@@ -159,7 +171,7 @@ func (p *Pipeline) serveRun2D(bitmap []uint64, values []grid.Value, rec *EventRe
 		is := &sc.islands[i]
 		out[i] = IslandRecord{
 			Label:  int32(i + 1),
-			Pixels: uint16(is.Pixels),
+			Pixels: is.Pixels,
 			Sum:    is.Sum,
 			RowQ16: is.RowQ16,
 			ColQ16: is.ColQ16,
@@ -270,7 +282,7 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 	for l := int32(1); l <= k; l++ {
 		rec.Islands = append(rec.Islands, IslandRecord{
 			Label:  l,
-			Pixels: uint16(pixels[l]),
+			Pixels: pixels[l],
 			Sum:    sums[l],
 			RowQ16: q16Ratio(rows[l], sums[l]),
 			ColQ16: q16Ratio(cols[l], sums[l]),
@@ -298,7 +310,7 @@ func (p *Pipeline) serve1D(merged []grid.Value, rec *EventRecord) error {
 		}
 		rec.Islands = append(rec.Islands, IslandRecord{
 			Label:  int32(len(rec.Islands) + 1),
-			Pixels: uint16(end - start),
+			Pixels: uint32(end - start),
 			Sum:    sum,
 			RowQ16: 0,
 			ColQ16: q16Ratio(weighted, sum),

@@ -19,7 +19,8 @@ import "unsafe"
 func integrateEvent(packets []Packet, limits, minLim []int64, lit []litRef) []litRef {
 	for i := range packets {
 		pkt := &packets[i]
-		base := int(pkt.ASIC) * ChannelsPerASIC
+		asic := pkt.ASICIndex()
+		base := asic * ChannelsPerASIC
 		lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
 		if blk := pkt.block; len(blk) == ChannelsPerASIC*4 {
 			if uintptr(unsafe.Pointer(&blk[0]))&7 == 0 {
@@ -32,7 +33,7 @@ func integrateEvent(packets []Packet, limits, minLim []int64, lit []litRef) []li
 				for w := 0; w < ChannelsPerASIC*2; w += 4 {
 					tot += u[w] + u[w+1] + u[w+2] + u[w+3]
 				}
-				if int64(tot&0xFFFFFFFF)+int64(tot>>32) < minLim[pkt.ASIC] {
+				if int64(tot&0xFFFFFFFF)+int64(tot>>32) < minLim[asic] {
 					continue
 				}
 				for ch := 0; ch < ChannelsPerASIC; ch += 2 {

@@ -1,0 +1,115 @@
+package adapt
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+)
+
+// frameEvents digitizes n random-blob events for a megapixel-style frame
+// config: px/400 blobs ≈ 2% occupancy, the workload the tile engine targets.
+func frameEvents(t testing.TB, cfg Config, n int, seed uint64) [][]Packet {
+	t.Helper()
+	rng := detector.NewRNG(seed)
+	dig := detector.DefaultDigitizer()
+	dig.Samples = cfg.SamplesPerChannel
+	rows, cols := cfg.Detection.TwoD.Rows, cfg.Detection.TwoD.Cols
+	events := make([][]Packet, n)
+	for i := range events {
+		g := detector.RandomIslands(rows, cols, rows*cols/400, 1.5, rng)
+		packets, err := GenerateEvent(g.Flat(), cfg.ASICs, uint32(i), uint64(i), dig, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[i] = packets
+	}
+	return events
+}
+
+// TestDefaultFrameBackendResolution checks the size cutover: frames at or
+// below TiledCutoverPixels keep the single-core run engine, larger frames get
+// the tile-parallel pool, and the Serve knobs force either choice.
+func TestDefaultFrameBackendResolution(t *testing.T) {
+	cases := []struct {
+		rows, cols  int
+		serve       ServeBackend
+		tileWorkers int
+		want        string
+	}{
+		{43, 43, ServeRun, 0, "run"},
+		{128, 128, ServeRun, 0, "run"}, // 16384 px: exactly at the cutover, stays single-core
+		{160, 160, ServeRun, 0, "tiled"},
+		{160, 160, ServeRunSingle, 0, "run"},
+		{64, 64, ServeTiled, 2, "tiled"},
+		{43, 43, ServePixel, 0, "pixel"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultFrame(tc.rows, tc.cols)
+		cfg.Serve = tc.serve
+		cfg.TileWorkers = tc.tileWorkers
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%dx%d serve=%v: %v", tc.rows, tc.cols, tc.serve, err)
+		}
+		backend, workers := p.ServeEngine()
+		if backend != tc.want {
+			t.Fatalf("%dx%d serve=%v: backend %q, want %q", tc.rows, tc.cols, tc.serve, backend, tc.want)
+		}
+		if backend == "tiled" && workers < 1 {
+			t.Fatalf("%dx%d: tiled backend reports %d workers", tc.rows, tc.cols, workers)
+		}
+		if tc.tileWorkers > 0 && backend == "tiled" && workers != tc.tileWorkers {
+			t.Fatalf("%dx%d: tiled backend reports %d workers, want %d", tc.rows, tc.cols, workers, tc.tileWorkers)
+		}
+		p.Close()
+	}
+}
+
+// TestServeEventTiledMatchesSingle runs identical frame events through three
+// pipelines — tile-parallel, forced single-core run-based, and the per-pixel
+// reference — and requires bit-identical downlink records from all three:
+// same compact raster island numbering, same integer moments, same Q16.16
+// centroids.
+func TestServeEventTiledMatchesSingle(t *testing.T) {
+	base := DefaultFrame(160, 160)
+	build := func(serve ServeBackend, workers int) *Pipeline {
+		cfg := base
+		cfg.Serve = serve
+		cfg.TileWorkers = workers
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	tiled := build(ServeTiled, 4)
+	defer tiled.Close()
+	single := build(ServeRunSingle, 0)
+	pixel := build(ServePixel, 0)
+
+	events := frameEvents(t, base, 6, 41)
+	total := 0
+	for i, packets := range events {
+		var recT, recS, recP EventRecord
+		if err := tiled.ServeEvent(packets, &recT); err != nil {
+			t.Fatal(err)
+		}
+		if err := single.ServeEvent(packets, &recS); err != nil {
+			t.Fatal(err)
+		}
+		if err := pixel.ServeEvent(packets, &recP); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(recT, recS) {
+			t.Fatalf("event %d: tiled record diverges from single-core run backend", i)
+		}
+		if !reflect.DeepEqual(recT, recP) {
+			t.Fatalf("event %d: tiled record diverges from per-pixel reference", i)
+		}
+		total += len(recT.Islands)
+	}
+	if total == 0 {
+		t.Fatal("no islands in any event; workload broken")
+	}
+}

@@ -14,8 +14,9 @@ import (
 type IslandRecord struct {
 	// Label is the island id within the event.
 	Label int32
-	// Pixels is the island's pixel count.
-	Pixels uint16
+	// Pixels is the island's pixel count. 32 bits: megapixel frame
+	// geometries can concentrate more than 65535 pixels in one island.
+	Pixels uint32
 	// Sum is the total integrated value.
 	Sum int64
 	// RowQ16, ColQ16 are the centroid coordinates in Q16.16 fixed point.
@@ -55,7 +56,7 @@ func RecordOf(res *EventResult) EventRecord {
 		for _, is := range res.OneD.Islands {
 			rec.Islands = append(rec.Islands, IslandRecord{
 				Label:  int32(len(rec.Islands) + 1),
-				Pixels: uint16(is.Width()),
+				Pixels: uint32(is.Width()),
 				Sum:    is.Sum,
 				RowQ16: 0,
 				ColQ16: ToQ16(is.Centroid),
@@ -67,7 +68,7 @@ func RecordOf(res *EventResult) EventRecord {
 		for _, c := range res.HardwareCentroids.Centroids {
 			rec.Islands = append(rec.Islands, IslandRecord{
 				Label:  c.Label,
-				Pixels: uint16(c.Pixels),
+				Pixels: uint32(c.Pixels),
 				Sum:    c.Sum,
 				RowQ16: c.RowQ16,
 				ColQ16: c.ColQ16,
@@ -77,7 +78,7 @@ func RecordOf(res *EventResult) EventRecord {
 		for i, c := range res.Centroids {
 			rec.Islands = append(rec.Islands, IslandRecord{
 				Label:  c.Label,
-				Pixels: uint16(res.Islands[i].Size()),
+				Pixels: uint32(res.Islands[i].Size()),
 				Sum:    c.Sum,
 				RowQ16: ToQ16(c.Row),
 				ColQ16: ToQ16(c.Col),
@@ -90,7 +91,7 @@ func RecordOf(res *EventResult) EventRecord {
 // Marshal serializes the record: event id, island count, then fixed-size
 // island entries, all big-endian.
 func (rec *EventRecord) Marshal() []byte {
-	return rec.AppendTo(make([]byte, 0, 8+22*len(rec.Islands)))
+	return rec.AppendTo(make([]byte, 0, RecordHeaderBytes+RecordIslandBytes*len(rec.Islands)))
 }
 
 // AppendTo serializes the record onto buf, reusing its capacity.
@@ -101,7 +102,7 @@ func (rec *EventRecord) AppendTo(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(rec.Islands)))
 	for _, is := range rec.Islands {
 		buf = binary.BigEndian.AppendUint32(buf, uint32(is.Label))
-		buf = binary.BigEndian.AppendUint16(buf, is.Pixels)
+		buf = binary.BigEndian.AppendUint32(buf, is.Pixels)
 		buf = binary.BigEndian.AppendUint64(buf, uint64(is.Sum))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(is.RowQ16))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(is.ColQ16))
@@ -117,7 +118,7 @@ func UnmarshalEventRecord(data []byte) (EventRecord, error) {
 	}
 	rec.Event = binary.BigEndian.Uint32(data)
 	n := int(binary.BigEndian.Uint32(data[4:]))
-	const entry = 22
+	const entry = RecordIslandBytes
 	if len(data) < 8+n*entry {
 		return rec, fmt.Errorf("adapt: event record claims %d islands, payload too short", n)
 	}
@@ -125,10 +126,10 @@ func UnmarshalEventRecord(data []byte) (EventRecord, error) {
 	for i := 0; i < n; i++ {
 		rec.Islands = append(rec.Islands, IslandRecord{
 			Label:  int32(binary.BigEndian.Uint32(data[off:])),
-			Pixels: binary.BigEndian.Uint16(data[off+4:]),
-			Sum:    int64(binary.BigEndian.Uint64(data[off+6:])),
-			RowQ16: int32(binary.BigEndian.Uint32(data[off+14:])),
-			ColQ16: int32(binary.BigEndian.Uint32(data[off+18:])),
+			Pixels: binary.BigEndian.Uint32(data[off+4:]),
+			Sum:    int64(binary.BigEndian.Uint64(data[off+8:])),
+			RowQ16: int32(binary.BigEndian.Uint32(data[off+16:])),
+			ColQ16: int32(binary.BigEndian.Uint32(data[off+20:])),
 		})
 		off += entry
 	}

@@ -1,0 +1,151 @@
+package ccl
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/labeling"
+)
+
+// Degenerate tile geometries: decompositions where the tiling machinery earns
+// nothing (one tile covers everything) or where no tile dimension divides the
+// grid (prime-sided grids, so every edge tile is ragged). The hierarchical
+// path must stay isomorphic to the flood-fill golden model in all of them —
+// these are exactly the shapes where off-by-one errors in tile clamping and
+// boundary stitching live.
+
+// checkTiledGolden labels g both ways and requires an isomorphic partition.
+func checkTiledGolden(t *testing.T, g *grid.Grid, conn grid.Connectivity, tileR, tileC int) *TiledResult {
+	t.Helper()
+	golden := labeling.FloodFill{}
+	want, err := golden.Label(g, conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LabelTiled(g, TiledOptions{Connectivity: conn, TileRows: tileR, TileCols: tileC})
+	if err != nil {
+		t.Fatalf("%dx%d grid, %dx%d tiles, %v: %v", g.Rows(), g.Cols(), tileR, tileC, conn, err)
+	}
+	if !res.Labels.Isomorphic(want) {
+		t.Fatalf("%dx%d grid, %dx%d tiles, %v: partition diverges from golden\n%s\ngot:\n%s\nwant iso to:\n%s",
+			g.Rows(), g.Cols(), tileR, tileC, conn, g, res.Labels, want)
+	}
+	if res.Islands != want.Count() {
+		t.Fatalf("%dx%d grid, %dx%d tiles, %v: islands %d, want %d",
+			g.Rows(), g.Cols(), tileR, tileC, conn, res.Islands, want.Count())
+	}
+	return res
+}
+
+// denseTestGrid fills a rows×cols grid with a deterministic ~55%-occupancy
+// pattern that produces components crossing any tile seam.
+func denseTestGrid(rows, cols int) *grid.Grid {
+	g := grid.New(rows, cols)
+	flat := g.Flat()
+	for i := range flat {
+		// LCG-ish hash: dense enough to span seams, irregular enough to
+		// exercise merges in both directions.
+		if (i*2654435761)>>8%9 < 5 {
+			flat[i] = grid.Value(i%7 + 1)
+		}
+	}
+	return g
+}
+
+// TestTiledTileCoversGrid pins the single-tile degenerate cases: tile
+// dimensions equal to, and strictly larger than, the grid in either or both
+// axes. All must collapse to plain labeling with exactly the expected tile
+// count.
+func TestTiledTileCoversGrid(t *testing.T) {
+	g := denseTestGrid(9, 14)
+	cases := []struct {
+		tileR, tileC, wantTiles int
+	}{
+		{9, 14, 1},   // exact cover
+		{9, 100, 1},  // cols overshoot
+		{100, 14, 1}, // rows overshoot
+		{64, 64, 1},  // both overshoot
+		{9, 7, 2},    // rows exact, cols halved
+		{3, 14, 3},   // cols exact, rows in thirds
+	}
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		for _, tc := range cases {
+			res := checkTiledGolden(t, g, conn, tc.tileR, tc.tileC)
+			if res.Tiles != tc.wantTiles {
+				t.Fatalf("%dx%d tiles over 9x14, %v: Tiles = %d, want %d",
+					tc.tileR, tc.tileC, conn, res.Tiles, tc.wantTiles)
+			}
+		}
+	}
+}
+
+// TestTiledPrimeGrids runs prime-sided grids against tile shapes that cannot
+// divide them, so the last tile row and column are always ragged. The tile
+// count must follow the ceiling arithmetic and the partition must match the
+// golden model.
+func TestTiledPrimeGrids(t *testing.T) {
+	ceil := func(a, b int) int { return (a + b - 1) / b }
+	for _, dims := range [][2]int{{7, 11}, {13, 17}, {31, 29}, {1, 19}, {23, 1}} {
+		g := denseTestGrid(dims[0], dims[1])
+		for _, tile := range [][2]int{{2, 2}, {4, 4}, {4, 6}, {8, 8}, {1, 5}, {5, 1}, {3, 16}} {
+			for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+				res := checkTiledGolden(t, g, conn, tile[0], tile[1])
+				want := ceil(dims[0], tile[0]) * ceil(dims[1], tile[1])
+				if res.Tiles != want {
+					t.Fatalf("grid %v tiles %v: Tiles = %d, want %d", dims, tile, res.Tiles, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTiledSliverGrids covers 1-row and 1-column grids — decompositions where
+// every tile seam is the entire tile — plus the 1×1 grid under an oversized
+// tile.
+func TestTiledSliverGrids(t *testing.T) {
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		row := grid.MustParse("##.#.###.#######.#.##")
+		checkTiledGolden(t, row, conn, 1, 1)
+		checkTiledGolden(t, row, conn, 1, 4)
+		checkTiledGolden(t, row, conn, 3, 5) // tile rows overshoot the single row
+
+		col := grid.New(21, 1)
+		for r := 0; r < 21; r++ {
+			if r%4 != 3 {
+				col.Set(r, 0, grid.Value(r+1))
+			}
+		}
+		checkTiledGolden(t, col, conn, 1, 1)
+		checkTiledGolden(t, col, conn, 4, 1)
+		checkTiledGolden(t, col, conn, 5, 3) // tile cols overshoot the single column
+
+		dot := grid.MustParse("#")
+		res := checkTiledGolden(t, dot, conn, 8, 8)
+		if res.Tiles != 1 || res.Islands != 1 {
+			t.Fatalf("1x1 grid under 8x8 tile: %+v", res)
+		}
+	}
+}
+
+// TestTiledRaggedSeamComponent pins a component that lives entirely in the
+// ragged remainder: a ring hugging the last tile row and column of a 13×17
+// grid under 4×4 tiles (final tiles are 1 row and 1 column wide). The ring
+// must come back as one island, stitched only through ragged tiles.
+func TestTiledRaggedSeamComponent(t *testing.T) {
+	g := grid.New(13, 17)
+	for c := 0; c < 17; c++ {
+		g.Set(12, c, 1) // last row: lives in the 1-row ragged tiles
+	}
+	for r := 0; r < 13; r++ {
+		g.Set(r, 16, 1) // last col: lives in the 1-col ragged tiles
+	}
+	for _, conn := range []grid.Connectivity{grid.FourWay, grid.EightWay} {
+		res := checkTiledGolden(t, g, conn, 4, 4)
+		if res.Islands != 1 {
+			t.Fatalf("%v: ragged-edge ring split into %d islands", conn, res.Islands)
+		}
+		if res.BoundaryUnions == 0 {
+			t.Fatalf("%v: ring spans tiles but no boundary unions recorded", conn)
+		}
+	}
+}

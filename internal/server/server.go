@@ -174,6 +174,13 @@ type Server struct {
 
 	health healthWindow
 	rates  rateWindow
+
+	// Static gauge values surfaced on /stats: the per-worker pipelines'
+	// resolved labeling backend, its tile-pool concurrency (0 unless tiled),
+	// and the served frame size in pixels (channels for 1D configs).
+	serveBackend string
+	tileWorkers  int
+	pixels       int
 }
 
 // New validates the configuration, builds and calibrates the worker
@@ -204,6 +211,16 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		pipes[i] = p
+	}
+	// Gauge surface for /stats: every worker pipeline is built from the same
+	// config, so the first one's resolved backend describes them all.
+	if len(pipes) > 0 {
+		s.serveBackend, s.tileWorkers = pipes[0].ServeEngine()
+	}
+	if det := cfg.Pipeline.Detection; det.TwoDimension {
+		s.pixels = det.TwoD.Rows * det.TwoD.Cols
+	} else {
+		s.pixels = cfg.Pipeline.ASICs * adapt.ChannelsPerASIC
 	}
 	if cfg.RecordDir != "" {
 		w, info, err := wal.Open(wal.Options{

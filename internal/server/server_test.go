@@ -85,7 +85,7 @@ func readAllRecords(t testing.TB, r io.Reader) []adapt.EventRecord {
 			t.Fatalf("record header: %v", err)
 		}
 		n := int(binary.BigEndian.Uint32(hdr[4:]))
-		body := make([]byte, 8+22*n)
+		body := make([]byte, 8+adapt.RecordIslandBytes*n)
 		copy(body, hdr[:])
 		if _, err := io.ReadFull(r, body[8:]); err != nil {
 			t.Fatalf("record body: %v", err)
@@ -310,7 +310,7 @@ func TestServerGracefulShutdownMidLoad(t *testing.T) {
 					return
 				}
 				n := int(binary.BigEndian.Uint32(hdr[4:]))
-				if _, err := io.ReadFull(nc, make([]byte, 22*n)); err != nil {
+				if _, err := io.ReadFull(nc, make([]byte, adapt.RecordIslandBytes*n)); err != nil {
 					return
 				}
 				received[c]++

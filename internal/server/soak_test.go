@@ -20,7 +20,7 @@ import (
 )
 
 // countRecords parses the downlink record framing (8-byte header carrying
-// the event id and island count, then 22 bytes per island) until EOF,
+// the event id and island count, then fixed-size island entries) until EOF,
 // returning how many complete records arrived. Any malformed tail is an
 // error: the server must never emit a partial record.
 func countRecords(nc net.Conn) (int, error) {
@@ -35,7 +35,7 @@ func countRecords(nc net.Conn) (int, error) {
 			return n, fmt.Errorf("record %d header: %w", n, err)
 		}
 		islands := int(binary.BigEndian.Uint32(hdr[4:]))
-		if _, err := io.CopyN(io.Discard, br, int64(islands)*22); err != nil {
+		if _, err := io.CopyN(io.Discard, br, int64(islands)*adapt.RecordIslandBytes); err != nil {
 			return n, fmt.Errorf("record %d body (%d islands): %w", n, islands, err)
 		}
 		n++

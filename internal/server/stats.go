@@ -347,6 +347,9 @@ type Snapshot struct {
 	ConnsTotal    uint64      `json:"conns_total"`
 	Workers       int         `json:"workers"`
 	QueueDepth    int         `json:"queue_depth"`
+	Pixels        int         `json:"pixels"`        // served frame size (channels for 1D)
+	ServeBackend  string      `json:"serve_backend"` // resolved labeling backend: run, tiled, pixel, 1d
+	TileWorkers   int         `json:"tile_workers"`  // tile-pool concurrency; 0 unless tiled
 	QueueLens     []int       `json:"queue_lens"`
 	QueueHWM      int64       `json:"queue_hwm"`
 	LossFraction  float64     `json:"loss_fraction"`
@@ -371,6 +374,9 @@ func (s *Server) StatsSnapshot() Snapshot {
 		ConnsTotal:      st.ConnsTotal.Load(),
 		Workers:         len(s.workers),
 		QueueDepth:      s.cfg.QueueDepth,
+		Pixels:          s.pixels,
+		ServeBackend:    s.serveBackend,
+		TileWorkers:     s.tileWorkers,
 		QueueHWM:        st.QueueHWM.Load(),
 		CounterSnapshot: st.counters.snapshot(),
 	}

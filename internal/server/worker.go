@@ -29,6 +29,7 @@ const serveBatchMax = 32
 // they observe parked, so the steady-state hot path is ring-only.
 func (s *Server) run(w *worker, p *adapt.Pipeline) {
 	defer s.workersWG.Done()
+	defer p.Close() // release the tile-parallel labeling pool, if any
 	if s.cfg.PaceHardware || s.cfg.FullPipeline || s.cfg.PaceRate > 0 {
 		s.runSerial(w, p)
 		return

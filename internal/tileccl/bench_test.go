@@ -1,0 +1,129 @@
+package tileccl
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/detector"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/runccl"
+)
+
+// The BENCH_7 sweep: tile-parallel vs single-core run-based labeling over
+// frame size × occupancy × worker count. Workloads are blob fields (clustered
+// lit pixels, the detector-like shape) at the stated fraction of lit pixels.
+//
+//	go test -run '^$' -bench BenchmarkLabel -benchtime 200x -benchmem ./internal/tileccl/
+//
+// On a single-core host the tiled numbers measure the engine's overhead
+// (tile pass serialized through one core plus the merge pass); the modeled
+// multi-core speedup comes from BenchmarkLabelPhases, which separates the
+// perfectly parallel tile phase from the serial merge.
+
+// benchFrame builds a bitmap+values pair at roughly the requested occupancy.
+func benchFrame(rows, cols int, occ float64) ([]uint64, []grid.Value, *runccl.Engine) {
+	rng := detector.NewRNG(uint64(rows*31+cols) + uint64(occ*1e4))
+	// RandomIslands blobs average ~8 lit px (radius 1.5×[0.5,1.5)); count to
+	// hit the occupancy target, overlap losses make it approximate.
+	blobs := int(float64(rows*cols) * occ / 8)
+	if blobs < 1 {
+		blobs = 1
+	}
+	g := detector.RandomIslands(rows, cols, blobs, 1.5, rng)
+	single, err := runccl.NewEngine(rows, cols, grid.FourWay)
+	if err != nil {
+		panic(err)
+	}
+	values := g.Flat()
+	bitmap := single.Pack(values, nil)
+	return bitmap, values, single
+}
+
+func BenchmarkLabelSingle(b *testing.B) {
+	for _, size := range []int{256, 512, 1024} {
+		for _, occ := range []float64{0.005, 0.02, 0.1} {
+			b.Run(fmt.Sprintf("%dx%d/occ=%g", size, size, occ), func(b *testing.B) {
+				bitmap, values, single := benchFrame(size, size, occ)
+				var islands []runccl.Island
+				islands = single.Label(bitmap, values, islands[:0]) // warmup: grow arenas
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					islands = single.Label(bitmap, values, islands[:0])
+				}
+				b.ReportMetric(float64(len(islands)), "islands")
+			})
+		}
+	}
+}
+
+func BenchmarkLabelTiled(b *testing.B) {
+	for _, size := range []int{256, 512, 1024} {
+		for _, occ := range []float64{0.005, 0.02, 0.1} {
+			for _, workers := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%dx%d/occ=%g/workers=%d", size, size, occ, workers)
+				b.Run(name, func(b *testing.B) {
+					bitmap, values, _ := benchFrame(size, size, occ)
+					e, err := New(Config{Rows: size, Cols: size, Workers: workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer e.Close()
+					var islands []runccl.Island
+					islands = e.Label(bitmap, values, islands[:0]) // warmup: grow arenas, start the pool
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						islands = e.Label(bitmap, values, islands[:0])
+					}
+					b.ReportMetric(float64(len(islands)), "islands")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkLabelPhases instruments the engine's two phases separately. The
+// tile phase is embarrassingly parallel (independent tiles, per-worker
+// scratch); the merge phase is serial. On a W-core host the modeled
+// steady-state cost is tileNs/W + mergeNs, so the phase split measured on
+// one core predicts the parallel speedup:
+//
+//	speedup(W) = (tileNs + mergeNs) / (tileNs/W + mergeNs)
+//
+// The emitted tile_ns and merge_ns metrics are per-Label averages.
+func BenchmarkLabelPhases(b *testing.B) {
+	for _, size := range []int{512, 1024} {
+		for _, occ := range []float64{0.02} {
+			b.Run(fmt.Sprintf("%dx%d/occ=%g", size, size, occ), func(b *testing.B) {
+				bitmap, values, _ := benchFrame(size, size, occ)
+				e, err := New(Config{Rows: size, Cols: size, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				e.SetInstrument(true)
+				var islands []runccl.Island
+				islands = e.Label(bitmap, values, islands[:0]) // warmup: grow arenas
+				b.ReportAllocs()
+				b.ResetTimer()
+				var tileNs, mergeNs int64
+				for i := 0; i < b.N; i++ {
+					islands = e.Label(bitmap, values, islands[:0])
+					tn, mn := e.Phases()
+					tileNs += tn
+					mergeNs += mn
+				}
+				b.StopTimer()
+				_ = islands
+				n := int64(b.N)
+				b.ReportMetric(float64(tileNs/n), "tile_ns")
+				b.ReportMetric(float64(mergeNs/n), "merge_ns")
+				for _, w := range []int{2, 4, 8} {
+					model := float64(tileNs+mergeNs) / (float64(tileNs)/float64(w) + float64(mergeNs))
+					b.ReportMetric(model, fmt.Sprintf("modeled_speedup_w%d", w))
+				}
+			})
+		}
+	}
+}

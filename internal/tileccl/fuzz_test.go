@@ -1,0 +1,79 @@
+package tileccl
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/runccl"
+)
+
+// FuzzTiledVsSingle is the differential fuzzer for the tile-parallel path:
+// the fuzzer picks the frame geometry, pixel contents, tile shape (including
+// 1-row/1-col tiles and tiles larger than the grid), worker count, and
+// connectivity; the test asserts the tiled engine's island list is
+// positionally identical to single-core runccl and to the flood-fill golden.
+func FuzzTiledVsSingle(f *testing.F) {
+	f.Add(uint16(4), uint16(4), uint16(2), uint16(2), uint8(2), false, []byte{0xff, 0x00, 0x81})
+	f.Add(uint16(3), uint16(70), uint16(1), uint16(64), uint8(3), true, []byte{0xaa, 0x55, 0xaa, 0x55})
+	f.Add(uint16(7), uint16(7), uint16(1), uint16(1), uint8(1), true, []byte{0x12, 0x34, 0x56})
+	f.Add(uint16(5), uint16(5), uint16(9), uint16(9), uint8(4), false, []byte{0x0f})
+	f.Add(uint16(2), uint16(130), uint16(2), uint16(63), uint8(2), true, []byte{0xc3, 0x3c, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, rows, cols, tileRows, tileCols uint16, workers uint8, eight bool, pix []byte) {
+		r := 1 + int(rows)%80
+		c := 1 + int(cols)%200
+		cfg := Config{
+			Rows:     r,
+			Cols:     c,
+			TileRows: 1 + int(tileRows)%(r+4), // may exceed the grid
+			TileCols: 1 + int(tileCols)%(c+4),
+			Workers:  1 + int(workers)%8,
+		}
+		cfg.Connectivity = grid.FourWay
+		if eight {
+			cfg.Connectivity = grid.EightWay
+		}
+		g := grid.New(r, c)
+		if len(pix) > 0 {
+			flat := g.Flat()
+			for i := range flat {
+				b := pix[i%len(pix)]
+				// Bit-expand the corpus bytes into lit pixels with values
+				// derived from position, so identical bytes still produce
+				// varied accumulator sums.
+				if b>>(uint(i/len(pix))%8)&1 == 1 {
+					flat[i] = grid.Value(1 + (i*7+int(b))%40)
+				}
+			}
+		}
+
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatalf("New(%+v): %v", cfg, err)
+		}
+		defer e.Close()
+		got := e.Label(e.Pack(g.Flat(), nil), g.Flat(), nil)
+
+		se, err := runccl.NewEngine(r, c, cfg.Connectivity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := se.Label(se.Pack(g.Flat(), nil), g.Flat(), nil)
+		want := refIslands(t, g, cfg.Connectivity)
+
+		if len(single) != len(want) {
+			t.Fatalf("runccl disagrees with flood fill: %d vs %d islands", len(single), len(want))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%dx%d tiles=%dx%d w=%d %s: tiled %d islands, want %d\n%s",
+				r, c, cfg.TileRows, cfg.TileCols, cfg.Workers, cfg.Connectivity,
+				len(got), len(want), g)
+		}
+		for i := range got {
+			if got[i] != want[i] || got[i] != single[i] {
+				t.Fatalf("%dx%d tiles=%dx%d w=%d %s island %d: tiled %+v, single %+v, ref %+v\n%s",
+					r, c, cfg.TileRows, cfg.TileCols, cfg.Workers, cfg.Connectivity,
+					i+1, got[i], single[i], want[i], g)
+			}
+		}
+	})
+}

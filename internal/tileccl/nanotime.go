@@ -1,0 +1,10 @@
+package tileccl
+
+import "time"
+
+// nanotime returns wall-clock nanoseconds for the optional per-phase
+// instrumentation. It only runs when SetInstrument(true) was called — never
+// in production serving — so it is excluded from the hot-path closure.
+//
+//hepccl:coldpath
+func nanotime() int64 { return time.Now().UnixNano() }

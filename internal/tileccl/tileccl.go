@@ -1,0 +1,743 @@
+// Package tileccl implements tile-parallel connected-component labeling for
+// megapixel bit-packed frames — the intra-event parallelism layer on top of
+// the run-based engine of internal/runccl.
+//
+// The paper's geometries top out at 64×64, where one event is too small to be
+// worth splitting. Pixel-telescope and imaging workloads are not: a 512×512–
+// 1024×1024 frame carries hundreds of kilopixels per trigger, and the related
+// work (Chen et al.'s coarse-to-fine strategy, arXiv:1712.09789; Kowalczyk &
+// Kryjak's multi-pixel-per-clock streams, arXiv:2105.09658) shows the
+// parallel speedup lives in labeling tiles independently and reconciling only
+// the boundaries. This package does exactly that, in software:
+//
+//   - the frame is cut into a fixed grid of tiles (full-width row bands by
+//     default; arbitrary rectangles are supported and fuzzed);
+//   - a persistent worker pool — goroutines started once at engine
+//     construction, parked between events, never spawned per event — labels
+//     tiles concurrently with the run-based kernel (word-at-a-time run
+//     extraction, per-tile union-find over runs) against per-worker and
+//     per-tile arena scratch, accumulating per-island statistics (pixels,
+//     charge, Q16.16 centroid moments) locally;
+//   - a small cross-tile union-find then merges islands that touch across
+//     tile edges: one two-pointer overlap sweep per horizontal seam over the
+//     boundary-row runs (±1 column dilation for 8-way, which also covers
+//     corner adjacency where four tiles meet), and per-row edge matching
+//     across vertical seams;
+//   - per-island accumulators reduce across tiles with integer addition, so
+//     the merged statistics are bit-identical to a single-core runccl pass,
+//     and islands are renumbered 1..K by first raster appearance — the
+//     identical compact numbering runccl and the per-pixel path produce.
+//
+// The sequential work per event is O(boundary runs + islands): everything
+// proportional to frame area or lit content runs inside the tiles.
+// FuzzTiledVsSingle asserts exact equivalence (labels partition, statistics,
+// numbering) against runccl and the ccl.Label flood-fill golden on random
+// geometries, tile shapes, and both connectivities.
+package tileccl
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync/atomic"
+
+	"github.com/wustl-adapt/hepccl/internal/ccl"
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/runccl"
+)
+
+// Config parameterizes one tile-parallel engine.
+type Config struct {
+	// Rows, Cols set the frame geometry.
+	Rows, Cols int
+	// Connectivity is 4-way or 8-way (default FourWay, matching ccl.Options).
+	Connectivity grid.Connectivity
+	// TileRows, TileCols set the tile shape in pixels. Zero picks an
+	// automatic shape: full-width row bands of roughly Rows/(4×Workers) rows
+	// (several tiles per worker for dynamic load balance, full width so run
+	// extraction never pays column clipping). Edge tiles are clipped to the
+	// frame.
+	TileRows, TileCols int
+	// Workers is the total labeling concurrency, including the caller's
+	// goroutine: Workers-1 pool goroutines are started at construction and
+	// the calling thread labels alongside them. Zero means
+	// min(GOMAXPROCS, 8). Workers is capped at the tile count; 1 runs
+	// everything inline on the caller with no pool at all.
+	Workers int
+}
+
+// run is one maximal horizontal segment of lit pixels within a tile, in
+// global column coordinates; the row is implicit in per-row index ranges.
+type run struct {
+	start, end int32
+}
+
+// bRun is a boundary-row run annotated with the island it belongs to: the
+// tile-local island id in tile storage, the global island node once copied
+// into a seam sweep list.
+type bRun struct {
+	start, end, isl int32
+}
+
+// tile is one rectangle of the decomposition plus its per-event results.
+// Exactly one worker writes a tile per event (tiles are claimed off an atomic
+// cursor); the merge phase reads them after the pool barrier, so no field
+// needs further synchronization. All slices are persistent arenas grown to
+// the workload's high-water mark.
+type tile struct {
+	r0, r1, c0, c1 int32  // pixel rectangle, half-open
+	w0, w1         int32  // word range covering [c0,c1) within a row
+	mask0, mask1   uint64 // column-clip masks for the first and last word
+
+	nIsl   int32 // islands found in this tile this event
+	pixels []uint32
+	sums   []int64
+	rowM   []int64
+	colM   []int64
+	minPos []int64 // per island: first lit pixel in global raster order
+
+	topRuns []bRun  // runs on the tile's first row (local island ids)
+	botRuns []bRun  // runs on the tile's last row
+	left    []int32 // per local row: island touching col c0, or -1
+	right   []int32 // per local row: island touching col c1-1, or -1
+}
+
+// worker is one labeler's private scratch: the run store and union-find for
+// whichever tile it currently holds. Contents do not survive the tile, so one
+// arena per worker suffices no matter how many tiles it processes.
+type worker struct {
+	runs   []run
+	rowOff []int32
+	uf     ccl.DenseUF
+	remap  []int32 // run root -> 1+local island id; cleared per tile
+	runIsl []int32 // run -> local island id
+}
+
+// ordIsl pairs a merged island's root node with its first-appearance raster
+// position, for the final compact renumbering sort.
+type ordIsl struct {
+	pos  int64
+	node int32
+}
+
+// Engine labels bit-packed binary frames of one fixed geometry across a
+// persistent worker pool. The bitmap layout (words per row, bit order) is
+// identical to runccl.Engine's, so the serving path's zero-suppression fills
+// either engine's bitmap with the same litWord/litMask tables. Label may be
+// called from one goroutine at a time; the pool synchronizes internally.
+type Engine struct {
+	rows, cols, wpr    int
+	eight              bool
+	tileRows, tileCols int
+	trows, tcols       int
+	nWorkers           int
+
+	tiles []tile
+	ws    []worker
+
+	// Per-event job state: published before the pool is woken, consumed by
+	// the wake-channel happens-before edge.
+	bitmap []uint64
+	values []grid.Value
+	next   atomic.Int64
+
+	wake   chan struct{} // one token per background worker per event
+	done   chan struct{} // one token back per background worker
+	closed bool
+
+	// Merge-phase scratch (caller goroutine only).
+	guf          ccl.DenseUF
+	base         []int32
+	gPixels      []uint32
+	gSums        []int64
+	gRowM        []int64
+	gColM        []int64
+	gMinPos      []int64
+	upper, lower []bRun
+	ord          []ordIsl
+
+	// Optional phase instrumentation (benchmarks): wall ns of the last
+	// event's tile phase and merge phase.
+	instrument      bool
+	tileNs, mergeNs int64
+}
+
+// New validates the configuration, builds the tile decomposition, and starts
+// the worker pool. Call Close to stop the pool when the engine is discarded.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Rows < 1 || cfg.Cols < 1 {
+		return nil, fmt.Errorf("tileccl: invalid dimensions %dx%d", cfg.Rows, cfg.Cols)
+	}
+	conn := cfg.Connectivity
+	if conn == 0 {
+		conn = grid.FourWay
+	}
+	if !conn.Valid() {
+		return nil, fmt.Errorf("tileccl: invalid connectivity %d", int(cfg.Connectivity))
+	}
+	if cfg.TileRows < 0 || cfg.TileCols < 0 || cfg.Workers < 0 {
+		return nil, fmt.Errorf("tileccl: negative tile shape or worker count")
+	}
+	w := cfg.Workers
+	if w == 0 {
+		w = min(runtime.GOMAXPROCS(0), 8)
+	}
+	th, tw := cfg.TileRows, cfg.TileCols
+	if tw == 0 {
+		tw = cfg.Cols
+	}
+	if th == 0 {
+		// Several tiles per worker for dynamic balance, but at least 8 rows
+		// per tile so seam merging stays a small fraction of tile labeling.
+		th = max(cfg.Rows/(4*w), 8)
+	}
+	th = min(th, cfg.Rows)
+	tw = min(tw, cfg.Cols)
+	e := &Engine{
+		rows:     cfg.Rows,
+		cols:     cfg.Cols,
+		wpr:      (cfg.Cols + 63) / 64,
+		eight:    conn == grid.EightWay,
+		tileRows: th,
+		tileCols: tw,
+		trows:    (cfg.Rows + th - 1) / th,
+		tcols:    (cfg.Cols + tw - 1) / tw,
+	}
+	e.tiles = make([]tile, e.trows*e.tcols)
+	for tr := 0; tr < e.trows; tr++ {
+		for tc := 0; tc < e.tcols; tc++ {
+			t := &e.tiles[tr*e.tcols+tc]
+			t.r0 = int32(tr * th)
+			t.r1 = int32(min((tr+1)*th, cfg.Rows))
+			t.c0 = int32(tc * tw)
+			t.c1 = int32(min((tc+1)*tw, cfg.Cols))
+			t.w0 = t.c0 >> 6
+			t.w1 = (t.c1 - 1) >> 6
+			t.mask0 = ^uint64(0) << uint(t.c0&63)
+			t.mask1 = ^uint64(0) >> uint(63-(t.c1-1)&63)
+		}
+	}
+	e.nWorkers = min(w, len(e.tiles))
+	e.ws = make([]worker, e.nWorkers)
+	for i := range e.ws {
+		e.ws[i].rowOff = make([]int32, th+1)
+		e.ws[i].runs = make([]run, 0, 4*th)
+	}
+	e.base = make([]int32, len(e.tiles)+1)
+	if n := e.nWorkers - 1; n > 0 {
+		e.wake = make(chan struct{}, n)
+		e.done = make(chan struct{}, n)
+		for i := 1; i <= n; i++ {
+			go e.workerLoop(i)
+		}
+	}
+	return e, nil
+}
+
+// Close stops the pool goroutines. The engine must not be used after Close.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.wake != nil {
+		close(e.wake)
+	}
+}
+
+// WordsPerRow returns the packed-bitmap stride, identical to
+// runccl.Engine.WordsPerRow for the same geometry.
+func (e *Engine) WordsPerRow() int { return e.wpr }
+
+// BitmapLen returns the required bitmap length, rows × WordsPerRow.
+func (e *Engine) BitmapLen() int { return e.rows * e.wpr }
+
+// Rows returns the configured row count.
+func (e *Engine) Rows() int { return e.rows }
+
+// Cols returns the configured column count.
+func (e *Engine) Cols() int { return e.cols }
+
+// Workers returns the effective labeling concurrency (including the caller).
+func (e *Engine) Workers() int { return e.nWorkers }
+
+// Tiles returns the tile-grid shape (tile rows, tile cols).
+func (e *Engine) Tiles() (int, int) { return e.trows, e.tcols }
+
+// SetInstrument enables per-phase wall-clock instrumentation for benchmarks.
+func (e *Engine) SetInstrument(on bool) { e.instrument = on }
+
+// Phases returns the last labeled event's tile-phase and merge-phase wall
+// nanoseconds (zero unless SetInstrument(true)).
+func (e *Engine) Phases() (tileNs, mergeNs int64) { return e.tileNs, e.mergeNs }
+
+// Pack fills bitmap with the lit-pixel bits of the flat row-major values
+// image in the engine's layout — the reference producer for tests; the
+// serving path builds the bitmap inline during zero-suppression.
+func (e *Engine) Pack(values []grid.Value, bitmap []uint64) []uint64 {
+	n := e.BitmapLen()
+	if cap(bitmap) < n {
+		bitmap = make([]uint64, n)
+	}
+	bitmap = bitmap[:n]
+	for i := range bitmap {
+		bitmap[i] = 0
+	}
+	for r := 0; r < e.rows; r++ {
+		rowBase := r * e.cols
+		wordBase := r * e.wpr
+		for c := 0; c < e.cols; c++ {
+			if values[rowBase+c] != 0 {
+				bitmap[wordBase+c>>6] |= 1 << uint(c&63)
+			}
+		}
+	}
+	return bitmap
+}
+
+// Label labels the packed bitmap across the pool, accumulates per-island
+// statistics from the flat row-major values image (only lit pixels are read),
+// and appends one Island per component to dst in compact raster order of
+// first appearance — output bit-identical to runccl.Engine.Label on the same
+// frame. dst is returned grown; pass dst[:0] of a reused slice for the
+// zero-allocation steady state.
+//
+//hepccl:hotpath
+func (e *Engine) Label(bitmap []uint64, values []grid.Value, dst []runccl.Island) []runccl.Island {
+	//hepccl:coldpath
+	if len(bitmap) != e.BitmapLen() {
+		panic(fmt.Sprintf("tileccl: bitmap length %d, want %d", len(bitmap), e.BitmapLen()))
+	}
+	//hepccl:coldpath
+	if len(values) != e.rows*e.cols {
+		panic(fmt.Sprintf("tileccl: values length %d, want %d", len(values), e.rows*e.cols))
+	}
+	var t0 int64
+	if e.instrument {
+		t0 = nanotime()
+	}
+	e.bitmap, e.values = bitmap, values
+	e.next.Store(0)
+	bg := e.nWorkers - 1
+	for i := 0; i < bg; i++ {
+		e.wake <- struct{}{}
+	}
+	e.runTiles(0) // the caller labels alongside the pool
+	for i := 0; i < bg; i++ {
+		<-e.done
+	}
+	var t1 int64
+	if e.instrument {
+		t1 = nanotime()
+		e.tileNs = t1 - t0
+	}
+	dst = e.merge(dst)
+	if e.instrument {
+		e.mergeNs = nanotime() - t1
+	}
+	e.bitmap, e.values = nil, nil
+	return dst
+}
+
+// workerLoop is one pool goroutine: park on the wake channel, drain the tile
+// cursor, report done. It exits when Close closes the channel.
+func (e *Engine) workerLoop(id int) {
+	for range e.wake {
+		e.runTiles(id)
+		e.done <- struct{}{}
+	}
+}
+
+// runTiles claims tiles off the shared cursor until none remain.
+//
+//hepccl:hotpath
+func (e *Engine) runTiles(id int) {
+	w := &e.ws[id]
+	n := int64(len(e.tiles))
+	for {
+		i := e.next.Add(1) - 1
+		if i >= n {
+			return
+		}
+		e.labelTile(w, &e.tiles[i])
+	}
+}
+
+// labelTile runs the per-tile kernel: clipped run extraction, local
+// union-find, per-island accumulation, and boundary recording — the run-based
+// engine restricted to one rectangle, against this worker's arena scratch.
+//
+//hepccl:hotpath
+func (e *Engine) labelTile(w *worker, t *tile) {
+	bitmap := e.bitmap
+	h := int(t.r1 - t.r0)
+
+	// Run extraction, word-at-a-time with the tile's column-clip masks.
+	// Identical to runccl's extractor except for the masked first/last word.
+	runs := w.runs[:0]
+	rowOff := w.rowOff[:h+1]
+	for r := 0; r < h; r++ {
+		rowOff[r] = int32(len(runs))
+		wordBase := (int(t.r0) + r) * e.wpr
+		openStart, openEnd := int32(-1), int32(-1)
+		for wi := t.w0; wi <= t.w1; wi++ {
+			x := bitmap[wordBase+int(wi)]
+			if wi == t.w0 {
+				x &= t.mask0
+			}
+			if wi == t.w1 {
+				x &= t.mask1
+			}
+			base := wi << 6
+			for x != 0 {
+				s := bits.TrailingZeros64(x)
+				n := bits.TrailingZeros64(^(x >> uint(s))) // run length 1..64
+				start := base + int32(s)
+				end := start + int32(n)
+				if start == openEnd {
+					openEnd = end // continues through the word boundary
+				} else {
+					if openStart >= 0 {
+						runs = append(runs, run{openStart, openEnd})
+					}
+					openStart, openEnd = start, end
+				}
+				// Clear the consumed run; x<<64 == 0 covers the all-ones word.
+				x &^= ((uint64(1) << uint(n)) - 1) << uint(s)
+			}
+		}
+		if openStart >= 0 {
+			runs = append(runs, run{openStart, openEnd})
+		}
+	}
+	rowOff[h] = int32(len(runs))
+	w.runs = runs
+
+	// Local union-find over vertically adjacent runs (±1 column dilation for
+	// 8-way), the same two-pointer sweep as runccl.connect.
+	w.uf.Reset(len(runs))
+	var dil int32
+	if e.eight {
+		dil = 1
+	}
+	for r := 1; r < h; r++ {
+		lo, hiOff := rowOff[r-1], rowOff[r]
+		cur, curEnd := hiOff, rowOff[r+1]
+		if lo == hiOff || cur == curEnd {
+			continue
+		}
+		j := lo
+		for i := cur; i < curEnd; i++ {
+			a := runs[i].start - dil
+			b := runs[i].end + dil
+			for j < hiOff && runs[j].end <= a {
+				j++
+			}
+			for k := j; k < hiOff && runs[k].start < b; k++ {
+				w.uf.Union(i, k)
+			}
+		}
+	}
+
+	// Compact local islands in tile-raster order and accumulate statistics.
+	w.uf.Flatten()
+	nr := len(runs)
+	//hepccl:amortized
+	if cap(w.remap) < nr {
+		w.remap = make([]int32, nr)
+		w.runIsl = make([]int32, nr)
+	}
+	remap := w.remap[:nr]
+	runIsl := w.runIsl[:nr]
+	for i := range remap {
+		remap[i] = 0
+	}
+	//hepccl:amortized
+	if cap(t.pixels) < nr {
+		t.pixels = make([]uint32, nr)
+		t.sums = make([]int64, nr)
+		t.rowM = make([]int64, nr)
+		t.colM = make([]int64, nr)
+		t.minPos = make([]int64, nr)
+	}
+	pixels := t.pixels[:nr]
+	sums := t.sums[:nr]
+	rowM := t.rowM[:nr]
+	colM := t.colM[:nr]
+	minPos := t.minPos[:nr]
+	values := e.values
+	cols := e.cols
+	k := int32(0)
+	for r := 0; r < h; r++ {
+		row := int(t.r0) + r
+		rowBase := int64(row) * int64(cols)
+		for i := rowOff[r]; i < rowOff[r+1]; i++ {
+			root := w.uf.Root(i)
+			cl := remap[root]
+			if cl == 0 {
+				k++
+				cl = k
+				remap[root] = cl
+				pixels[cl-1] = 0
+				sums[cl-1] = 0
+				rowM[cl-1] = 0
+				colM[cl-1] = 0
+				minPos[cl-1] = rowBase + int64(runs[i].start)
+			}
+			runIsl[i] = cl - 1
+			rn := runs[i]
+			var sum, colm int64
+			for c := rn.start; c < rn.end; c++ {
+				v := int64(values[rowBase+int64(c)])
+				sum += v
+				colm += int64(c) * v
+			}
+			pixels[cl-1] += uint32(rn.end - rn.start)
+			sums[cl-1] += sum
+			rowM[cl-1] += int64(row) * sum
+			colM[cl-1] += colm
+		}
+	}
+	t.nIsl = k
+
+	// Boundary records for the merge phase: the first and last rows' runs
+	// with their island ids, and the per-row islands touching the left and
+	// right tile edges.
+	top := t.topRuns[:0]
+	for i := rowOff[0]; i < rowOff[1]; i++ {
+		top = append(top, bRun{runs[i].start, runs[i].end, runIsl[i]})
+	}
+	t.topRuns = top
+	bot := t.botRuns[:0]
+	for i := rowOff[h-1]; i < rowOff[h]; i++ {
+		bot = append(bot, bRun{runs[i].start, runs[i].end, runIsl[i]})
+	}
+	t.botRuns = bot
+	//hepccl:amortized
+	if cap(t.left) < h {
+		t.left = make([]int32, h)
+		t.right = make([]int32, h)
+	}
+	left := t.left[:h]
+	right := t.right[:h]
+	for r := 0; r < h; r++ {
+		left[r], right[r] = -1, -1
+		lo, hi := rowOff[r], rowOff[r+1]
+		if lo == hi {
+			continue
+		}
+		if runs[lo].start == t.c0 {
+			left[r] = runIsl[lo]
+		}
+		if runs[hi-1].end == t.c1 {
+			right[r] = runIsl[hi-1]
+		}
+	}
+	t.left, t.right = left, right
+}
+
+// merge reconciles tile boundaries and reduces per-island accumulators into
+// the final compact island list. It runs on the caller's goroutine after the
+// pool barrier; its cost is O(boundary runs + islands), independent of frame
+// area and lit interior content.
+//
+//hepccl:hotpath
+func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
+	// Assign each tile's islands a contiguous range of global nodes and copy
+	// their accumulators into the engine-wide reduction arrays.
+	tiles := e.tiles
+	base := e.base
+	n := int32(0)
+	for i := range tiles {
+		base[i] = n
+		n += tiles[i].nIsl
+	}
+	base[len(tiles)] = n
+	nn := int(n)
+	//hepccl:amortized
+	if cap(e.gPixels) < nn {
+		e.gPixels = make([]uint32, nn)
+		e.gSums = make([]int64, nn)
+		e.gRowM = make([]int64, nn)
+		e.gColM = make([]int64, nn)
+		e.gMinPos = make([]int64, nn)
+	}
+	gPixels := e.gPixels[:nn]
+	gSums := e.gSums[:nn]
+	gRowM := e.gRowM[:nn]
+	gColM := e.gColM[:nn]
+	gMinPos := e.gMinPos[:nn]
+	for i := range tiles {
+		t := &tiles[i]
+		b := base[i]
+		for l := int32(0); l < t.nIsl; l++ {
+			gPixels[b+l] = t.pixels[l]
+			gSums[b+l] = t.sums[l]
+			gRowM[b+l] = t.rowM[l]
+			gColM[b+l] = t.colM[l]
+			gMinPos[b+l] = t.minPos[l]
+		}
+	}
+
+	guf := &e.guf
+	guf.Reset(nn)
+	var dil int32
+	if e.eight {
+		dil = 1
+	}
+
+	// Horizontal seams (between vertically adjacent tile rows): one overlap
+	// sweep per seam over the full-width boundary rows. Concatenating every
+	// tile's boundary runs left to right yields sorted lists, and the ±1
+	// dilation makes the sweep also union 8-way corner adjacency where four
+	// tiles meet.
+	for tr := 0; tr+1 < e.trows; tr++ {
+		upper := e.upper[:0]
+		lower := e.lower[:0]
+		for tc := 0; tc < e.tcols; tc++ {
+			t := &tiles[tr*e.tcols+tc]
+			for _, br := range t.botRuns {
+				upper = append(upper, bRun{br.start, br.end, base[tr*e.tcols+tc] + br.isl})
+			}
+			t = &tiles[(tr+1)*e.tcols+tc]
+			for _, br := range t.topRuns {
+				lower = append(lower, bRun{br.start, br.end, base[(tr+1)*e.tcols+tc] + br.isl})
+			}
+		}
+		e.upper, e.lower = upper, lower
+		j := 0
+		for i := range lower {
+			a := lower[i].start - dil
+			b := lower[i].end + dil
+			for j < len(upper) && upper[j].end <= a {
+				j++
+			}
+			for k := j; k < len(upper) && upper[k].start < b; k++ {
+				guf.Union(lower[i].isl, upper[k].isl)
+			}
+		}
+	}
+
+	// Vertical seams (between horizontally adjacent tiles): per-row edge
+	// matching. Same-row adjacency for 4-way; 8-way adds the two diagonals
+	// within the band — diagonals that leave the band cross a tile corner and
+	// are already covered by the dilated horizontal-seam sweep above.
+	for tr := 0; tr < e.trows; tr++ {
+		for tc := 0; tc+1 < e.tcols; tc++ {
+			lt := &tiles[tr*e.tcols+tc]
+			rt := &tiles[tr*e.tcols+tc+1]
+			lb, rb := base[tr*e.tcols+tc], base[tr*e.tcols+tc+1]
+			h := len(lt.right)
+			for r := 0; r < h; r++ {
+				l := lt.right[r]
+				if l < 0 {
+					continue
+				}
+				ln := lb + l
+				if rr := rt.left[r]; rr >= 0 {
+					guf.Union(ln, rb+rr)
+				}
+				if e.eight {
+					if r > 0 {
+						if rr := rt.left[r-1]; rr >= 0 {
+							guf.Union(ln, rb+rr)
+						}
+					}
+					if r+1 < h {
+						if rr := rt.left[r+1]; rr >= 0 {
+							guf.Union(ln, rb+rr)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Reduce accumulators onto roots. DenseUF's min-root unions guarantee
+	// root < member, so one ascending fold after Flatten is complete.
+	guf.Flatten()
+	k := 0
+	for x := 0; x < nn; x++ {
+		r := guf.Root(int32(x))
+		if int(r) == x {
+			k++
+			continue
+		}
+		gPixels[r] += gPixels[x]
+		gSums[r] += gSums[x]
+		gRowM[r] += gRowM[x]
+		gColM[r] += gColM[x]
+		if gMinPos[x] < gMinPos[r] {
+			gMinPos[r] = gMinPos[x]
+		}
+	}
+
+	// Renumber 1..K by first raster appearance — the numbering a single
+	// raster-order pass (runccl, the per-pixel path) produces. Tile-raster
+	// node order is not frame-raster order, so sort the roots by the position
+	// of their first lit pixel.
+	//hepccl:amortized
+	if cap(e.ord) < k {
+		e.ord = make([]ordIsl, k)
+	}
+	ord := e.ord[:0]
+	for x := 0; x < nn; x++ {
+		if int(guf.Root(int32(x))) == x {
+			ord = append(ord, ordIsl{gMinPos[x], int32(x)})
+		}
+	}
+	e.ord = ord
+	sortByPos(ord)
+
+	b := len(dst)
+	//hepccl:amortized
+	if cap(dst) < b+k {
+		grown := make([]runccl.Island, b+k, b+k+k/2+8)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:b+k]
+	out := dst[b:]
+	for i := range ord {
+		x := ord[i].node
+		out[i] = runccl.Island{
+			Pixels: gPixels[x],
+			Sum:    gSums[x],
+			RowQ16: q16Ratio(gRowM[x], gSums[x]),
+			ColQ16: q16Ratio(gColM[x], gSums[x]),
+		}
+	}
+	return dst
+}
+
+// sortByPos shell-sorts the island order list by raster position (positions
+// are distinct by construction). In place and allocation-free; K is the
+// merged island count, typically a few hundred.
+//
+//hepccl:hotpath
+func sortByPos(a []ordIsl) {
+	n := len(a)
+	gap := 1
+	for gap < n/3 {
+		gap = 3*gap + 1
+	}
+	for ; gap >= 1; gap /= 3 {
+		for i := gap; i < n; i++ {
+			v := a[i]
+			j := i
+			for ; j >= gap && a[j-gap].pos > v.pos; j -= gap {
+				a[j] = a[j-gap]
+			}
+			a[j] = v
+		}
+	}
+}
+
+// q16Ratio returns round(num/den × 2^16) in Q16.16 — the identical rounding
+// runccl and the per-pixel serving path use, so centroids stay bit-identical.
+func q16Ratio(num, den int64) int32 {
+	if den == 0 {
+		return 0
+	}
+	return int32((num<<16 + den/2) / den)
+}
