@@ -12,7 +12,7 @@ test:
 
 # The concurrent pieces under the race detector (-short trims the soak).
 race:
-	$(GO) test -race -short ./internal/server ./internal/gateway ./internal/adapt ./internal/wal ./internal/tileccl ./cmd/hepccld ./cmd/loadgen
+	$(GO) test -race -short ./internal/server ./internal/gateway ./internal/adapt ./internal/runccl ./internal/wal ./internal/tileccl ./cmd/hepccld ./cmd/loadgen
 
 # go vet's standard suite + the module's hot-path analyzers + the compiler
 # escape-analysis cross-check. Must be clean before merging.
@@ -35,6 +35,7 @@ gw-soak:
 
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeEvent' -benchtime 100x -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkServeBatch/' -benchtime 2s -benchmem .
 	$(GO) test -run '^$$' -bench BenchmarkIngestPath -benchtime 200000x -benchmem ./internal/server
 	$(GO) test -run '^$$' -bench 'BenchmarkLabel' -benchtime 100x -benchmem ./internal/tileccl
 

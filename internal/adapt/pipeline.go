@@ -171,11 +171,23 @@ type Pipeline struct {
 	// a packet whose total sample sum stays below it cannot contain a lit
 	// channel (samples are non-negative), so the integration loop clears
 	// whole dark packets with one screened compare.
-	cutoff  int64
-	limits  []int64
-	minLim  []int64
-	litWord []int32
-	litMask []uint64
+	// litRow/litCol are the inverse maps (flat pixel -> row, column), built
+	// for the single-core run backend so the batched fused decode can stream
+	// runs without materializing a bitmap.
+	// limits32 is the limits table clamped into uint32 for the 4-sample
+	// fused batch decode: a 4-sample raw integral is at most 4×0xFFFF, so a
+	// non-positive limit clamps to 0 (always lit), anything above the
+	// reachable range clamps to 1<<20 (never lit), and the lit compare
+	// becomes the sign bit of a 32-bit subtraction — four channels' dark
+	// checks AND into one predicated branch.
+	cutoff   int64
+	limits   []int64
+	limits32 []uint32
+	minLim   []int64
+	litWord  []int32
+	litMask  []uint64
+	litRow   []int32
+	litCol   []int32
 	// pcM/pcMax implement PhotonCount's divide-by-gain as an exact magic
 	// multiply for numerators in [0, pcMax): with M = ⌊2^47/g⌋+1 = (2^47+e)/g
 	// (0 < e ≤ g), ⌊n·M/2^47⌋ = ⌊n/g + n·e/(g·2^47)⌋ equals ⌊n/g⌋ whenever
@@ -277,6 +289,16 @@ func New(cfg Config) (*Pipeline, error) {
 			p.litWord[fl] = int32(r*wpr + c>>6)
 			p.litMask[fl] = 1 << uint(c&63)
 		}
+		if p.runEngine != nil {
+			// The batched fused decode is a single-core run backend path;
+			// the tiled engine (megapixel frames) never consults these.
+			p.litRow = make([]int32, px)
+			p.litCol = make([]int32, px)
+			for fl := 0; fl < px; fl++ {
+				p.litRow[fl] = int32(fl / cols)
+				p.litCol[fl] = int32(fl % cols)
+			}
+		}
 	}
 	p.seen = make([]uint64, (cfg.ASICs+63)/64)
 	return p, nil
@@ -319,6 +341,22 @@ func (p *Pipeline) refreshLimits() {
 			}
 		}
 		p.minLim[a] = m
+	}
+	if p.cfg.SamplesPerChannel == 4 {
+		//hepccl:amortized
+		if p.limits32 == nil {
+			p.limits32 = make([]uint32, len(p.limits))
+		}
+		for i, l := range p.limits {
+			switch {
+			case l <= 0:
+				p.limits32[i] = 0
+			case l > 4*0xFFFF:
+				p.limits32[i] = 1 << 20
+			default:
+				p.limits32[i] = uint32(l)
+			}
+		}
 	}
 }
 

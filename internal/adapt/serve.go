@@ -45,6 +45,8 @@ type serveScratch struct {
 	bitmap  []uint64        // lit-pixel bitmap for the run backend
 	lit     []litRef        // above-threshold channels found during integration
 	islands []runccl.Island // run backend island accumulator
+	batch   *runccl.Batch   // batch-resident run arena behind ServeBatch
+	evIdx   []int32         // ServeBatch: input event -> batch event index, -1 on error
 	labels  []int32         // pixel path: per-pixel provisional label
 	uf      ccl.DenseUF     // pixel path: union-find over provisional labels
 	remap   []int32         // pixel path: provisional root -> compact island
@@ -161,14 +163,24 @@ func (p *Pipeline) serveRun2D(bitmap []uint64, values []grid.Value, rec *EventRe
 	} else {
 		sc.islands = p.runEngine.Label(bitmap, values, sc.islands[:0])
 	}
-	n := len(sc.islands)
+	emitIslands(sc.islands, rec)
+	return nil
+}
+
+// emitIslands copies run-engine island summaries into the downlink record,
+// assigning compact 1..K labels in slice order — shared by the per-event run
+// backends and the batched scatter.
+//
+//hepccl:hotpath
+func emitIslands(islands []runccl.Island, rec *EventRecord) {
+	n := len(islands)
 	//hepccl:amortized
 	if cap(rec.Islands) < n {
 		rec.Islands = make([]IslandRecord, 0, n+n/2+8)
 	}
 	out := rec.Islands[:n]
-	for i := range sc.islands {
-		is := &sc.islands[i]
+	for i := range islands {
+		is := &islands[i]
 		out[i] = IslandRecord{
 			Label:  int32(i + 1),
 			Pixels: is.Pixels,
@@ -178,7 +190,6 @@ func (p *Pipeline) serveRun2D(bitmap []uint64, values []grid.Value, rec *EventRe
 		}
 	}
 	rec.Islands = out
-	return nil
 }
 
 // serve2D labels the flat merged image with an inline raster-scan union-find

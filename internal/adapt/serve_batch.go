@@ -1,10 +1,30 @@
 package adapt
 
+import (
+	"fmt"
+	"unsafe"
+
+	"github.com/wustl-adapt/hepccl/internal/grid"
+	"github.com/wustl-adapt/hepccl/internal/runccl"
+)
+
 // ServeBatch processes a batch of assembled events through the serving fast
 // path, reusing one scratch arena (the pipeline's) across the whole batch.
-// This is the entry point internal/server workers use to amortize per-event
-// overhead: one call serves every event a shard has queued, and recs[i]
-// reuses its island storage across batches.
+// It is the primary serving entry point: internal/server workers drain their
+// rings into it, and ServeEvent is the batch-of-1 degenerate case.
+//
+// On the default single-core run backend the batch is served batch-resident:
+// one fused pass per event interleaves validation, integration, photon
+// counting, and run extraction (each packet's samples are consumed while
+// still in L1/L2, with no intermediate bitmap or merged image on the fast
+// path), the runs of every event land in one flat arena where vertical
+// adjacency is merged branch-free as they arrive, a single flat path-halving
+// sweep then resolves the entire batch's union-find forest at once, and
+// per-island statistics are scattered into the downlink records at batch
+// end. Output is bit-identical to ServeEvent per event (FuzzBatchVsSingle
+// enforces this three ways). The 1D, per-pixel, and tile-parallel backends
+// serve per event; batch residency targets the many-small-events regime
+// those backends are not in.
 //
 // events, recs, and errs must have equal length. Per-event failures are
 // recorded in errs[i] (nil on success) and do not stop the batch — a bad
@@ -17,11 +37,317 @@ func (p *Pipeline) ServeBatch(events [][]Packet, recs []EventRecord, errs []erro
 	if len(recs) != len(events) || len(errs) != len(events) {
 		panic("adapt: ServeBatch requires len(events) == len(recs) == len(errs)")
 	}
-	ok := 0
-	for i, ev := range events {
-		if errs[i] = p.ServeEvent(ev, &recs[i]); errs[i] == nil {
-			ok++
+	if p.runEngine == nil {
+		ok := 0
+		for i, ev := range events {
+			if errs[i] = p.ServeEvent(ev, &recs[i]); errs[i] == nil {
+				ok++
+			}
 		}
+		return ok
+	}
+	sc := &p.serve
+	//hepccl:amortized
+	if sc.batch == nil {
+		sc.batch = p.runEngine.NewBatch()
+	}
+	//hepccl:amortized
+	if cap(sc.evIdx) < len(events) {
+		sc.evIdx = make([]int32, len(events)+len(events)/2+8)
+	}
+	evIdx := sc.evIdx[:len(events)]
+	b := sc.batch
+	b.Reset()
+	for i, ev := range events {
+		errs[i] = nil
+		b.BeginEvent()
+		if !p.batchEventFused(ev, &recs[i], b) {
+			b.AbortEvent()
+			if err := p.batchEventRef(ev, &recs[i], b); err != nil {
+				//hepccl:coldpath
+				errs[i] = err
+				evIdx[i] = -1
+				continue
+			}
+		}
+		evIdx[i] = int32(b.EndEvent())
+	}
+	b.Resolve()
+	ok := 0
+	for i := range events {
+		if evIdx[i] < 0 {
+			continue
+		}
+		sc.islands = b.Islands(int(evIdx[i]), sc.islands[:0])
+		emitIslands(sc.islands, &recs[i])
+		ok++
 	}
 	return ok
+}
+
+// litCursor streams lit channels — in ascending flat order, as the fused
+// decode discovers them — into maximal horizontal runs of the open batch
+// event, folding each run's charge sum and column moment at photon-count
+// time. A lit pixel extends the open run exactly when it is the next flat
+// index on the same row; any gap or row change seals the run.
+type litCursor struct {
+	b      *runccl.Batch
+	peds   []int64
+	litRow []int32
+	litCol []int32
+	pcM    uint64
+	pcMax  uint64
+	gain   int64
+	half   int64
+	prevFl int32 // flat index of the previous lit pixel; -2 when no open run
+	row    int32 // open run's row
+	start  int32 // open run's start column
+	end    int32 // open run's end column (exclusive)
+	sum    int64
+	colm   int64
+}
+
+// add photon-counts one above-threshold channel and extends or opens a run.
+// The suppression compare already proved the channel lit (raw ≥ limit ⇔
+// pe > threshold), so no zero-suppress re-check is needed — the same
+// ADC-domain argument ServeEvent's lit pass relies on.
+//
+//hepccl:hotpath
+func (c *litCursor) add(fl int32, raw int64) {
+	if int(fl) >= len(c.litCol) {
+		return // padded channel beyond the pixel array: never downlinked
+	}
+	// PhotonCount(net, gain) = (net + gain/2) / gain via the pipeline's magic
+	// multiply, truncated through grid.Value exactly as the merged image
+	// store would be. The multiply runs unconditionally (it cannot fault) and
+	// the rare out-of-range numerator overwrites it via the out-of-line slow
+	// division, keeping this body small enough to inline into the decode loop.
+	num := raw - c.peds[fl] + c.half
+	pe := grid.Value(uint64(num) * c.pcM >> 47)
+	if uint64(num) >= c.pcMax {
+		//hepccl:coldpath
+		pe = c.slowPE(fl, raw)
+	}
+	v := int64(pe)
+	col := c.litCol[fl]
+	// fl == prevFl+1 with col ≠ 0 means the previous lit pixel was the
+	// immediate raster predecessor on the same row (col 0 would be a row
+	// wrap), so the open run extends without consulting the row table.
+	if fl == c.prevFl+1 && col != 0 {
+		c.end++
+		c.sum += v
+		c.colm += int64(col) * v
+		c.prevFl = fl
+		return
+	}
+	c.openRun(fl, col, v)
+}
+
+// slowPE is the exact-division fallback for numerators outside the magic
+// multiply's proven range — unreachable for wire-representable samples, kept
+// out of line so add stays inlinable.
+//
+//go:noinline
+func (c *litCursor) slowPE(fl int32, raw int64) grid.Value {
+	return PhotonCount(raw-c.peds[fl], c.gain)
+}
+
+// openRun seals the open run, if any, and opens a new one at fl — the
+// run-boundary half of add, out of line so the extend half inlines.
+//
+//go:noinline
+//hepccl:hotpath
+func (c *litCursor) openRun(fl, col int32, v int64) {
+	c.flush()
+	c.row = c.litRow[fl]
+	c.start, c.end = col, col+1
+	c.sum = v
+	c.colm = int64(col) * v
+	c.prevFl = fl
+}
+
+// flush seals the open run, if any, into the batch.
+//
+//hepccl:hotpath
+func (c *litCursor) flush() {
+	if c.prevFl >= 0 {
+		c.b.AddRun(c.row, c.start, c.end, c.sum, c.colm)
+	}
+}
+
+// batchEventFused is the batched fast path for one event: a single pass over
+// the packets fusing validation, integration + zero-suppression, photon
+// counting, and run extraction, so each packet's 256 bytes of samples are
+// read once and fully consumed — runs, charge sums, and column moments —
+// while still in L1/L2. No merged image, lit list, or bitmap is
+// materialized.
+//
+// It requires canonical packet order: packet i carries ASIC i with the
+// event's id and sample geometry. Position equality subsumes checkEvent (no
+// duplicates, no unknown ASICs, count already matched), and it makes lit
+// channels arrive in ascending flat order — which is raster order — so runs
+// build directly on the decode walk. Any deviation returns false with the
+// open batch event left for the caller to abort; the reference route then
+// reproduces checkEvent's exact errors or serves the event via the bitmap.
+//
+//hepccl:hotpath
+func (p *Pipeline) batchEventFused(packets []Packet, rec *EventRecord, b *runccl.Batch) bool {
+	//hepccl:coldpath
+	if len(packets) != p.cfg.ASICs {
+		return false
+	}
+	event := packets[0].Event
+	spc := uint8(p.cfg.SamplesPerChannel)
+	cur := litCursor{
+		b:      b,
+		peds:   p.pedestals,
+		litRow: p.litRow,
+		litCol: p.litCol,
+		pcM:    p.pcM,
+		pcMax:  p.pcMax,
+		gain:   p.cfg.GainADC,
+		half:   p.cfg.GainADC / 2,
+		prevFl: -2,
+	}
+	limits := p.limits
+	limits32 := p.limits32
+	for i := range packets {
+		pkt := &packets[i]
+		//hepccl:coldpath
+		if pkt.ASICIndex() != i || pkt.Event != event || pkt.SamplesPerChannel != spc {
+			return false
+		}
+		base := i * ChannelsPerASIC
+		if blk := pkt.block; len(blk) == ChannelsPerASIC*4 && limits32 != nil {
+			if uintptr(unsafe.Pointer(&blk[0]))&7 == 0 {
+				u := unsafe.Slice((*uint64)(unsafe.Pointer(&blk[0])), ChannelsPerASIC*2)
+				lim := limits32[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
+				for ch := 0; ch < ChannelsPerASIC; ch += 8 {
+					p0 := u[2*ch] + u[2*ch+1]
+					p1 := u[2*ch+2] + u[2*ch+3]
+					p2 := u[2*ch+4] + u[2*ch+5]
+					p3 := u[2*ch+6] + u[2*ch+7]
+					r0 := uint32(p0 + p0>>32)
+					r1 := uint32(p1 + p1>>32)
+					r2 := uint32(p2 + p2>>32)
+					r3 := uint32(p3 + p3>>32)
+					d0 := r0 - lim[ch]
+					d1 := r1 - lim[ch+1]
+					d2 := r2 - lim[ch+2]
+					d3 := r3 - lim[ch+3]
+					p4 := u[2*ch+8] + u[2*ch+9]
+					p5 := u[2*ch+10] + u[2*ch+11]
+					p6 := u[2*ch+12] + u[2*ch+13]
+					p7 := u[2*ch+14] + u[2*ch+15]
+					r4 := uint32(p4 + p4>>32)
+					r5 := uint32(p5 + p5>>32)
+					r6 := uint32(p6 + p6>>32)
+					r7 := uint32(p7 + p7>>32)
+					d4 := r4 - lim[ch+4]
+					d5 := r5 - lim[ch+5]
+					d6 := r6 - lim[ch+6]
+					d7 := r7 - lim[ch+7]
+					if int32(d0&d1&d2&d3&d4&d5&d6&d7) < 0 {
+						continue // all eight channels dark
+					}
+					if int32(d0) >= 0 {
+						cur.add(int32(base+ch), int64(r0))
+					}
+					if int32(d1) >= 0 {
+						cur.add(int32(base+ch+1), int64(r1))
+					}
+					if int32(d2) >= 0 {
+						cur.add(int32(base+ch+2), int64(r2))
+					}
+					if int32(d3) >= 0 {
+						cur.add(int32(base+ch+3), int64(r3))
+					}
+					if int32(d4) >= 0 {
+						cur.add(int32(base+ch+4), int64(r4))
+					}
+					if int32(d5) >= 0 {
+						cur.add(int32(base+ch+5), int64(r5))
+					}
+					if int32(d6) >= 0 {
+						cur.add(int32(base+ch+6), int64(r6))
+					}
+					if int32(d7) >= 0 {
+						cur.add(int32(base+ch+7), int64(r7))
+					}
+				}
+				continue
+			}
+			lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
+			blk = blk[: ChannelsPerASIC*4 : ChannelsPerASIC*4]
+			for ch := 0; ch < ChannelsPerASIC; ch++ {
+				o := ch * 4
+				r := int64(blk[o]) + int64(blk[o+1]) + int64(blk[o+2]) + int64(blk[o+3])
+				if r >= lim[ch] {
+					cur.add(int32(base+ch), r)
+				}
+			}
+			continue
+		}
+		lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
+		for ch := 0; ch < ChannelsPerASIC; ch++ {
+			var r int64
+			for _, v := range pkt.Samples[ch] {
+				r += int64(v)
+			}
+			if r >= lim[ch] {
+				cur.add(int32(base+ch), r)
+			}
+		}
+	}
+	cur.flush()
+	rec.Event = event
+	return true
+}
+
+// batchEventRef is the reference route for events the fused decode rejects:
+// full checkEvent validation (reproducing its exact error strings), the
+// ServeEvent integration pass into the merged image and lit bitmap, then
+// bitmap-based run extraction into a fresh open batch event. Valid events
+// reach the same batch arena either way, so downstream resolution and
+// scatter need not distinguish the routes.
+func (p *Pipeline) batchEventRef(packets []Packet, rec *EventRecord, b *runccl.Batch) error {
+	if err := p.checkEvent(packets); err != nil {
+		return fmt.Errorf("adapt: %w", err)
+	}
+	sc := &p.serve
+	//hepccl:amortized
+	if sc.merged == nil {
+		sc.merged = make([]grid.Value, p.Channels())
+		sc.lit = make([]litRef, 0, 256)
+	}
+	//hepccl:amortized
+	if sc.bitmap == nil {
+		sc.bitmap = make([]uint64, p.runEngine.BitmapLen())
+	}
+	merged := sc.merged
+	bitmap := sc.bitmap
+	for i := range bitmap {
+		bitmap[i] = 0
+	}
+	px := len(p.litRow)
+	lit := integrateEvent(packets, p.limits, p.minLim, sc.lit[:0])
+	sc.lit = lit
+	gain := p.cfg.GainADC
+	half := gain / 2
+	for _, le := range lit {
+		fl := int(le.fl)
+		num := le.raw - p.pedestals[fl] + half
+		if uint64(num) < p.pcMax {
+			merged[fl] = grid.Value(uint64(num) * p.pcM >> 47)
+		} else {
+			merged[fl] = PhotonCount(le.raw-p.pedestals[fl], gain)
+		}
+		if fl < px {
+			bitmap[p.litWord[fl]] |= p.litMask[fl]
+		}
+	}
+	b.BeginEvent()
+	b.ExtractEvent(bitmap, merged[:px])
+	rec.Event = packets[0].Event
+	return nil
 }

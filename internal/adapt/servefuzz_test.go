@@ -1,6 +1,7 @@
 package adapt
 
 import (
+	"bytes"
 	"testing"
 
 	"github.com/wustl-adapt/hepccl/internal/ccl"
@@ -149,6 +150,131 @@ func FuzzRunCCLvsPixel(f *testing.F) {
 				t.Fatalf("island %d: centroid (%d,%d) != reference (%d,%d)",
 					i, got.RowQ16, got.ColQ16, q16Ratio(rowM, sum), q16Ratio(colM, sum))
 			}
+		}
+	})
+}
+
+// FuzzBatchVsSingle is the differential check behind the batch-resident
+// serving path: a fuzzer-chosen batch of events — geometry, connectivity,
+// sample depth, batch size, and payload all fuzzed — is served through
+// ServeBatch and compared byte-for-byte (marshalled record bytes) against
+// ServeEvent on the run backend and against the per-pixel reference backend,
+// event by event. Fuzzer-chosen bits also shuffle some events' packet order —
+// a valid but non-canonical stream that forces ServeBatch off the fused
+// decode onto the reference route mid-batch — and may truncate the first
+// event, checking error parity between the batched and single paths.
+func FuzzBatchVsSingle(f *testing.F) {
+	f.Add(uint64(1), uint8(43), uint8(43), false, uint8(4), uint8(3), uint8(0), []byte{0, 5, 5, 0, 9})
+	f.Add(uint64(2), uint8(8), uint8(10), true, uint8(4), uint8(5), uint8(2), []byte{3, 3, 3, 3})
+	f.Add(uint64(3), uint8(5), uint8(70), false, uint8(6), uint8(2), uint8(5), []byte{40, 0, 40})
+	f.Add(uint64(4), uint8(16), uint8(16), true, uint8(4), uint8(7), uint8(255), []byte{7})
+	f.Add(uint64(5), uint8(32), uint8(32), false, uint8(4), uint8(64), uint8(128), []byte{1, 2})
+	f.Fuzz(func(t *testing.T, seed uint64, rowsB, colsB uint8, eight bool, spcB, nEvB, shufMask uint8, pe []byte) {
+		rows := 1 + int(rowsB%48)
+		cols := 1 + int(colsB%70)
+		px := rows * cols
+		spc := 1 + int(spcB%8) // 4 exercises the fused SWAR decode, the rest the generic loop
+		nEv := 1 + int(nEvB%8)
+		conn := grid.FourWay
+		if eight {
+			conn = grid.EightWay
+		}
+		cfg := Config{
+			ASICs:             (px + ChannelsPerASIC - 1) / ChannelsPerASIC,
+			SamplesPerChannel: spc,
+			PedestalPerSample: 200,
+			GainADC:           40,
+			ThresholdPE:       2,
+			Detection: design.TopConfig{
+				TwoDimension: true,
+				TwoD: design.Config{
+					Rows: rows, Cols: cols,
+					Connectivity: conn,
+					Stage:        design.StagePipelined,
+				},
+			},
+		}
+		runCfg, pixCfg := cfg, cfg
+		runCfg.Serve = ServeRun
+		pixCfg.Serve = ServePixel
+		pBatch, err := New(runCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pSingle, err := New(runCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pPix, err := New(pixCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rng := detector.NewRNG(seed | 1)
+		dig := detector.DefaultDigitizer()
+		dig.Samples = spc
+		events := make([][]Packet, nEv)
+		for e := range events {
+			truth := make([]grid.Value, cfg.ASICs*ChannelsPerASIC)
+			for i := 0; i < px; i++ {
+				if len(pe) > 0 {
+					truth[i] = grid.Value(pe[(i+e)%len(pe)] % 42)
+				}
+			}
+			packets, err := GenerateEvent(truth, cfg.ASICs, uint32(100+e), uint64(e), dig, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shufMask>>(e%8)&1 == 1 && len(packets) > 1 {
+				// Break canonical order: still a complete, valid event, but the
+				// fused decode must reject it and the reference route serve it.
+				packets[0], packets[len(packets)-1] = packets[len(packets)-1], packets[0]
+			}
+			events[e] = packets
+		}
+		if nEvB>>7 == 1 && len(events[0]) > 1 {
+			// Truncated first event: both paths must fail it, identically,
+			// without poisoning the rest of the batch.
+			events[0] = events[0][:len(events[0])-1]
+		}
+
+		recs := make([]EventRecord, nEv)
+		errs := make([]error, nEv)
+		okBatch := pBatch.ServeBatch(events, recs, errs)
+
+		okSingle := 0
+		var recS, recP EventRecord
+		for e := range events {
+			errS := pSingle.ServeEvent(events[e], &recS)
+			if errS != nil {
+				if errs[e] == nil {
+					t.Fatalf("event %d: ServeEvent failed (%v), ServeBatch succeeded", e, errS)
+				}
+				if errs[e].Error() != errS.Error() {
+					t.Fatalf("event %d: batch error %q != single error %q", e, errs[e], errS)
+				}
+				continue
+			}
+			okSingle++
+			if errs[e] != nil {
+				t.Fatalf("event %d: ServeBatch failed (%v), ServeEvent succeeded", e, errs[e])
+			}
+			bb := recs[e].AppendTo(nil)
+			sb := recS.AppendTo(nil)
+			if !bytes.Equal(bb, sb) {
+				t.Fatalf("event %d: batched record bytes differ from single-event bytes\nbatch:  %v\nsingle: %v",
+					e, recs[e], recS)
+			}
+			if err := pPix.ServeEvent(events[e], &recP); err != nil {
+				t.Fatalf("event %d: pixel reference failed: %v", e, err)
+			}
+			if !bytes.Equal(bb, recP.AppendTo(nil)) {
+				t.Fatalf("event %d: batched record bytes differ from pixel reference\nbatch: %v\npixel: %v",
+					e, recs[e], recP)
+			}
+		}
+		if okBatch != okSingle {
+			t.Fatalf("ServeBatch reported %d served, single path %d", okBatch, okSingle)
 		}
 	})
 }

@@ -56,20 +56,22 @@ func (u *DenseUF) Find(x int32) int32 {
 }
 
 // Union merges the sets of a and b and returns the surviving (smaller) root.
+// The link is predicated rather than branched: min and max of the two roots
+// are computed with a sign-mask blend and the parent store is unconditional
+// (self-assignment when the roots already coincide), so the merge inner loops
+// built on it — runccl's batched run merge, tileccl's seam sweeps — carry no
+// data-dependent branch beyond the find itself.
 //
 //hepccl:hotpath
 func (u *DenseUF) Union(a, b int32) int32 {
 	ra, rb := u.Find(a), u.Find(b)
-	switch {
-	case ra == rb:
-		return ra
-	case ra < rb:
-		u.parent[rb] = ra
-		return ra
-	default:
-		u.parent[ra] = rb
-		return rb
-	}
+	// m = rb-ra when rb < ra, else 0; min = ra+m, max = rb-m. ra == rb writes
+	// parent[root] = root, which is the identity the structure already holds.
+	d := rb - ra
+	m := d & (d >> 31)
+	mn := ra + m
+	u.parent[rb-m] = mn
+	return mn
 }
 
 // Flatten points every element directly at its root. Because unions and path

@@ -1,0 +1,53 @@
+package server
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/wustl-adapt/hepccl/internal/adapt"
+)
+
+// TestTrickleFlushesPromptly guards the bounded linger in the batch worker
+// loop: paced trickle traffic — each event sent only after the previous
+// response came back, so the worker's rings never hold more than one event —
+// must still see every response promptly. The linger is a single yield and
+// re-poll; a variant that waited for a fuller batch would stall every
+// iteration of this loop and trip the per-event read deadline.
+func TestTrickleFlushesPromptly(t *testing.T) {
+	cfg := testConfig()
+	_, addr := startServer(t, Config{Pipeline: cfg, Workers: 1, QueueDepth: 8, Policy: PolicyBlock})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	const n = 25
+	events := makeEvents(t, cfg, n, 7)
+	sw := adapt.NewStreamWriter(nc)
+	var hdr [8]byte
+	for i, ev := range events {
+		if err := sw.WriteEvent(ev); err != nil {
+			t.Fatalf("event %d: write: %v", i, err)
+		}
+		if err := nc.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(nc, hdr[:]); err != nil {
+			t.Fatalf("event %d: response did not flush promptly: %v", i, err)
+		}
+		if got := binary.BigEndian.Uint32(hdr[:4]); got != uint32(i) {
+			t.Fatalf("event %d: got response for event %d", i, got)
+		}
+		body := make([]byte, adapt.RecordIslandBytes*int(binary.BigEndian.Uint32(hdr[4:])))
+		if _, err := io.ReadFull(nc, body); err != nil {
+			t.Fatalf("event %d: record body: %v", i, err)
+		}
+		// Pace the trickle: leave the worker parked-or-idle between events so
+		// every drain is a batch of one.
+		time.Sleep(2 * time.Millisecond)
+	}
+}

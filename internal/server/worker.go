@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"time"
 
 	"github.com/wustl-adapt/hepccl/internal/adapt"
@@ -8,9 +9,18 @@ import (
 
 // serveBatchMax bounds how many queued events one worker drains into a single
 // adapt.ServeBatch call. Large enough to amortize the per-wakeup costs (ring
-// scans, clock reads, scheduler churn) across a backlog, small enough that a
-// burst cannot hold response flushing hostage for long.
-const serveBatchMax = 32
+// scans, clock reads, scheduler churn) across a backlog — and, with the
+// batch-resident ServeBatch, to amortize its whole-batch resolution sweep —
+// small enough that a burst cannot hold response flushing hostage for long.
+const serveBatchMax = 64
+
+// lingerMin is the batch size below which the worker yields once and re-polls
+// its rings before serving. Under load a tiny drain usually means the reader
+// goroutines are mid-flight on the same core; one bounded linger lets their
+// pushes land and refills the batch, instead of paying a full serve-and-flush
+// cycle per near-empty drain. The linger is a single yield — trickle traffic
+// is delayed by at most one scheduler pass, never parked (TestTrickleFlushesPromptly).
+const lingerMin = 8
 
 // run is one worker's serving loop, draining the ingest rings of its assigned
 // connections until ingress closes and the rings are empty (graceful drain).
@@ -85,6 +95,13 @@ func (s *Server) run(w *worker, p *adapt.Pipeline) {
 	for {
 		evs := w.drain(batch[:0])
 		if len(evs) > 0 {
+			if len(evs) < lingerMin {
+				// Bounded linger: one yield, one re-poll, then serve
+				// whatever is there. drain appends, so the already-drained
+				// events keep their positions (and their latency clocks).
+				runtime.Gosched()
+				evs = w.drain(evs)
+			}
 			serve(evs)
 			continue
 		}

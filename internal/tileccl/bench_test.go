@@ -85,13 +85,15 @@ func BenchmarkLabelTiled(b *testing.B) {
 
 // BenchmarkLabelPhases instruments the engine's two phases separately. The
 // tile phase is embarrassingly parallel (independent tiles, per-worker
-// scratch); the merge phase is serial. On a W-core host the modeled
-// steady-state cost is tileNs/W + mergeNs, so the phase split measured on
-// one core predicts the parallel speedup:
+// scratch), and so is the merge phase's stat-scatter sub-phase (disjoint
+// global ranges per tile); the rest of merge is serial. On a W-core host the
+// modeled steady-state cost is (tileNs+scatterNs)/W + (mergeNs−scatterNs),
+// so the phase split measured on one core predicts the parallel speedup:
 //
-//	speedup(W) = (tileNs + mergeNs) / (tileNs/W + mergeNs)
+//	speedup(W) = (tileNs + mergeNs) / ((tileNs+scatterNs)/W + mergeNs − scatterNs)
 //
-// The emitted tile_ns and merge_ns metrics are per-Label averages.
+// The emitted tile_ns, merge_ns, and scatter_ns metrics are per-Label
+// averages (scatter_ns is a sub-span of merge_ns, not additional time).
 func BenchmarkLabelPhases(b *testing.B) {
 	for _, size := range []int{512, 1024} {
 		for _, occ := range []float64{0.02} {
@@ -107,20 +109,23 @@ func BenchmarkLabelPhases(b *testing.B) {
 				islands = e.Label(bitmap, values, islands[:0]) // warmup: grow arenas
 				b.ReportAllocs()
 				b.ResetTimer()
-				var tileNs, mergeNs int64
+				var tileNs, mergeNs, scatterNs int64
 				for i := 0; i < b.N; i++ {
 					islands = e.Label(bitmap, values, islands[:0])
 					tn, mn := e.Phases()
 					tileNs += tn
 					mergeNs += mn
+					scatterNs += e.MergeScatterNs()
 				}
 				b.StopTimer()
 				_ = islands
 				n := int64(b.N)
 				b.ReportMetric(float64(tileNs/n), "tile_ns")
 				b.ReportMetric(float64(mergeNs/n), "merge_ns")
+				b.ReportMetric(float64(scatterNs/n), "scatter_ns")
 				for _, w := range []int{2, 4, 8} {
-					model := float64(tileNs+mergeNs) / (float64(tileNs)/float64(w) + float64(mergeNs))
+					model := float64(tileNs+mergeNs) /
+						(float64(tileNs+scatterNs)/float64(w) + float64(mergeNs-scatterNs))
 					b.ReportMetric(model, fmt.Sprintf("modeled_speedup_w%d", w))
 				}
 			})

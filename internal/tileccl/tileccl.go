@@ -136,16 +136,21 @@ type Engine struct {
 	ws    []worker
 
 	// Per-event job state: published before the pool is woken, consumed by
-	// the wake-channel happens-before edge.
+	// the wake-channel happens-before edge. job selects what a woken worker
+	// does (label tiles or scatter merge accumulators); it is written only by
+	// the caller between barriers, so the channel edge orders it.
 	bitmap []uint64
 	values []grid.Value
 	next   atomic.Int64
+	job    int32
 
 	wake   chan struct{} // one token per background worker per event
 	done   chan struct{} // one token back per background worker
 	closed bool
 
-	// Merge-phase scratch (caller goroutine only).
+	// Merge-phase scratch. The g* reduction arenas are written by the pool
+	// during the scatter barrier (disjoint per-tile ranges) and owned by the
+	// caller goroutine otherwise.
 	guf          ccl.DenseUF
 	base         []int32
 	gPixels      []uint32
@@ -155,11 +160,15 @@ type Engine struct {
 	gMinPos      []int64
 	upper, lower []bRun
 	ord          []ordIsl
+	ordTmp       []ordIsl
+	cntRow       []int32 // counting-order scratch, one slot per frame row
+	cntCol       []int32 // counting-order scratch, one slot per frame column
 
 	// Optional phase instrumentation (benchmarks): wall ns of the last
-	// event's tile phase and merge phase.
-	instrument      bool
-	tileNs, mergeNs int64
+	// event's tile phase and merge phase, plus the merge phase's stat-scatter
+	// sub-phase — the part of merge that parallelizes across the pool.
+	instrument                 bool
+	tileNs, mergeNs, scatterNs int64
 }
 
 // New validates the configuration, builds the tile decomposition, and starts
@@ -271,6 +280,12 @@ func (e *Engine) SetInstrument(on bool) { e.instrument = on }
 // nanoseconds (zero unless SetInstrument(true)).
 func (e *Engine) Phases() (tileNs, mergeNs int64) { return e.tileNs, e.mergeNs }
 
+// MergeScatterNs returns the wall nanoseconds the last event's merge phase
+// spent in the stat-scatter sub-phase (zero unless SetInstrument(true)).
+// Scatter parallelizes across the pool like the tile phase; the rest of merge
+// is serial, so the split refines the modeled multi-core speedup.
+func (e *Engine) MergeScatterNs() int64 { return e.scatterNs }
+
 // Pack fills bitmap with the lit-pixel bits of the flat row-major values
 // image in the engine's layout — the reference producer for tests; the
 // serving path builds the bitmap inline during zero-suppression.
@@ -317,6 +332,7 @@ func (e *Engine) Label(bitmap []uint64, values []grid.Value, dst []runccl.Island
 		t0 = nanotime()
 	}
 	e.bitmap, e.values = bitmap, values
+	e.job = jobLabel
 	e.next.Store(0)
 	bg := e.nWorkers - 1
 	for i := 0; i < bg; i++ {
@@ -339,12 +355,54 @@ func (e *Engine) Label(bitmap []uint64, values []grid.Value, dst []runccl.Island
 	return dst
 }
 
-// workerLoop is one pool goroutine: park on the wake channel, drain the tile
-// cursor, report done. It exits when Close closes the channel.
+// Jobs a woken pool worker can run. jobLabel is the per-event tile labeling
+// phase; jobScatter is the merge phase's accumulator scatter.
+const (
+	jobLabel = iota
+	jobScatter
+)
+
+// workerLoop is one pool goroutine: park on the wake channel, run whichever
+// job the caller published, report done. It exits when Close closes the
+// channel.
 func (e *Engine) workerLoop(id int) {
 	for range e.wake {
-		e.runTiles(id)
+		if e.job == jobScatter {
+			e.runScatter()
+		} else {
+			e.runTiles(id)
+		}
 		e.done <- struct{}{}
+	}
+}
+
+// scatterParallelMin is the merged-node count below which the merge phase's
+// accumulator scatter stays on the caller: the two channel crossings per
+// worker of a second barrier cost a few microseconds, which only a large
+// island population amortizes.
+const scatterParallelMin = 1024
+
+// runScatter claims tiles off the shared cursor and copies each one's island
+// accumulators into its contiguous range of the engine-wide reduction arrays.
+// Ranges are disjoint by construction, so concurrent workers never touch the
+// same element.
+//
+//hepccl:hotpath
+func (e *Engine) runScatter() {
+	nt := int64(len(e.tiles))
+	for {
+		i := e.next.Add(1) - 1
+		if i >= nt {
+			return
+		}
+		t := &e.tiles[i]
+		b := int(e.base[i])
+		k := int(t.nIsl)
+		copy(e.gPixels[b:b+k], t.pixels[:k])
+		copy(e.gSums[b:b+k], t.sums[:k])
+		copy(e.gRowM[b:b+k], t.rowM[:k])
+		copy(e.gColM[b:b+k], t.colM[:k])
+		copy(e.gMinPos[b:b+k], t.minPos[:k])
 	}
 }
 
@@ -567,16 +625,30 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 	gRowM := e.gRowM[:nn]
 	gColM := e.gColM[:nn]
 	gMinPos := e.gMinPos[:nn]
-	for i := range tiles {
-		t := &tiles[i]
-		b := base[i]
-		for l := int32(0); l < t.nIsl; l++ {
-			gPixels[b+l] = t.pixels[l]
-			gSums[b+l] = t.sums[l]
-			gRowM[b+l] = t.rowM[l]
-			gColM[b+l] = t.colM[l]
-			gMinPos[b+l] = t.minPos[l]
+	// Scatter each tile's accumulators into its contiguous node range. Tiles
+	// write disjoint ranges, so the copy parallelizes with no synchronization
+	// beyond the pool barrier; it is a second barrier phase only when the
+	// island population is large enough to amortize the two channel crossings
+	// per worker — small frames stay on the caller.
+	var s0 int64
+	if e.instrument {
+		s0 = nanotime()
+	}
+	e.next.Store(0)
+	if bg := e.nWorkers - 1; bg > 0 && nn >= scatterParallelMin {
+		e.job = jobScatter
+		for i := 0; i < bg; i++ {
+			e.wake <- struct{}{}
 		}
+		e.runScatter()
+		for i := 0; i < bg; i++ {
+			<-e.done
+		}
+	} else {
+		e.runScatter()
+	}
+	if e.instrument {
+		e.scatterNs = nanotime() - s0
 	}
 
 	guf := &e.guf
@@ -687,7 +759,7 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 		}
 	}
 	e.ord = ord
-	sortByPos(ord)
+	e.orderByPos(ord)
 
 	b := len(dst)
 	//hepccl:amortized
@@ -710,26 +782,82 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 	return dst
 }
 
-// sortByPos shell-sorts the island order list by raster position (positions
-// are distinct by construction). In place and allocation-free; K is the
-// merged island count, typically a few hundred.
+// orderByPos puts the root list (built in ascending node order) into
+// ascending first-appearance order.
+//
+// For the default full-width row-band decomposition (one tile column) the
+// list is already ordered and the call is free: local island ids are assigned
+// in band-raster order, which within a full-width band is frame-raster order;
+// tile bases grow with the band row; and the min-root union rule makes every
+// merged island's root the component that contains its first lit pixel (that
+// component lives in the island's earliest band and first-appears at the
+// island's global minimum position, so it carries the smallest local id among
+// the island's components there). Ascending node order is therefore exactly
+// ascending first-appearance order — no comparison sort at all.
+//
+// General tile grids break that guarantee (node order is tile-row-major, and
+// a root's own first appearance need not be the island's minimum — only the
+// folded gMinPos key is), so the roots are ordered by their minPos key with a
+// two-pass LSD counting sort: a stable scatter by column digit, then by row
+// digit, each pass one count / prefix-sum / scatter over a frame-dimension
+// count array. O(K + rows + cols), no data-dependent branching, and
+// allocation-free against persistent scratch — replacing the former
+// comparison shellsort.
 //
 //hepccl:hotpath
-func sortByPos(a []ordIsl) {
-	n := len(a)
-	gap := 1
-	for gap < n/3 {
-		gap = 3*gap + 1
+func (e *Engine) orderByPos(ord []ordIsl) {
+	if e.tcols == 1 || len(ord) < 2 {
+		return
 	}
-	for ; gap >= 1; gap /= 3 {
-		for i := gap; i < n; i++ {
-			v := a[i]
-			j := i
-			for ; j >= gap && a[j-gap].pos > v.pos; j -= gap {
-				a[j] = a[j-gap]
-			}
-			a[j] = v
-		}
+	k := len(ord)
+	//hepccl:amortized
+	if cap(e.ordTmp) < k {
+		e.ordTmp = make([]ordIsl, k)
+	}
+	//hepccl:amortized
+	if e.cntCol == nil {
+		e.cntCol = make([]int32, e.cols)
+		e.cntRow = make([]int32, e.rows)
+	}
+	tmp := e.ordTmp[:k]
+	cols := int64(e.cols)
+
+	cntCol := e.cntCol
+	for i := range cntCol {
+		cntCol[i] = 0
+	}
+	for i := range ord {
+		cntCol[ord[i].pos%cols]++
+	}
+	off := int32(0)
+	for i := range cntCol {
+		c := cntCol[i]
+		cntCol[i] = off
+		off += c
+	}
+	for i := range ord {
+		c := ord[i].pos % cols
+		tmp[cntCol[c]] = ord[i]
+		cntCol[c]++
+	}
+
+	cntRow := e.cntRow
+	for i := range cntRow {
+		cntRow[i] = 0
+	}
+	for i := range tmp {
+		cntRow[tmp[i].pos/cols]++
+	}
+	off = 0
+	for i := range cntRow {
+		c := cntRow[i]
+		cntRow[i] = off
+		off += c
+	}
+	for i := range tmp {
+		r := tmp[i].pos / cols
+		ord[cntRow[r]] = tmp[i]
+		cntRow[r]++
 	}
 }
 
