@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt soak gw-soak bench replay-check
+.PHONY: all build test race vet fmt soak gw-soak bench replay-check hotclosure hotclosure-check checkptr
 
 all: build vet test
 
@@ -14,10 +14,30 @@ test:
 race:
 	$(GO) test -race -short ./internal/server ./internal/gateway ./internal/adapt ./internal/runccl ./internal/wal ./internal/tileccl ./cmd/hepccld ./cmd/loadgen
 
-# go vet's standard suite + the module's hot-path analyzers + the compiler
-# escape-analysis cross-check. Must be clean before merging.
+# go vet's standard suite + the module's analyzers (marklint, hotpathalloc,
+# atomicring, nofloat, errwrapcheck, barrierproto, acctproto) + the compiler
+# escape-analysis and bounds-check-elimination cross-checks. Must be clean
+# before merging.
 vet:
 	$(GO) run ./cmd/hepcclvet ./...
+
+# Regenerate the hot-path closure baseline after intentionally changing what
+# the serving spine calls. Line numbers are stripped: the gate reviews
+# closure membership, not source positions.
+hotclosure:
+	$(GO) run ./cmd/hepcclvet -funcs | sed 's/^\([^:]*\):[0-9]*:/\1:/' > analysis/hotclosure.txt
+
+# Fail when the hot closure drifted from the reviewed baseline; regenerate
+# with `make hotclosure` and review the diff alongside the change.
+hotclosure-check:
+	$(GO) run ./cmd/hepcclvet -funcs | sed 's/^\([^:]*\):[0-9]*:/\1:/' | diff -u analysis/hotclosure.txt -
+
+# Pointer-safety instrumentation over the packages that carry unsafe word
+# views (adapt's fused integrate/batch paths) and the durability layer that
+# replays their bytes. checkptr=2 also flags pointers derived outside their
+# allocation; -race's default instrumentation is level 1.
+checkptr:
+	$(GO) test -gcflags=all=-d=checkptr=2 -count=1 ./internal/adapt ./internal/wal
 
 fmt:
 	gofmt -l -w .

@@ -1,6 +1,7 @@
 // Command hepcclvet is the module's invariant checker: it runs the custom
-// analyzer suite of internal/analysis (hotpathalloc, atomicring, nofloat,
-// errwrapcheck), the compiler escape-analysis cross-check, and go vet's
+// analyzer suite of internal/analysis (marklint, hotpathalloc, atomicring,
+// nofloat, errwrapcheck, barrierproto, acctproto), the compiler-shelled
+// escape-analysis and bounds-check-elimination cross-checks, and go vet's
 // standard analyzer set, and exits non-zero on any finding. CI runs it as a
 // required step; locally:
 //
@@ -11,11 +12,13 @@
 //
 //	-vet=false      skip the go vet standard set
 //	-escapes=false  skip the `go build -gcflags=-m` escape cross-check
+//	-bounds=false   skip the `-d=ssa/check_bce` bounds-check cross-check
 //	-funcs          print the hot-path closure (the functions the hot-path
 //	                rules apply to) and exit
 //
 // The analyzers themselves check the module's non-test sources; go vet
-// still covers tests. See DESIGN.md §10 for the invariant catalogue.
+// still covers tests. See DESIGN.md §10 and §15 for the invariant
+// catalogue.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"path/filepath"
 
 	"github.com/wustl-adapt/hepccl/internal/analysis"
+	"github.com/wustl-adapt/hepccl/internal/analysis/boundscheck"
 	"github.com/wustl-adapt/hepccl/internal/analysis/escapecheck"
 	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
 	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
@@ -35,6 +39,7 @@ import (
 func main() {
 	runVet := flag.Bool("vet", true, "also run go vet's standard analyzer set")
 	runEscapes := flag.Bool("escapes", true, "cross-check hot paths against go build -gcflags=-m escape output")
+	runBounds := flag.Bool("bounds", true, "cross-check hot loops against go build -d=ssa/check_bce output")
 	listFuncs := flag.Bool("funcs", false, "print the hot-path closure and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: hepcclvet [flags] [packages]\n\nAnalyzers:\n")
@@ -75,6 +80,13 @@ func main() {
 			fatal(err)
 		}
 		diags = append(diags, escapecheck.Check(prog, root, out)...)
+	}
+	if *runBounds {
+		out, err := boundscheck.Build(root)
+		if err != nil {
+			fatal(err)
+		}
+		diags = append(diags, boundscheck.Check(prog, root, out)...)
 	}
 	for _, d := range diags {
 		fmt.Printf("%s:%d:%d: %s [%s]\n", rel(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)

@@ -157,8 +157,14 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 		p.block = blk
 	}
 	if need == 0 || len(p.Samples[0]) != n || &p.Samples[0][0] != &blk[0] {
-		for ch := 0; ch < ChannelsPerASIC; ch++ {
-			p.Samples[ch] = blk[ch*n : (ch+1)*n : (ch+1)*n]
+		// Carve the block by shrinking from the front. The len(rest) >= n
+		// leg is vacuous (len(blk) == ChannelsPerASIC*n) but turns the
+		// per-channel window into a provable reslice, where the ch*n
+		// product form keeps a bounds check per iteration.
+		rest := blk
+		for ch := 0; ch < ChannelsPerASIC && len(rest) >= n; ch++ {
+			p.Samples[ch] = rest[:n:n]
+			rest = rest[n:]
 		}
 	}
 	// Checksum verification fuses into the decode so the frame is walked
@@ -170,10 +176,14 @@ func (p *Packet) Unmarshal(data []byte) (int, error) {
 	// its byte-swapped words, which is exactly the 16-bit lanes of a
 	// little-endian load.
 	sum := 256 * uint64(data[16])
-	for i := 0; i < 16; i += 8 {
-		v := binary.BigEndian.Uint64(data[i:])
-		sum += v>>48 + v>>32&0xFFFF + v>>16&0xFFFF + v&0xFFFF
-	}
+	// Two-word unroll over the 16 header bytes: constant indices under the
+	// entry length check, where the strided loop form retains a bounds check
+	// per load.
+	hw := data[:16]
+	v0 := binary.BigEndian.Uint64(hw[:8])
+	sum += v0>>48 + v0>>32&0xFFFF + v0>>16&0xFFFF + v0&0xFFFF
+	v1 := binary.BigEndian.Uint64(hw[8:16])
+	sum += v1>>48 + v1>>32&0xFFFF + v1>>16&0xFFFF + v1&0xFFFF
 	// The wire layout is channel-major, matching the block layout exactly:
 	// one linear pass decodes every channel. Lane accumulators hold one
 	// 16-bit word sum per 32-bit half; at most 1020 additions per frame

@@ -63,6 +63,9 @@ func (rr *RawEventReader) Buffered() int { return rr.r.Buffered() }
 func (rr *RawEventReader) peekFrame() ([]byte, error) {
 	for {
 		hdr, err := rr.r.Peek(headerBytes)
+		// bufio.Peek returns err == nil only with all headerBytes present —
+		// an I/O contract outside compiler range proofs.
+		//hepccl:checked
 		if err != nil || hdr[0] != magicHi || hdr[1] != magicLo {
 			if len(hdr) >= 2 && hdr[0] == magicHi && hdr[1] == magicLo {
 				// Aligned frame but the header itself is truncated.
@@ -95,7 +98,9 @@ func (rr *RawEventReader) peekFrame() ([]byte, error) {
 			at := scanMagic(win)
 			if at < 0 {
 				n := len(win)
-				if win[n-1] == magicHi {
+				// n > 0 always holds (the window held a rejected pair); the
+				// explicit guard is what lets the compiler drop the check.
+				if n > 0 && win[n-1] == magicHi {
 					n--
 				}
 				rr.SkippedBytes += n
@@ -106,6 +111,9 @@ func (rr *RawEventReader) peekFrame() ([]byte, error) {
 			rr.r.Discard(at)
 			continue
 		}
+		// The fast path reaches here only with err == nil, so Peek's
+		// contract pins len(hdr) == headerBytes.
+		//hepccl:checked
 		total := headerBytes + 2*ChannelsPerASIC*int(hdr[headerBytes-1]) + 2
 		frame, err := rr.r.Peek(total)
 		if err != nil {
@@ -164,6 +172,8 @@ func (rr *RawEventReader) ReadEventInto(dst []byte, asics int) (uint32, []byte, 
 			return event, dst[:0], fmt.Errorf("%w: after %d of %d packets for event %d: %w",
 				ErrIncompleteEvent, i, asics, event, err)
 		}
+		// peekFrame returned a full frame: len(frame) ≥ headerBytes.
+		//hepccl:checked
 		ev := binary.BigEndian.Uint32(frame[4:])
 		if i == 0 {
 			event = ev

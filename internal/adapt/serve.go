@@ -119,6 +119,9 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 	sc.lit = lit
 	gain := p.cfg.GainADC
 	half := gain / 2
+	// Lit entries carry flat indexes < Channels (integrateEvent's
+	// contract), which bounds the pedestal and merged-image loads.
+	//hepccl:checked
 	for _, le := range lit {
 		fl := int(le.fl)
 		// PhotonCount(net, gain) = (net + gain/2) / gain, with the division
@@ -133,6 +136,10 @@ func (p *Pipeline) ServeEvent(packets []Packet, rec *EventRecord) error {
 		}
 	}
 	if bitmap != nil {
+		// The word/mask tables hold an entry per pixel and fl < px is
+		// checked inline; the bitmap holds a word per litWord value by the
+		// geometry precomputation.
+		//hepccl:checked
 		for _, le := range lit {
 			if fl := int(le.fl); fl < px {
 				bitmap[p.litWord[fl]] |= p.litMask[fl]
@@ -211,6 +218,10 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 	uf := &sc.uf
 	uf.Reset(1) // provisional label 0 = background
 
+	// Raster indexes i = r·ncols + c and their up/left neighbor offsets all
+	// lie in [0, px) under the r/c guards — product arithmetic the prove
+	// pass does not model; the union-find label loads are loaded values.
+	//hepccl:checked
 	for r := 0; r < nrows; r++ {
 		rowBase := r * ncols
 		for c := 0; c < ncols; c++ {
@@ -272,6 +283,9 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 		pixels[l], sums[l], rows[l], cols[l] = 0, 0, 0, 0
 	}
 	k := int32(0)
+	// Labels, roots, and compact numbers are loaded or counted values
+	// bounded by the union-find population np — outside range proofs.
+	//hepccl:checked
 	for i := 0; i < px; i++ {
 		l := labels[i]
 		if l == 0 {
@@ -290,6 +304,8 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 		rows[cl] += int64(i/ncols) * v
 		cols[cl] += int64(i%ncols) * v
 	}
+	// Compact labels 1..k stay within np by the remap construction.
+	//hepccl:checked
 	for l := int32(1); l <= k; l++ {
 		rec.Islands = append(rec.Islands, IslandRecord{
 			Label:  l,
@@ -305,15 +321,16 @@ func (p *Pipeline) serve2D(merged []grid.Value, rec *EventRecord) error {
 // serve1D emits runs of consecutive lit channels — the functional equivalent
 // of the 1D island detection + centroiding design.
 func (p *Pipeline) serve1D(merged []grid.Value, rec *EventRecord) error {
-	n := len(merged)
-	for start := 0; start < n; {
-		if merged[start] == 0 {
-			start++
+	// The outer range keeps start provably in bounds; end tracks how far the
+	// last run was consumed, so interior positions skip without re-reading.
+	end := 0
+	for start, v0 := range merged {
+		if start < end || v0 == 0 {
 			continue
 		}
-		end := start
+		end = start
 		var sum, weighted int64
-		for end < n && merged[end] != 0 {
+		for end < len(merged) && merged[end] != 0 {
 			v := int64(merged[end])
 			sum += v
 			weighted += int64(end) * v
@@ -326,7 +343,6 @@ func (p *Pipeline) serve1D(merged []grid.Value, rec *EventRecord) error {
 			RowQ16: 0,
 			ColQ16: q16Ratio(weighted, sum),
 		})
-		start = end
 	}
 	return nil
 }

@@ -62,6 +62,9 @@ func (p *Pipeline) ServeBatch(events [][]Packet, recs []EventRecord, errs []erro
 		errs[i] = nil
 		b.BeginEvent()
 		if !p.batchEventFused(ev, &recs[i], b) {
+			// The inlined abort's reslices are bounded by the event-offset
+			// fence: evOff entries never exceed the run arrays' lengths.
+			//hepccl:checked
 			b.AbortEvent()
 			if err := p.batchEventRef(ev, &recs[i], b); err != nil {
 				//hepccl:coldpath
@@ -78,7 +81,13 @@ func (p *Pipeline) ServeBatch(events [][]Packet, recs []EventRecord, errs []erro
 		if evIdx[i] < 0 {
 			continue
 		}
+		// The inlined Islands prologue reslices its scratch to the event's
+		// run count, which its amortized grow keeps within capacity.
+		//hepccl:checked
 		sc.islands = b.Islands(int(evIdx[i]), sc.islands[:0])
+		// Inlined emitIslands reslices the record's island buffer to the
+		// island count its amortized grow just guaranteed.
+		//hepccl:checked
 		emitIslands(sc.islands, &recs[i])
 		ok++
 	}
@@ -221,6 +230,10 @@ func (p *Pipeline) batchEventFused(packets []Packet, rec *EventRecord, b *runccl
 		if blk := pkt.block; len(blk) == ChannelsPerASIC*4 && limits32 != nil {
 			if uintptr(unsafe.Pointer(&blk[0]))&7 == 0 {
 				u := unsafe.Slice((*uint64)(unsafe.Pointer(&blk[0])), ChannelsPerASIC*2)
+				// base = i·ChannelsPerASIC with i < ASICs, and the limit
+				// tables hold ASICs·ChannelsPerASIC entries — a config
+				// contract the compiler cannot see.
+				//hepccl:checked
 				lim := limits32[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
 				for ch := 0; ch < ChannelsPerASIC; ch += 8 {
 					p0 := u[2*ch] + u[2*ch+1]
@@ -277,6 +290,8 @@ func (p *Pipeline) batchEventFused(packets []Packet, rec *EventRecord, b *runccl
 				}
 				continue
 			}
+			// Same limit-table contract as the aligned route above.
+			//hepccl:checked
 			lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
 			blk = blk[: ChannelsPerASIC*4 : ChannelsPerASIC*4]
 			for ch := 0; ch < ChannelsPerASIC; ch++ {
@@ -288,6 +303,8 @@ func (p *Pipeline) batchEventFused(packets []Packet, rec *EventRecord, b *runccl
 			}
 			continue
 		}
+		// Same limit-table contract as the block routes above.
+		//hepccl:checked
 		lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
 		for ch := 0; ch < ChannelsPerASIC; ch++ {
 			var r int64
@@ -334,6 +351,9 @@ func (p *Pipeline) batchEventRef(packets []Packet, rec *EventRecord, b *runccl.B
 	sc.lit = lit
 	gain := p.cfg.GainADC
 	half := gain / 2
+	// Lit entries carry flat indexes < Channels (integrateEvent's
+	// contract), which bounds every per-channel table load here.
+	//hepccl:checked
 	for _, le := range lit {
 		fl := int(le.fl)
 		num := le.raw - p.pedestals[fl] + half

@@ -21,6 +21,9 @@ func integrateEvent(packets []Packet, limits, minLim []int64, lit []litRef) []li
 		pkt := &packets[i]
 		asic := pkt.ASICIndex()
 		base := asic * ChannelsPerASIC
+		// The limits table is sized NumASICs*ChannelsPerASIC and ASICIndex
+		// is < NumASICs — a configuration contract, not a provable range.
+		//hepccl:checked
 		lim := limits[base : base+ChannelsPerASIC : base+ChannelsPerASIC]
 		if blk := pkt.block; len(blk) == ChannelsPerASIC*4 {
 			if uintptr(unsafe.Pointer(&blk[0]))&7 == 0 {
@@ -30,9 +33,15 @@ func integrateEvent(packets []Packet, limits, minLim []int64, lit []litRef) []li
 				// the ASIC's smallest limit proves every channel dark. The
 				// ≤ 0xFFFF sample bound keeps the 32 lane adds carry-free.
 				var tot uint64
-				for w := 0; w < ChannelsPerASIC*2; w += 4 {
-					tot += u[w] + u[w+1] + u[w+2] + u[w+3]
+				// Walk by shrinking the slice head: constant indices the
+				// compiler proves in range, where the strided form keeps a
+				// check per load.
+				for v := u; len(v) >= 4; v = v[4:] {
+					tot += v[0] + v[1] + v[2] + v[3]
 				}
+				// minLim is sized NumASICs and ASICIndex < NumASICs — the
+				// same configuration contract as the limits table above.
+				//hepccl:checked
 				if int64(tot&0xFFFFFFFF)+int64(tot>>32) < minLim[asic] {
 					continue
 				}

@@ -154,7 +154,9 @@ const (
 
 // scanMagic returns the index of the first magic pair in buf, or -1. The hot
 // loop tests eight bytes per iteration: a SWAR zero-byte detect on buf^0xA1…
-// marks candidate high bytes, and only candidates pay the pair check.
+// marks candidate high bytes, and only candidates pay the pair check. The
+// loop walks by shrinking the slice head — constant-index loads the compiler
+// proves in range without induction, which early returns would break.
 //
 //hepccl:hotpath
 func scanMagic(buf []byte) int {
@@ -163,22 +165,42 @@ func scanMagic(buf []byte) int {
 		highs = 0x8080808080808080
 		hiRep = 0xA1A1A1A1A1A1A1A1
 	)
-	i := 0
-	// i+9 <= len keeps buf[j+1] in range for a candidate anywhere in the word.
-	for ; i+9 <= len(buf); i += 8 {
-		x := binary.LittleEndian.Uint64(buf[i:]) ^ hiRep
-		m := (x - lanes) & ^x & highs // exact zero-byte detect: one high bit per 0xA1
+	base := 0
+	b := buf
+	// len >= 9 keeps the pair byte in range for a candidate anywhere in the
+	// word, including lane 7, whose partner is b[8].
+	for len(b) >= 9 {
+		w := binary.LittleEndian.Uint64(b[:8])
+		x := w ^ hiRep
+		m := (x - lanes) & ^x & highs
 		for m != 0 {
-			j := i + bits.TrailingZeros64(m)>>3
-			if buf[j+1] == magicLo {
-				return j
+			k := bits.TrailingZeros64(m) >> 3
+			// The zero-byte detect over-approximates across borrow ripples
+			// (a lane one above an exact match is falsely flagged), so
+			// re-verify the candidate in-register before the pair test.
+			if byte(w>>(uint(k)*8)) == magicHi {
+				var next byte
+				if k == 7 {
+					next = b[8]
+				} else {
+					next = byte(w >> (uint(k+1) * 8))
+				}
+				if next == magicLo {
+					return base + k
+				}
 			}
 			m &= m - 1
 		}
+		b = b[8:]
+		base += 8
 	}
-	for ; i+1 < len(buf); i++ {
-		if buf[i] == magicHi && buf[i+1] == magicLo {
-			return i
+	if len(b) >= 2 {
+		ta := b[:len(b)-1]
+		tb := b[1:]
+		for k, c := range ta {
+			if c == magicHi && tb[k] == magicLo {
+				return base + k
+			}
 		}
 	}
 	return -1
@@ -236,6 +258,9 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 		// check and two byte compares — and only fall into the hunt when the
 		// stream is out of sync or ending.
 		hdr, err := sr.r.Peek(headerBytes)
+		// bufio.Peek returns err == nil only with all headerBytes present —
+		// an I/O contract outside compiler range proofs.
+		//hepccl:checked
 		if err != nil || hdr[0] != magicHi || hdr[1] != magicLo {
 			if len(hdr) >= 2 && hdr[0] == magicHi && hdr[1] == magicLo {
 				// Aligned frame but the header itself is truncated.
@@ -271,7 +296,9 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 				// No pair in the window. Everything is garbage except a trailing
 				// magic-high byte, which may pair with the next window's first.
 				n := len(win)
-				if win[n-1] == magicHi {
+				// n > 0 always holds (the window held a rejected pair); the
+				// explicit guard is what lets the compiler drop the check.
+				if n > 0 && win[n-1] == magicHi {
 					n--
 				}
 				sr.SkippedBytes += n
@@ -282,6 +309,9 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 			sr.r.Discard(at)
 			continue
 		}
+		// The fast path reaches here only with err == nil, so Peek's
+		// contract pins len(hdr) == headerBytes.
+		//hepccl:checked
 		samples := hdr[headerBytes-1]
 		total := headerBytes + 2*ChannelsPerASIC*int(samples) + 2
 		frame, err := sr.r.Peek(total)
@@ -295,6 +325,8 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 			return io.EOF
 		}
 		if skim {
+			// Peek succeeded, so len(frame) == total ≥ headerBytes.
+			//hepccl:checked
 			if ev := binary.BigEndian.Uint32(frame[4:]); !haveEvent || ev == event {
 				// Condemned frame: framing only — no checksum, no decode.
 				// The event is dropped either way, so payload corruption is
@@ -306,6 +338,8 @@ func (sr *StreamReader) readPacketInto(p *Packet, skim, haveEvent bool, event ui
 				p.ASIC = frame[2]
 				p.Flags = frame[3]
 				p.Event = ev
+				// Same Peek contract as the event-id load above.
+				//hepccl:checked
 				p.Timestamp = binary.BigEndian.Uint64(frame[8:])
 				p.SamplesPerChannel = samples
 				sr.r.Discard(total)
@@ -382,17 +416,22 @@ func (sr *StreamReader) SkimEvent(asics int) (uint32, error) {
 		// general path, which owns resync, EOF, and interruption handling.
 		if n := sr.r.Buffered(); n >= headerBytes {
 			win, _ := sr.r.Peek(n)
+			// The walk shrinks the window head instead of indexing at a
+			// running offset: every load is at a constant index under the
+			// len(win) >= headerBytes guard, so the compiler drops all
+			// checks the offset form would retain.
 			off := 0
-			for i < asics && len(win)-off >= headerBytes {
-				h := win[off:]
+			for i < asics && len(win) >= headerBytes {
+				h := win
 				if h[0] != magicHi || h[1] != magicLo ||
 					binary.BigEndian.Uint32(h[4:]) != event {
 					break
 				}
 				total := headerBytes + 2*ChannelsPerASIC*int(h[headerBytes-1]) + 2
-				if len(win)-off < total {
+				if len(win) < total {
 					break
 				}
+				win = win[total:]
 				off += total
 				i++
 			}

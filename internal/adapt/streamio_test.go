@@ -327,3 +327,74 @@ func TestBadPacketBudgetSurfacesStorm(t *testing.T) {
 		t.Fatalf("unlimited budget errored: %v", err)
 	}
 }
+
+// scanMagicRef is the obvious two-byte scan scanMagic must agree with.
+func scanMagicRef(buf []byte) int {
+	for i := 0; i+1 < len(buf); i++ {
+		if buf[i] == magicHi && buf[i+1] == magicLo {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestScanMagicBorrowFalsePositive pins the borrow-ripple bug: the SWAR
+// zero-byte detect flags the lane one above an exact 0xA1 match (the
+// subtraction borrows across lanes), and without re-verifying the candidate
+// byte the scanner reported a pair at a position holding 0xA0. The stream
+// reader recovered by rejecting the header and re-hunting, but every such
+// hit cost an extra peek-discard round trip per corrupted window.
+func TestScanMagicBorrowFalsePositive(t *testing.T) {
+	cases := [][]byte{
+		// 0xA1 0xA0 0x5A inside one word: the 0xA0 lane is falsely flagged
+		// and is followed by the magic-low byte.
+		{0, 0, magicHi, 0xA0, magicLo, 0, 0, 0, 0, 0, 0, 0},
+		// Same pattern with a real pair later in the buffer.
+		{0, magicHi, 0xA0, magicLo, 0, 0, 0, 0, magicHi, magicLo, 0, 0},
+		// Ripple chain: consecutive 0xA1 bytes keep the borrow alive.
+		{magicHi, magicHi, magicHi, 0xA0, magicLo, 0, 0, 0, 0, 0, 0, 0},
+	}
+	for i, buf := range cases {
+		if got, want := scanMagic(buf), scanMagicRef(buf); got != want {
+			t.Errorf("case %d: scanMagic = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestScanMagicExhaustive sweeps every pair position and word-lane phase,
+// plus randomized magic-heavy buffers, against the reference scan.
+func TestScanMagicExhaustive(t *testing.T) {
+	for size := 0; size <= 40; size++ {
+		for at := 0; at+1 < size; at++ {
+			buf := make([]byte, size)
+			buf[at] = magicHi
+			buf[at+1] = magicLo
+			if got := scanMagic(buf); got != at {
+				t.Fatalf("size %d pair at %d: got %d", size, at, got)
+			}
+		}
+	}
+	rng := detector.NewRNG(7)
+	buf := make([]byte, 64)
+	for trial := 0; trial < 50000; trial++ {
+		n := rng.Intn(len(buf))
+		b := buf[:n]
+		for i := range b {
+			// Bias heavily toward the magic bytes and their borrow
+			// neighbours to stress candidate verification.
+			switch rng.Intn(5) {
+			case 0:
+				b[i] = magicHi
+			case 1:
+				b[i] = magicLo
+			case 2:
+				b[i] = 0xA0
+			default:
+				b[i] = byte(rng.Intn(256))
+			}
+		}
+		if got, want := scanMagic(b), scanMagicRef(b); got != want {
+			t.Fatalf("n=%d buf=%x: got %d, want %d", n, b, got, want)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+// Package acctproto machine-enforces the gateway's accounting identity
+// (offered == relayed + shed + inflight). The identity holds only because
+// charging and settling an event share the upstream's mutex — a counter
+// mutation outside that lock is exactly the race that lets an event be
+// counted twice (or never) when a backend dies mid-record.
+//
+// Fields marked //hepccl:accounted (the identity's counters) may be mutated
+// — .Add/.Store/.Swap/.CompareAndSwap on the atomic, or a plain assignment —
+// only while a mutex marked //hepccl:acctmu is held. Holding is computed as
+// a path-insensitive lock-set in source order over each function body
+// (Lock() opens a region, a non-deferred Unlock() closes it, a deferred
+// Unlock() holds to function end), propagated over the SSA-free go/types
+// call graph: a helper that mutates without locking is clean when every one
+// of its static call sites is itself inside a held region (transitively).
+// Dynamic calls (interfaces, function values) are not resolved and count as
+// unheld call sites.
+//
+// Genuinely lock-free mutations — counters charged before any upstream
+// exists, like the pre-placement sheds — carry a //hepccl:checked directive
+// whose comment argues why no charge/settle race is possible there.
+package acctproto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// Analyzer is the acctproto checker.
+var Analyzer = &framework.Analyzer{
+	Name: "acctproto",
+	Doc:  "require the //hepccl:acctmu mutex held at every //hepccl:accounted counter mutation",
+	Run:  run,
+}
+
+// mutatorNames are the sync/atomic methods that change a counter's value.
+var mutatorNames = map[string]bool{
+	"Add": true, "Store": true, "Swap": true,
+	"CompareAndSwap": true, "And": true, "Or": true,
+}
+
+// event is one lock-relevant or mutation site in a function body, processed
+// in source order.
+type event struct {
+	pos  token.Pos
+	kind int // 0 lock, 1 unlock, 2 deferred unlock, 3 mutation, 4 call site
+	// mutation: the mutated field; call site: the callee.
+	field  *types.Var
+	callee *types.Func
+}
+
+// funcFacts is one function's lock-set summary.
+type funcFacts struct {
+	decl *ast.FuncDecl
+	pkg  *load.Package
+	// mutations not covered by a local held region or a //hepccl:checked
+	// directive; clean only if every call site of the function is held.
+	naked []event
+	// call sites of other module functions, with local held state.
+	calls []struct {
+		callee *types.Func
+		held   bool
+	}
+}
+
+func run(pass *framework.Pass) error {
+	marks := hepcclmark.Collect(pass.Prog)
+	accounted := map[*types.Var]string{} // field -> struct name
+	mutexes := map[*types.Var]bool{}
+
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts := spec.(*ast.TypeSpec)
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, f := range st.Fields.List {
+						marked := func(kind string) bool {
+							return marks.DocMarked(f.Doc, kind) || marks.DocMarked(f.Comment, kind)
+						}
+						if !marked(hepcclmark.Accounted) && !marked(hepcclmark.AcctMu) {
+							continue
+						}
+						for _, name := range f.Names {
+							v, ok := pkg.Info.Defs[name].(*types.Var)
+							if !ok {
+								continue
+							}
+							if marked(hepcclmark.Accounted) {
+								accounted[v.Origin()] = ts.Name.Name
+							} else {
+								mutexes[v.Origin()] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(accounted) == 0 {
+		return nil
+	}
+
+	// Summarize every function body: lock regions, mutations, call sites.
+	facts := map[*types.Func]*funcFacts{}
+	for _, pkg := range pass.Prog.Packages {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				facts[obj.Origin()] = summarize(pass, pkg, marks, fd, accounted, mutexes)
+			}
+		}
+	}
+
+	// A function's naked mutations are clean when every call site is held,
+	// transitively. Cycles and entry points resolve to unheld.
+	memo := map[*types.Func]int{} // 0 unknown, 1 in progress/unheld, 2 held
+	callers := map[*types.Func][]struct {
+		in   *types.Func
+		held bool
+	}{}
+	for obj, ff := range facts {
+		for _, cs := range ff.calls {
+			callers[cs.callee] = append(callers[cs.callee], struct {
+				in   *types.Func
+				held bool
+			}{obj, cs.held})
+		}
+	}
+	var allSitesHeld func(f *types.Func) bool
+	allSitesHeld = func(f *types.Func) bool {
+		switch memo[f] {
+		case 1:
+			return false
+		case 2:
+			return true
+		}
+		memo[f] = 1
+		sites := callers[f]
+		if len(sites) == 0 {
+			return false
+		}
+		for _, s := range sites {
+			if !s.held && !allSitesHeld(s.in) {
+				return false
+			}
+		}
+		memo[f] = 2
+		return true
+	}
+
+	var objs []*types.Func
+	for obj := range facts {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		ff := facts[obj]
+		if len(ff.naked) == 0 || allSitesHeld(obj) {
+			continue
+		}
+		for _, m := range ff.naked {
+			pass.Reportf(m.pos, "accounted counter %s.%s mutated without the accounting mutex held; hold the //hepccl:acctmu mutex (here or at every call site) or justify with //hepccl:checked",
+				accounted[m.field], m.field.Name())
+		}
+	}
+	return nil
+}
+
+// summarize walks one function body in source order, tracking the lock-set.
+func summarize(pass *framework.Pass, pkg *load.Package, marks *hepcclmark.Marks, fd *ast.FuncDecl, accounted map[*types.Var]string, mutexes map[*types.Var]bool) *funcFacts {
+	ff := &funcFacts{decl: fd, pkg: pkg}
+	var events []event
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if v := mutexCallee(pkg.Info, n.Call, mutexes, "Unlock"); v != nil {
+				events = append(events, event{pos: n.Pos(), kind: 2})
+				return false
+			}
+		case *ast.CallExpr:
+			if v := mutexCallee(pkg.Info, n, mutexes, "Lock"); v != nil {
+				events = append(events, event{pos: n.Pos(), kind: 0})
+				return true
+			}
+			if v := mutexCallee(pkg.Info, n, mutexes, "Unlock"); v != nil {
+				events = append(events, event{pos: n.Pos(), kind: 1})
+				return true
+			}
+			if f := mutation(pkg.Info, n, accounted); f != nil {
+				events = append(events, event{pos: n.Pos(), kind: 3, field: f})
+				return true
+			}
+			if callee := hepcclmark.Callee(pkg.Info, n); callee != nil && callee.Pkg() != nil && pass.Prog.ByPath(callee.Pkg().Path()) != nil {
+				events = append(events, event{pos: n.Pos(), kind: 4, callee: callee.Origin()})
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if se, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if sel, found := pkg.Info.Selections[se]; found && sel.Kind() == types.FieldVal {
+						if v, isVar := sel.Obj().(*types.Var); isVar {
+							if _, tracked := accounted[v.Origin()]; tracked {
+								events = append(events, event{pos: lhs.Pos(), kind: 3, field: v})
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := false
+	deferred := false
+	for _, e := range events {
+		switch e.kind {
+		case 0:
+			held = true
+		case 1:
+			if !deferred {
+				held = false
+			}
+		case 2:
+			deferred = true
+		case 3:
+			if held {
+				continue
+			}
+			pos := pass.Prog.Fset.Position(e.pos)
+			if marks.LineMarked(pos.Filename, pos.Line, hepcclmark.Checked) {
+				continue
+			}
+			ff.naked = append(ff.naked, e)
+		case 4:
+			ff.calls = append(ff.calls, struct {
+				callee *types.Func
+				held   bool
+			}{e.callee, held})
+		}
+	}
+	return ff
+}
+
+// mutexCallee reports whether the call is <expr>.<method>() on a marked
+// mutex field, returning the field.
+func mutexCallee(info *types.Info, ce *ast.CallExpr, mutexes map[*types.Var]bool, method string) *types.Var {
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok || se.Sel.Name != method {
+		return nil
+	}
+	fse, ok := ast.Unparen(se.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := info.Selections[fse]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok || !mutexes[v.Origin()] {
+		return nil
+	}
+	return v
+}
+
+// mutation reports whether the call mutates an accounted field via its
+// sync/atomic methods, returning the field.
+func mutation(info *types.Info, ce *ast.CallExpr, accounted map[*types.Var]string) *types.Var {
+	se, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok || !mutatorNames[se.Sel.Name] {
+		return nil
+	}
+	fse, ok := ast.Unparen(se.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := info.Selections[fse]
+	if !ok || sel.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := accounted[v.Origin()]; !tracked {
+		return nil
+	}
+	return v
+}

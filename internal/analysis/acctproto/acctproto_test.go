@@ -1,0 +1,12 @@
+package acctproto_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/acctproto"
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+)
+
+func TestAcctProto(t *testing.T) {
+	analysistest.Run(t, "testdata", acctproto.Analyzer, "acctfix")
+}

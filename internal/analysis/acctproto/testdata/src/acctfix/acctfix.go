@@ -1,0 +1,117 @@
+// Package acctfix seeds accounting-identity violations for the acctproto
+// fixture suite: counter mutations outside the charge/settle mutex, after an
+// early unlock, and in a helper reachable from an unlocked call site — plus
+// the clean shapes (held regions, deferred unlocks, helpers whose every call
+// site is held, and a justified //hepccl:checked mutation) that must stay
+// silent.
+package acctfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	//hepccl:accounted
+	offered atomic.Uint64
+	//hepccl:accounted
+	relayed atomic.Uint64
+	//hepccl:accounted
+	inflight atomic.Int64
+	// retried is supplementary, not part of the identity: free to mutate.
+	retried atomic.Uint64
+}
+
+type upstream struct {
+	//hepccl:acctmu
+	mu   sync.Mutex
+	held int
+}
+
+type gw struct {
+	stats stats
+}
+
+// charge is the clean shape: lock, defer unlock, mutate.
+func (g *gw) charge(u *upstream) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.held++
+	g.stats.inflight.Add(1)
+}
+
+// settle mutates inside the locked region and touches only the
+// unconstrained counter after the unlock.
+func (g *gw) settle(u *upstream) {
+	u.mu.Lock()
+	g.stats.inflight.Add(-1)
+	g.stats.relayed.Add(1)
+	u.mu.Unlock()
+	g.stats.retried.Add(1)
+}
+
+// naked mutates with no lock in sight.
+func (g *gw) naked() {
+	g.stats.relayed.Add(1) // want `accounted counter stats.relayed mutated without the accounting mutex held`
+}
+
+// early mutates after the region closed.
+func (g *gw) early(u *upstream) {
+	u.mu.Lock()
+	g.stats.inflight.Add(1)
+	u.mu.Unlock()
+	g.stats.inflight.Add(-1) // want `accounted counter stats.inflight mutated without the accounting mutex held`
+}
+
+// bump is a helper with no lock of its own; it is clean or not depending on
+// its call sites.
+func (g *gw) bump() {
+	g.stats.offered.Add(1) // want `accounted counter stats.offered mutated without the accounting mutex held`
+}
+
+// lockedCaller calls bump under the mutex — this site is fine on its own.
+func (g *gw) lockedCaller(u *upstream) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	g.bump()
+}
+
+// nakedCaller also calls bump, without the mutex — this site is what makes
+// bump's mutation a violation.
+func (g *gw) nakedCaller() {
+	g.bump()
+}
+
+// creditHeld is a helper whose every call site is held, transitively: clean.
+func (g *gw) creditHeld() {
+	g.stats.relayed.Add(1)
+}
+
+// settleFront is creditHeld's only caller, itself called only under the lock.
+func (g *gw) settleFront() {
+	g.creditHeld()
+}
+
+func (g *gw) onlyLockedUse(u *upstream) {
+	u.mu.Lock()
+	g.settleFront()
+	u.mu.Unlock()
+}
+
+// offer mutates pre-charge, before any upstream (and so any mutex) exists;
+// the directive carries the argument.
+func (g *gw) offer() {
+	// No charge/settle race: the event is not yet held by any upstream, so
+	// no settle can classify it concurrently.
+	//hepccl:checked
+	g.stats.offered.Add(1)
+}
+
+var _ = (*gw).charge
+var _ = (*gw).settle
+var _ = (*gw).naked
+var _ = (*gw).early
+var _ = (*gw).lockedCaller
+var _ = (*gw).nakedCaller
+var _ = (*gw).onlyLockedUse
+var _ = (*gw).offer

@@ -1,0 +1,12 @@
+package barrierproto_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/barrierproto"
+)
+
+func TestBarrierProto(t *testing.T) {
+	analysistest.Run(t, "testdata", barrierproto.Analyzer, "poolfix")
+}

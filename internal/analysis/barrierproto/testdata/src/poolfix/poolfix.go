@@ -1,0 +1,120 @@
+// Package poolfix seeds violations of the parked-worker pool protocol for
+// the barrierproto fixture suite: unbuffered wake channels, bare blocking
+// wake sends, done tokens minted outside the worker loop, mismatched barrier
+// counts, plain cursor types and overwrites, and sends after Close.
+package poolfix
+
+import "sync/atomic"
+
+// pool is a well-formed parked-worker pool: every protocol site below that
+// touches it correctly must stay silent.
+//
+//hepccl:pool
+type pool struct {
+	wake chan struct{} //hepccl:wake
+	done chan struct{} //hepccl:done
+	next atomic.Int64  //hepccl:cursor
+	n    int
+}
+
+// badPool declares its cursor as a plain int, racing workers on it.
+//
+//hepccl:pool
+type badPool struct {
+	wake chan struct{} //hepccl:wake
+	//hepccl:cursor
+	next int // want `pool cursor field of badPool is not a sync/atomic type`
+}
+
+func newPool(n int) *pool {
+	p := &pool{n: n}
+	p.wake = make(chan struct{}, n)
+	p.done = make(chan struct{}, n)
+	return p
+}
+
+func newBadPool() *badPool {
+	return &badPool{
+		wake: make(chan struct{}), // want `pool channel badPool.wake made unbuffered`
+	}
+}
+
+func (p *pool) worker() {
+	for range p.wake {
+		i := p.next.Add(1)
+		_ = i
+		p.done <- struct{}{}
+	}
+}
+
+// barrier is the well-formed caller: counted wake sends matched by a
+// done-receive loop with the same bound, cursor reset via Store.
+func (p *pool) barrier() {
+	p.next.Store(0)
+	bg := p.n - 1
+	for i := 0; i < bg; i++ {
+		p.wake <- struct{}{}
+	}
+	for i := 0; i < bg; i++ {
+		<-p.done
+	}
+}
+
+// notify is the well-formed non-blocking nudge.
+func (p *pool) notify() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close is the only place pool channels may close.
+func (p *pool) Close() {
+	close(p.wake)
+}
+
+// bareSend blocks the producer on the consumer's schedule.
+func (p *pool) bareSend() {
+	p.wake <- struct{}{} // want `wake channel pool.wake sent outside select/default`
+}
+
+// mismatched wakes n workers but only collects bg tokens.
+func (p *pool) mismatched() {
+	bg := p.n - 1
+	for i := 0; i < p.n; i++ {
+		p.wake <- struct{}{} // want `wake channel pool.wake sent outside select/default and outside a counted barrier loop`
+	}
+	for i := 0; i < bg; i++ {
+		<-p.done
+	}
+}
+
+// mintDone returns a token it never received a wake for.
+func (p *pool) mintDone() {
+	p.done <- struct{}{} // want `done channel pool.done sent outside the worker's`
+}
+
+// stop closes the wake channel from outside Close, then keeps sending.
+func (p *pool) stop() {
+	close(p.wake) // want `pool channel pool.wake closed outside the pool's Close method`
+	select {
+	case p.wake <- struct{}{}: // want `send on pool channel pool.wake after Close`
+	default:
+	}
+}
+
+// overwrite replaces the cursor wholesale instead of using its atomics.
+func (p *pool) overwrite() {
+	p.next = atomic.Int64{} // want `pool cursor pool.next overwritten with a plain assignment`
+}
+
+var _ = newPool
+var _ = newBadPool
+var _ = (*pool).worker
+var _ = (*pool).barrier
+var _ = (*pool).notify
+var _ = (*pool).bareSend
+var _ = (*pool).mismatched
+var _ = (*pool).mintDone
+var _ = (*pool).stop
+var _ = (*pool).overwrite

@@ -1,0 +1,121 @@
+// Package boundscheck is the hot path's bounds-check-elimination proof: it
+// parses the compiler's BCE and nil-check debug output (`go build
+// -gcflags=-d=ssa/check_bce/debug=1,nil`) and flags any bounds or nil check
+// the compiler retained inside a loop of a //hepccl:hotpath function. The
+// paper's HLS pipeline gets II=1 only because every array access in the
+// datapath is proven in range at synthesis time; the software analogue is
+// that the fused decode, resolve sweep, and seam merge loops must compile to
+// straight-line loads — a retained IsInBounds is a per-iteration compare and
+// branch the profile pays for millions of times per second.
+//
+// Scope: only checks inside for/range loops of hot-closure functions count.
+// Straight-line checks (entry guards, slice-header setup before a loop) are
+// the mechanism BCE fixes use and are free by comparison. A retained check
+// whose safety rests on an invariant the prover cannot see (parent[x] ≤ x,
+// mask == len(buf)-1, value-dependent union-find indices) is exempted by a
+// //hepccl:checked directive on the statement or loop, which must carry the
+// invariant in its comment — the escape hatch is an argument, not a mute.
+//
+// Like escapecheck, this asks the compiler itself rather than re-deriving
+// the prover's verdict from the AST, so it tracks the toolchain: a compiler
+// upgrade that loses a BCE proof fails CI instead of silently regressing
+// the serving floor. Unlike escapecheck it compiles with inlining on — the
+// positions of retained checks survive inlining, and the shipped binary is
+// the compilation being proven.
+package boundscheck
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/framework"
+	"github.com/wustl-adapt/hepccl/internal/analysis/hepcclmark"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// Gcflags is the compiler debug configuration the check builds with:
+// check_bce prints every retained IsInBounds/IsSliceInBounds, nil prints
+// every generated nil check.
+const Gcflags = "-d=ssa/check_bce/debug=1,nil"
+
+// Build compiles the packages under root with bounds-check and nil-check
+// diagnostics enabled and returns the combined compiler output. patterns
+// defaults to ./... — fixture tests pass the single fixture directory.
+func Build(root string, patterns ...string) (string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"build", "-gcflags=" + Gcflags}, patterns...)...)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("boundscheck: go build -gcflags=%s: %w\n%s", Gcflags, err, out)
+	}
+	return string(out), nil
+}
+
+var checkLine = regexp.MustCompile(`(?m)^(.+\.go):(\d+):(\d+): (Found IsInBounds|Found IsSliceInBounds|generated nil check)$`)
+
+// messages maps the compiler's wording to the diagnostic's.
+var messages = map[string]string{
+	"Found IsInBounds":      "bounds check retained",
+	"Found IsSliceInBounds": "slice bounds check retained",
+	"generated nil check":   "nil check retained",
+}
+
+// Check maps retained-check sites from compiler output onto loops inside the
+// program's hot-path closure. root anchors the compiler's relative paths.
+func Check(prog *load.Program, root, output string) []framework.Diagnostic {
+	marks := hepcclmark.Collect(prog)
+	hot := hepcclmark.ComputeHotSet(prog, marks)
+	loops := hot.LoopRanges(prog.Fset)
+	exempt := hot.MarkedRanges(prog.Fset, marks,
+		hepcclmark.Coldpath, hepcclmark.Amortized, hepcclmark.Checked)
+
+	var diags []framework.Diagnostic
+	seen := map[string]bool{}
+	for _, m := range checkLine.FindAllStringSubmatch(output, -1) {
+		file, what := m[1], m[4]
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		var hf *hepcclmark.HotFunc
+		for r, f := range loops {
+			if r.File == file && r.Start <= line && line <= r.End {
+				hf = f
+				break
+			}
+		}
+		if hf == nil {
+			continue // outside every hot loop: straight-line or cold code
+		}
+		covered := marks.LineMarked(file, line, hepcclmark.Checked)
+		for _, r := range exempt {
+			if covered {
+				break
+			}
+			covered = r.File == file && r.Start <= line && line <= r.End
+		}
+		if covered {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", file, line, col, what)
+		if seen[key] {
+			continue // inlined copies repeat the origin position per caller
+		}
+		seen[key] = true
+		diags = append(diags, framework.Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: "boundscheck",
+			Message: fmt.Sprintf("%s in a loop of hot path function %s; prove it away or justify with //hepccl:checked",
+				messages[what], hf.Describe()),
+		})
+	}
+	return diags
+}

@@ -1,0 +1,27 @@
+package boundscheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/boundscheck"
+	"github.com/wustl-adapt/hepccl/internal/analysis/load"
+)
+
+// TestBoundsCheck shells the real compiler over the fixture module (it has
+// its own go.mod, invisible to the repo's builds under testdata) and matches
+// the mapped diagnostics against the fixture's // want comments — the seeded
+// violations prove the parse, the Clean/Justified shapes prove the silence.
+func TestBoundsCheck(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "bcefix")
+	out, err := boundscheck.Build(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := load.LoadDir(dir, "bcefix")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	analysistest.Check(t, prog, boundscheck.Check(prog, dir, out))
+}

@@ -1,0 +1,94 @@
+// Package bcefix seeds retained bounds and nil checks inside hot loops for
+// the boundscheck fixture suite. Each // want line marks a check the
+// compiler provably keeps; the Clean and Justified shapes must stay silent.
+package bcefix
+
+// Sum indexes under an externally supplied bound the prover cannot tie to
+// the slice length, so every iteration re-checks.
+//
+//hepccl:hotpath
+func Sum(s []int64, n int32) int64 {
+	var t int64
+	for i := int32(0); i < n; i++ {
+		t += s[i] // want `bounds check retained`
+	}
+	return t
+}
+
+// Chase follows value-dependent indices: the inner read's index is loaded
+// from the slice itself, unprovable without the forest invariant.
+//
+//hepccl:hotpath
+func Chase(p []int32) {
+	for i := range p {
+		p[i] = p[p[i]] // want `bounds check retained`
+	}
+}
+
+// Windows reslices by data-dependent offsets.
+//
+//hepccl:hotpath
+func Windows(s []byte, offs []int) int {
+	t := 0
+	for _, o := range offs {
+		w := s[o:] // want `slice bounds check retained`
+		t += len(w)
+	}
+	return t
+}
+
+// big puts a field past the guard page, so dereferencing it needs an
+// explicit nil test — the fault trick that elides most nil checks only
+// covers small offsets.
+type big struct {
+	_ [1 << 13]byte
+	v int64
+}
+
+// Deref dereferences pointers loaded per iteration, one nil check each.
+//
+//hepccl:hotpath
+func Deref(ptrs []*big) int64 {
+	var t int64
+	for _, q := range ptrs {
+		t += q.v // want `nil check retained`
+	}
+	return t
+}
+
+// Clean iterates the indexed slice itself; BCE removes every check and the
+// analyzer must stay silent.
+//
+//hepccl:hotpath
+func Clean(s []int64) int64 {
+	var t int64
+	for i := range s {
+		t += s[i]
+	}
+	return t
+}
+
+// Justified retains the same value-dependent check as Chase, but carries the
+// invariant the prover cannot see, so the directive exempts the loop.
+//
+//hepccl:hotpath
+func Justified(p []int32) {
+	// Invariant: p is a union-find forest built by appends of self-links,
+	// so every stored value is a valid index: 0 <= p[x] <= x < len(p).
+	//hepccl:checked
+	for i := range p {
+		p[i] = p[p[i]]
+	}
+}
+
+// offPath retains checks but is outside the hot closure, so the analyzer
+// ignores it.
+func offPath(s []int64, n int) int64 {
+	var t int64
+	for i := 0; i < n; i++ {
+		t += s[i]
+	}
+	return t
+}
+
+var _ = offPath

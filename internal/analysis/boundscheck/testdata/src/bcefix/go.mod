@@ -1,0 +1,3 @@
+module bcefix
+
+go 1.24

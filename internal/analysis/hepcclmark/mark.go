@@ -18,6 +18,25 @@
 //	                                 enforces its field-access discipline
 //	//hepccl:const      (field)      spsc field is written only by
 //	                                 constructors, then read-only
+//	//hepccl:checked    (statement)  the statement's bounds/nil checks are
+//	                                 justified by an invariant the compiler
+//	                                 cannot see; boundscheck exempts its span
+//	//hepccl:pool       (type doc)   struct is a parked-worker pool;
+//	                                 barrierproto enforces its wake/done/
+//	                                 cursor protocol
+//	//hepccl:wake       (field)      pool wake channel: buffered, sent only
+//	                                 via select/default or a counted barrier
+//	                                 loop, closed only by Close
+//	//hepccl:done       (field)      pool done channel: one token back per
+//	                                 woken worker, sent from the wake-receive
+//	                                 loop, received by a matching counted loop
+//	//hepccl:cursor     (field)      pool work cursor: a sync/atomic type,
+//	                                 never overwritten whole
+//	//hepccl:accounted  (field)      counter in the gateway accounting
+//	                                 identity; acctproto requires the acctmu
+//	                                 mutex held at every mutation
+//	//hepccl:acctmu     (field)      the mutex guarding accounted-counter
+//	                                 mutations (the charge/settle mutex)
 //
 // A statement directive sits on the statement's first line or the line
 // directly above it.
@@ -40,7 +59,21 @@ const (
 	Amortized = "amortized"
 	SPSC      = "spsc"
 	Const     = "const"
+	Checked   = "checked"
+	Pool      = "pool"
+	Wake      = "wake"
+	Done      = "done"
+	Cursor    = "cursor"
+	Accounted = "accounted"
+	AcctMu    = "acctmu"
 )
+
+// Kinds lists every directive verb the suite understands; marklint reports
+// anything else as a typo rather than silently ignoring it.
+var Kinds = []string{
+	Hotpath, Coldpath, Amortized, SPSC, Const,
+	Checked, Pool, Wake, Done, Cursor, Accounted, AcctMu,
+}
 
 const prefix = "//hepccl:"
 
@@ -75,6 +108,11 @@ func Collect(prog *load.Program) *Marks {
 	return m
 }
 
+// ParseKind extracts the directive kind from one comment line, or "" when
+// the comment is not a //hepccl: directive. The verb is everything up to the
+// first space or tab, so unknown verbs come back verbatim for marklint.
+func ParseKind(text string) string { return parseKind(text) }
+
 // parseKind extracts the directive kind from one comment line, or "".
 func parseKind(text string) string {
 	if !strings.HasPrefix(text, prefix) {
@@ -85,6 +123,14 @@ func parseKind(text string) string {
 		kind = kind[:i]
 	}
 	return kind
+}
+
+// LineMarked reports whether the file has a kind directive on the given line
+// or the line directly above it — the statement-directive placement rule,
+// applied to a bare source position (the shelled-compiler cross-checks have
+// positions, not AST nodes).
+func (m *Marks) LineMarked(file string, line int, kind string) bool {
+	return m.has(file, line, kind) || m.has(file, line-1, kind)
 }
 
 // has reports whether the file has a kind directive on the given line.
@@ -270,6 +316,13 @@ type LineRange struct {
 // //hepccl:amortized statement inside hot functions — allocations the
 // escape-mode cross-check must not count against the hot path.
 func (hs *HotSet) ExemptRanges(fset *token.FileSet, marks *Marks) []LineRange {
+	return hs.MarkedRanges(fset, marks, Coldpath, Amortized)
+}
+
+// MarkedRanges returns the line spans of every statement inside a hot
+// function carrying one of the given directives. The span covers the whole
+// statement, so one directive on a loop exempts the loop body.
+func (hs *HotSet) MarkedRanges(fset *token.FileSet, marks *Marks, kinds ...string) []LineRange {
 	var out []LineRange
 	for _, hf := range hs.Funcs {
 		ast.Inspect(hf.Decl.Body, func(n ast.Node) bool {
@@ -277,11 +330,33 @@ func (hs *HotSet) ExemptRanges(fset *token.FileSet, marks *Marks) []LineRange {
 			if !ok {
 				return true
 			}
-			if marks.NodeMarked(stmt, Coldpath) || marks.NodeMarked(stmt, Amortized) {
-				start := fset.Position(stmt.Pos())
-				end := fset.Position(stmt.End())
-				out = append(out, LineRange{File: start.Filename, Start: start.Line, End: end.Line})
-				return false
+			for _, kind := range kinds {
+				if marks.NodeMarked(stmt, kind) {
+					start := fset.Position(stmt.Pos())
+					end := fset.Position(stmt.End())
+					out = append(out, LineRange{File: start.Filename, Start: start.Line, End: end.Line})
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// LoopRanges returns the line span of every for/range statement inside the
+// hot closure, keyed by the owning hot function — the scope of the
+// boundscheck rule, which cares about checks the branch predictor pays for
+// per iteration, not straight-line ones.
+func (hs *HotSet) LoopRanges(fset *token.FileSet) map[LineRange]*HotFunc {
+	out := map[LineRange]*HotFunc{}
+	for _, hf := range hs.Funcs {
+		ast.Inspect(hf.Decl.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				start := fset.Position(n.Pos())
+				end := fset.Position(n.End())
+				out[LineRange{File: start.Filename, Start: start.Line, End: end.Line}] = hf
 			}
 			return true
 		})

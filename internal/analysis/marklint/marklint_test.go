@@ -1,0 +1,12 @@
+package marklint_test
+
+import (
+	"testing"
+
+	"github.com/wustl-adapt/hepccl/internal/analysis/analysistest"
+	"github.com/wustl-adapt/hepccl/internal/analysis/marklint"
+)
+
+func TestMarkLint(t *testing.T) {
+	analysistest.Run(t, "testdata", marklint.Analyzer, "markfix")
+}

@@ -26,8 +26,11 @@ func (u *DenseUF) Reset(n int) {
 		u.parent = make([]int32, n)
 	}
 	u.parent = u.parent[:n]
-	for i := range u.parent {
-		u.parent[i] = int32(i)
+	// A local header: writing through the field would force a reload (the
+	// store could alias u) and keep a per-element bounds check.
+	p := u.parent
+	for i := range p {
+		p[i] = int32(i)
 	}
 }
 
@@ -48,6 +51,10 @@ func (u *DenseUF) Add() int32 {
 //hepccl:hotpath
 func (u *DenseUF) Find(x int32) int32 {
 	p := u.parent
+	// The chase indexes with loaded parent values: 0 ≤ p[x] ≤ x < len(p)
+	// by union-by-minimum and path halving, a data invariant outside
+	// compiler range proofs.
+	//hepccl:checked
 	for p[x] != x {
 		p[x] = p[p[x]]
 		x = p[x]
@@ -82,6 +89,9 @@ func (u *DenseUF) Union(a, b int32) int32 {
 //hepccl:hotpath
 func (u *DenseUF) Flatten() {
 	p := u.parent
+	// The inner index is the loaded parent value, bounded by parent[i] ≤ i
+	// — see Find.
+	//hepccl:checked
 	for i := range p {
 		p[i] = p[p[i]]
 	}

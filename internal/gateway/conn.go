@@ -61,7 +61,9 @@ type upstream struct {
 
 	// mu guards the held queue and the closed transition; charge (forwarder)
 	// and ack/settle (relay) both take it, so the final remainder is exact.
-	mu sync.Mutex
+	// It is also the accounting mutex: every accounted-counter mutation tied
+	// to a charged event happens with mu held (acctproto enforces this).
+	mu sync.Mutex //hepccl:acctmu
 	// held queues the charged-but-unanswered events in write order;
 	// held[head:] are live. hepccld answers a connection's events in order,
 	// so a record always settles the queue front (a skipped entry was
@@ -142,6 +144,9 @@ func (c *clientConn) run() {
 			c.finish()
 			return
 		}
+		// offered is charged before the event touches any upstream: there is
+		// no held entry yet, so no charge/settle pair exists to race with.
+		//hepccl:checked
 		g.stats.offered.Add(1)
 		c.forward(event, buf)
 		// Flush boundary: when the read window holds no complete frame the
@@ -162,12 +167,17 @@ func (c *clientConn) forward(event uint32, raw []byte) {
 		b := c.pick(t, event)
 		if b == nil {
 			if t.routable == 0 {
+				// Pre-placement shed: the event was never charged to an
+				// upstream, so no settle can also count it.
+				//hepccl:checked
 				g.stats.shedNoBackend.Add(1)
 				return
 			}
 			// Whole chain overloaded: hold and retry — the prober refreshes
 			// health underneath us — then shed.
 			if attempt >= g.cfg.HoldRetries {
+				// Pre-placement shed, as above: never charged, no settle race.
+				//hepccl:checked
 				g.stats.shedOverload.Add(1)
 				return
 			}
@@ -177,6 +187,9 @@ func (c *clientConn) forward(event uint32, raw []byte) {
 		}
 		u, err := c.upstreamFor(b)
 		if err != nil {
+			// Dial failure: no upstream exists, the event was never charged,
+			// so this shed has no settle to race with.
+			//hepccl:checked
 			g.stats.shedBackendFailed.Add(1)
 			b.failed.Add(1)
 			g.markBackendDown(b, err)
@@ -220,12 +233,15 @@ func (c *clientConn) charge(u *upstream, event uint32, raw []byte, retried bool)
 	return true
 }
 
-// ack settles the held entry answered by a record for event id, returning
-// how many older entries were skipped over — events the backend consumed and
-// never answered, proven dropped by the later record's arrival. A record for
-// an id not held at all settles the queue front instead (positional
-// fallback, so accounting never drifts on a confused stream).
-func (u *upstream) ack(id uint32) int64 {
+// ack settles the held entry answered by a record for event id. Older
+// entries skipped over got no answer from an in-order backend, so the later
+// record's arrival proves they were dropped — they are classified
+// backend_dropped here rather than at stream end, which would misfile them
+// as failed if the connection later dies. A record for an id not held at all
+// settles the queue front instead (positional fallback, so accounting never
+// drifts on a confused stream). All counter movement happens with u.mu held:
+// a record's settle and a concurrent charge serialize on the same lock.
+func (c *clientConn) ack(u *upstream, id uint32) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	j := u.head
@@ -236,11 +252,25 @@ func (u *upstream) ack(id uint32) int64 {
 	}
 	if j == len(u.held) {
 		if u.head == len(u.held) {
-			return 0 // nothing held at all
+			// Nothing held at all: still one delivered record.
+			u.b.inflight.Add(-1)
+			u.b.relayed.Add(1)
+			c.g.stats.inflight.Add(-1)
+			c.g.stats.relayed.Add(1)
+			return
 		}
 		j = u.head
 	}
-	skipped := int64(j - u.head)
+	if skipped := int64(j - u.head); skipped > 0 {
+		u.b.inflight.Add(-skipped)
+		u.b.dropped.Add(uint64(skipped))
+		c.g.stats.inflight.Add(-skipped)
+		c.g.stats.shedBackendDropped.Add(uint64(skipped))
+	}
+	u.b.inflight.Add(-1)
+	u.b.relayed.Add(1)
+	c.g.stats.inflight.Add(-1)
+	c.g.stats.relayed.Add(1)
 	for i := u.head; i <= j; i++ {
 		u.free = append(u.free, u.held[i].raw)
 		u.held[i].raw = nil
@@ -254,7 +284,6 @@ func (u *upstream) ack(id uint32) int64 {
 		u.held = u.held[:n]
 		u.head = 0
 	}
-	return skipped
 }
 
 // pick chooses a backend for the event's slot chain: ring order starting at
@@ -401,20 +430,7 @@ func (c *clientConn) relay(u *upstream) {
 			c.settle(u, err)
 			return
 		}
-		if skipped := u.ack(adapt.RecordEventID(rec)); skipped > 0 {
-			// Per-connection FIFO order: entries older than this record got
-			// no answer, so the backend dropped them. Classify them now —
-			// waiting for stream end would only misfile them as failed if
-			// the connection later dies.
-			u.b.inflight.Add(-skipped)
-			u.b.dropped.Add(uint64(skipped))
-			c.g.stats.inflight.Add(-skipped)
-			c.g.stats.shedBackendDropped.Add(uint64(skipped))
-		}
-		u.b.inflight.Add(-1)
-		u.b.relayed.Add(1)
-		c.g.stats.inflight.Add(-1)
-		c.g.stats.relayed.Add(1)
+		c.ack(u, adapt.RecordEventID(rec))
 		c.writeRecord(rec, sc.Buffered() >= adapt.RecordHeaderBytes)
 	}
 }
@@ -430,35 +446,44 @@ func (c *clientConn) settle(u *upstream, err error) {
 	u.held = nil
 	u.head = 0
 	u.free = nil
-	u.mu.Unlock()
+	// Classify the remainder while still holding the lock: a forwarder
+	// racing charge against this settle either lands its entry in held
+	// (settled here) or observes closed and re-picks — the shared critical
+	// section is what makes the accounting identity exact.
 	left := int64(len(held))
 	if left > 0 {
 		u.b.inflight.Add(-left)
 		c.g.stats.inflight.Add(-left)
 	}
-	if err == io.EOF {
+	clean := err == io.EOF
+	var spent uint64
+	var fresh []heldEvent
+	if clean {
 		if left > 0 {
 			u.b.dropped.Add(uint64(left))
 			c.g.stats.shedBackendDropped.Add(uint64(left))
 		}
-		return
-	}
-	// Mark the backend down first: the rebuild routes the resubmissions'
-	// pick away from the connection that just died.
-	c.g.markBackendDown(u.b, err)
-	var spent uint64
-	fresh := held[:0]
-	for i := range held {
-		if held[i].retried {
-			spent++
-		} else {
-			fresh = append(fresh, held[i])
+	} else {
+		fresh = held[:0]
+		for i := range held {
+			if held[i].retried {
+				spent++
+			} else {
+				fresh = append(fresh, held[i])
+			}
+		}
+		if spent > 0 {
+			u.b.failed.Add(spent)
+			c.g.stats.shedBackendFailed.Add(spent)
 		}
 	}
-	if spent > 0 {
-		u.b.failed.Add(spent)
-		c.g.stats.shedBackendFailed.Add(spent)
+	u.mu.Unlock()
+	if clean {
+		return
 	}
+	// Mark the backend down before resubmitting: the rebuild routes the
+	// resubmissions' pick away from the connection that just died.
+	c.g.markBackendDown(u.b, err)
 	if len(fresh) > 0 {
 		c.resubmit(fresh, u.b)
 	}
@@ -483,14 +508,20 @@ func (c *clientConn) resubmit(events []heldEvent, dead *Backend) {
 			targets[b] = u // a nil caches the dial failure
 		}
 		if u == nil {
+			// Retry dial failed: the event is no longer charged anywhere
+			// (its dead upstream already settled it out), so this terminal
+			// shed has no concurrent settle to race with.
 			b.failed.Add(1)
+			//hepccl:checked
 			g.stats.shedBackendFailed.Add(1)
 			continue
 		}
 		if !c.charge(u, he.event, he.raw, true) {
 			// The retry target died under us mid-batch and its relay
-			// settled; this event was never written there.
+			// settled; this event was never written there, so it is charged
+			// nowhere and the shed cannot be double-counted.
 			b.failed.Add(1)
+			//hepccl:checked
 			g.stats.shedBackendFailed.Add(1)
 			continue
 		}
@@ -532,10 +563,15 @@ func (c *clientConn) placeRetry(event uint32, dead *Backend) *Backend {
 			return b
 		}
 		if t.routable == 0 {
+			// The resubmitted event was settled out of its dead upstream
+			// before placeRetry ran; it is charged nowhere now.
+			//hepccl:checked
 			g.stats.shedNoBackend.Add(1)
 			return nil
 		}
 		if attempt >= g.cfg.HoldRetries {
+			// Same as above: uncharged between settle and re-placement.
+			//hepccl:checked
 			g.stats.shedOverload.Add(1)
 			return nil
 		}

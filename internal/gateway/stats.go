@@ -16,16 +16,20 @@ import (
 // retried is supplementary, not a bucket: it counts events resubmitted to a
 // new owner after a backend death, each of which still terminates exactly
 // once — so offered == relayed + shed + inflight holds with retries active.
+// The //hepccl:accounted fields are the identity's terms; acctproto requires
+// every mutation to hold the charging upstream's //hepccl:acctmu mutex, or to
+// carry a //hepccl:checked justification for why no charge/settle race exists
+// (the pre-placement sheds, charged before any upstream does).
 type gwStats struct {
-	offered            atomic.Uint64
-	relayed            atomic.Uint64
+	offered            atomic.Uint64 //hepccl:accounted
+	relayed            atomic.Uint64 //hepccl:accounted
 	retried            atomic.Uint64
-	shedOverload       atomic.Uint64
-	shedNoBackend      atomic.Uint64
-	shedBackendFailed  atomic.Uint64
-	shedBackendDropped atomic.Uint64
+	shedOverload       atomic.Uint64 //hepccl:accounted
+	shedNoBackend      atomic.Uint64 //hepccl:accounted
+	shedBackendFailed  atomic.Uint64 //hepccl:accounted
+	shedBackendDropped atomic.Uint64 //hepccl:accounted
 	clientErrors       atomic.Uint64
-	inflight           atomic.Int64
+	inflight           atomic.Int64 //hepccl:accounted
 	conns              atomic.Int64
 }
 

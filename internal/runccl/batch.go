@@ -158,16 +158,22 @@ func (b *Batch) AddRun(row, start, end int32, sum, colm int64) {
 	// the non-advancing k scan handles.
 	a := start - b.dil
 	bb := end + b.dil
-	j := b.cursor
-	ends := b.rEnd
-	for j < b.prevHi && ends[j] <= a {
+	// Slicing both run arrays to prevHi puts the sweep bound in the slice
+	// header, and the uint32 round trip proves the cursor non-negative, so
+	// neither sweep carries a bounds check.
+	j := int(uint32(b.cursor))
+	ends := b.rEnd[:b.prevHi]
+	for j < len(ends) && ends[j] <= a {
 		j++
 	}
-	b.cursor = j
-	starts := b.rStart
+	b.cursor = int32(j)
+	starts := b.rStart[:b.prevHi]
 	p := b.parent
-	for k := j; k < b.prevHi && starts[k] < bb; k++ {
-		unionPred(p, i, k)
+	// A second uint32 round trip: j's non-negativity does not survive the
+	// skip loop's phi, so re-prove it for the merge sweep.
+	for k := int(uint32(j)); k < len(starts) && starts[k] < bb; k++ {
+		//hepccl:checked inlined unionPred chases loaded parent pointers; see its invariant
+		unionPred(p, i, int32(k))
 	}
 }
 
@@ -180,10 +186,16 @@ func (b *Batch) AddRun(row, start, end int32, sum, colm int64) {
 //
 //hepccl:hotpath
 func unionPred(p []int32, a, b int32) {
+	// Both chases index with loaded parent values. Entries are initialized
+	// to their own index and unions only ever store smaller roots, so
+	// 0 ≤ p[x] ≤ x < len(p) throughout — a data invariant no compiler
+	// range proof covers.
+	//hepccl:checked
 	for p[a] != a {
 		p[a] = p[p[a]]
 		a = p[a]
 	}
+	//hepccl:checked
 	for p[b] != b {
 		p[b] = p[p[b]]
 		b = p[b]
@@ -204,6 +216,9 @@ func unionPred(p []int32, a, b int32) {
 //hepccl:hotpath
 func (b *Batch) Resolve() {
 	p := b.parent
+	// The inner index is the loaded parent value: parent[i] ≤ i < len(p)
+	// (the smaller root always survives a union), out of range-proof reach.
+	//hepccl:checked
 	for i := range p {
 		p[i] = p[p[i]]
 	}
@@ -237,11 +252,21 @@ func (b *Batch) Islands(ev int, dst []Island) []Island {
 	islSum := b.islSum[:n]
 	islRowM := b.islRowM[:n]
 	islColM := b.islColM[:n]
-	p := b.parent
+	// Event-local views put the run range in the slice headers, so the
+	// i-indexed loads below are check-free.
+	pp := b.parent[lo:hi]
+	rEnd := b.rEnd[lo:hi:hi]
+	rStart := b.rStart[lo:hi:hi]
+	rSum := b.rSum[lo:hi:hi]
+	rRow := b.rRow[lo:hi:hi]
+	rColM := b.rColM[lo:hi:hi]
 	k := int32(0)
-	for i := lo; i < hi; i++ {
-		// Unions never cross events, so the root lies in [lo, hi).
-		root := p[i] - lo
+	// The remap and isl* indexes are loaded or counted labels: unions never
+	// cross events, so root ∈ [0, n), and cl ∈ [1, k] with k ≤ n — data
+	// invariants outside compiler range proofs.
+	//hepccl:checked
+	for i := range pp {
+		root := pp[i] - lo
 		cl := remap[root]
 		if cl == 0 {
 			k++
@@ -252,10 +277,10 @@ func (b *Batch) Islands(ev int, dst []Island) []Island {
 			islRowM[cl-1] = 0
 			islColM[cl-1] = 0
 		}
-		islPix[cl-1] += uint32(b.rEnd[i] - b.rStart[i])
-		islSum[cl-1] += b.rSum[i]
-		islRowM[cl-1] += int64(b.rRow[i]) * b.rSum[i]
-		islColM[cl-1] += b.rColM[i]
+		islPix[cl-1] += uint32(rEnd[i] - rStart[i])
+		islSum[cl-1] += rSum[i]
+		islRowM[cl-1] += int64(rRow[i]) * rSum[i]
+		islColM[cl-1] += rColM[i]
 	}
 	base := len(dst)
 	//hepccl:amortized
@@ -265,13 +290,19 @@ func (b *Batch) Islands(ev int, dst []Island) []Island {
 		dst = grown
 	}
 	dst = dst[: base+int(k) : cap(dst)]
-	out := dst[base:]
-	for l := int32(0); l < k; l++ {
+	// Reslicing every array to the island count k lets the compiler carry
+	// one shared bound through the copy loop.
+	out := dst[base:][:k]
+	pix := islPix[:k]
+	sums := islSum[:k]
+	rowm := islRowM[:k]
+	colm := islColM[:k]
+	for l := range out {
 		out[l] = Island{
-			Pixels: islPix[l],
-			Sum:    islSum[l],
-			RowQ16: q16Ratio(islRowM[l], islSum[l]),
-			ColQ16: q16Ratio(islColM[l], islSum[l]),
+			Pixels: pix[l],
+			Sum:    sums[l],
+			RowQ16: q16Ratio(rowm[l], sums[l]),
+			ColQ16: q16Ratio(colm[l], sums[l]),
 		}
 	}
 	return dst
@@ -285,6 +316,10 @@ func (b *Batch) Islands(ev int, dst []Island) []Island {
 // batch machinery sees exactly what the fast path would have produced.
 func (b *Batch) ExtractEvent(bitmap []uint64, values []grid.Value) {
 	wpr := (b.cols + 63) / 64
+	// The packed-frame contract sizes bitmap to rows·wpr words and values to
+	// rows·cols samples; the row sub-slices below are in range by that
+	// contract, which the compiler cannot see across the call boundary.
+	//hepccl:checked
 	for r := 0; r < b.rows; r++ {
 		words := bitmap[r*wpr : (r+1)*wpr]
 		rowBase := r * b.cols
@@ -318,8 +353,11 @@ func (b *Batch) ExtractEvent(bitmap []uint64, values []grid.Value) {
 // hands it to AddRun.
 func (b *Batch) addExtracted(row, start, end int32, rowVals []grid.Value) {
 	var sum, colm int64
-	for c := start; c < end; c++ {
-		v := int64(rowVals[c])
+	// One check at the reslice replaces a per-sample check: the loop bound
+	// is the slice length and the uint32 round trip proves start ≥ 0.
+	vals := rowVals[:end]
+	for c := int(uint32(start)); c < len(vals); c++ {
+		v := int64(vals[c])
 		sum += v
 		colm += int64(c) * v
 	}

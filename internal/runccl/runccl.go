@@ -156,9 +156,14 @@ func (e *Engine) extract(bitmap []uint64) {
 		return
 	}
 	runs := e.runs[:0]
-	for r := 0; r < e.rows; r++ {
-		e.rowOff[r] = int32(len(runs))
-		words := bitmap[r*e.wpr : (r+1)*e.wpr]
+	wpr := e.wpr
+	rowOff := e.rowOff[:e.rows]
+	for r := range rowOff {
+		rowOff[r] = int32(len(runs))
+		// Label's entry check pins len(bitmap) to rows·wpr, so the per-row
+		// window is in range — a contract the compiler cannot see from here.
+		//hepccl:checked
+		words := bitmap[r*wpr : (r+1)*wpr]
 		openStart, openEnd := int32(-1), int32(-1)
 		for w, x := range words {
 			base := int32(w) << 6
@@ -195,7 +200,9 @@ func (e *Engine) extract(bitmap []uint64) {
 // run costs two TrailingZeros64 and one carry-clear.
 func (e *Engine) extractNarrow(bitmap []uint64) {
 	runs := e.runs[:0]
-	rowOff := e.rowOff
+	// One row per word, so tying the offsets view to the bitmap's length
+	// makes the per-row store check-free.
+	rowOff := e.rowOff[:len(bitmap)]
 	for r, x := range bitmap {
 		rowOff[r] = int32(len(runs))
 		for x != 0 {
@@ -209,7 +216,7 @@ func (e *Engine) extractNarrow(bitmap []uint64) {
 			x &= x + 1<<uint(s)
 		}
 	}
-	rowOff[e.rows] = int32(len(runs))
+	e.rowOff[e.rows] = int32(len(runs))
 	e.runs = runs
 }
 
@@ -225,22 +232,39 @@ func (e *Engine) connect() {
 	if e.eight {
 		dil = 1
 	}
-	rowOff := e.rowOff
-	for r := 1; r < e.rows; r++ {
-		lo, hiOff := rowOff[r-1], rowOff[r]
-		cur, curEnd := hiOff, rowOff[r+1]
+	rowOff := e.rowOff[:e.rows+1]
+	if len(rowOff) < 3 {
+		return // a single row has no vertical adjacency
+	}
+	// Three equal-length shifted views of the fence let one range bound
+	// cover all three per-row loads.
+	offA := rowOff[: len(rowOff)-2 : len(rowOff)-2]
+	offB := rowOff[1 : len(rowOff)-1 : len(rowOff)-1]
+	offC := rowOff[2:]
+	for r := range offA {
+		lo, hiOff := offA[r], offB[r]
+		cur, curEnd := hiOff, offC[r]
 		if lo == hiOff || cur == curEnd {
 			continue // an empty row cannot connect its neighbors
 		}
-		j := lo
-		for i := cur; i < curEnd; i++ {
-			a := runs[i].start - dil
-			b := runs[i].end + dil
-			for j < hiOff && runs[j].end <= a {
+		// Row-local views: two checks per row pair here (the fence values
+		// are loads the compiler cannot bound — rowOff is monotone with
+		// rowOff[rows] == len(runs)) buy check-free two-pointer sweeps.
+		//hepccl:checked
+		prev := runs[lo:hiOff]
+		//hepccl:checked same fence invariant
+		cur2 := runs[cur:curEnd]
+		jj := 0
+		for i := range cur2 {
+			a := cur2[i].start - dil
+			b := cur2[i].end + dil
+			j := int(uint32(jj))
+			for j < len(prev) && prev[j].end <= a {
 				j++
 			}
-			for k := j; k < hiOff && runs[k].start < b; k++ {
-				e.uf.Union(i, k)
+			jj = j
+			for k := int(uint32(j)); k < len(prev) && prev[k].start < b; k++ {
+				e.uf.Union(cur+int32(i), lo+int32(k))
 			}
 		}
 	}
@@ -277,11 +301,18 @@ func (e *Engine) accumulate(values []grid.Value, dst []Island) []Island {
 	}
 	dst = dst[: base+nr : cap(dst)]
 	out := dst[base:]
-	runs, rowOff := e.runs, e.rowOff
+	rows, cols := e.rows, e.cols
+	runs, rowOff := e.runs, e.rowOff[:rows+1]
 	rowM, colM := e.rowM, e.colM
 	k := int32(0)
-	for row := 0; row < e.rows; row++ {
-		rowBase := int32(row * e.cols)
+	// The island-label indexes below (root, cl) are loaded or counted
+	// values: Flatten pins root < nr and compact numbering keeps cl ≤ k ≤
+	// nr, invariants outside compiler range proofs. Everything provable —
+	// the row fence, the run loads, the per-pixel value loads — is hoisted
+	// into per-row and per-run slice headers instead.
+	//hepccl:checked
+	for row := 0; row < rows; row++ {
+		rowVals := values[row*cols:][:cols]
 		for i := rowOff[row]; i < rowOff[row+1]; i++ {
 			root := e.uf.Root(i)
 			cl := remap[root]
@@ -295,8 +326,9 @@ func (e *Engine) accumulate(values []grid.Value, dst []Island) []Island {
 			}
 			rn := runs[i]
 			var sum, colm int64
-			for c := rn.start; c < rn.end; c++ {
-				v := int64(values[rowBase+c])
+			vals := rowVals[:rn.end]
+			for c := int(uint32(rn.start)); c < len(vals); c++ {
+				v := int64(vals[c])
 				sum += v
 				colm += int64(c) * v
 			}
@@ -307,10 +339,15 @@ func (e *Engine) accumulate(values []grid.Value, dst []Island) []Island {
 			colM[cl] += colm
 		}
 	}
-	for l := int32(1); l <= k; l++ {
-		is := &out[l-1]
-		is.RowQ16 = q16Ratio(rowM[l], is.Sum)
-		is.ColQ16 = q16Ratio(colM[l], is.Sum)
+	// Reslicing everything to the island count k gives the finish loop one
+	// shared bound.
+	fin := out[:k]
+	rm := rowM[1 : 1+len(fin)]
+	cm := colM[1 : 1+len(fin)]
+	for l := range fin {
+		is := &fin[l]
+		is.RowQ16 = q16Ratio(rm[l], is.Sum)
+		is.ColQ16 = q16Ratio(cm[l], is.Sum)
 	}
 	return dst[:base+int(k)]
 }

@@ -53,10 +53,12 @@ func putEvent(e *event) { e.c = nil; eventPool.Put(e) }
 // Because at most QueueDepth events are admitted across the worker's
 // connections and every ingest ring holds at least QueueDepth, an admitted
 // event's ring push can never find the ring full.
+//
+//hepccl:pool
 type worker struct {
-	fill   atomic.Int64  // admitted, not yet drained; bounded by QueueDepth
+	fill   atomic.Int64  //hepccl:cursor — admitted, not yet drained; bounded by QueueDepth
 	parked atomic.Bool   // worker is about to park (or parked) on wake
-	wake   chan struct{} // capacity 1: producers nudge a parked worker
+	wake   chan struct{} //hepccl:wake — capacity 1: producers nudge a parked worker
 
 	mu    sync.Mutex
 	conns []*conn // connections assigned to this lane (accept adds, drain prunes)
@@ -99,22 +101,49 @@ func (w *worker) notify() {
 func (w *worker) drain(dst []*event) []*event {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	n := len(w.conns)
+	conns := w.conns
+	n := len(conns)
 	if n == 0 {
 		return dst
 	}
-	if w.next >= n {
-		w.next = 0
+	// Round-robin as two provable chunks, [next, n) then [0, next): the
+	// split happens inside one branch where next < n is a direct fact, so
+	// both reslices (and the range loops) carry no bounds checks — the
+	// modulus form defeats the prover.
+	next := w.next
+	head := conns[:0]
+	tail := conns
+	if next > 0 && next < n {
+		head = conns[:next]
+		tail = conns[next:]
+	} else {
+		next = 0
 	}
-	for i := 0; i < n && len(dst) < cap(dst); i++ {
-		c := w.conns[(w.next+i)%n]
+	for _, c := range tail {
+		if len(dst) >= cap(dst) {
+			break
+		}
 		k := c.in.popBatch(dst[len(dst):cap(dst)])
 		if k > 0 {
 			w.fill.Add(int64(-k))
+			// popBatch returns at most the spare capacity it was handed.
+			//hepccl:checked
 			dst = dst[:len(dst)+k]
 		}
 	}
-	w.next++
+	for _, c := range head {
+		if len(dst) >= cap(dst) {
+			break
+		}
+		k := c.in.popBatch(dst[len(dst):cap(dst)])
+		if k > 0 {
+			w.fill.Add(int64(-k))
+			// popBatch returns at most the spare capacity it was handed.
+			//hepccl:checked
+			dst = dst[:len(dst)+k]
+		}
+	}
+	w.next = next + 1
 	w.prune()
 	return dst
 }
@@ -126,18 +155,33 @@ func (w *worker) drain(dst []*event) []*event {
 func (w *worker) popOne() (*event, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	n := len(w.conns)
-	if w.next >= n {
-		w.next = 0
+	conns := w.conns
+	// Same two-chunk round-robin as drain; base recovers the absolute
+	// connection index for the resume cursor.
+	next := w.next
+	head := conns[:0]
+	tail := conns
+	base := 0
+	if next > 0 && next < len(conns) {
+		head = conns[:next]
+		tail = conns[next:]
+		base = next
 	}
-	for i := 0; i < n; i++ {
-		j := (w.next + i) % n
-		if ev, ok := w.conns[j].in.pop(); ok {
-			w.next = j + 1
+	for k, c := range tail {
+		if ev, ok := c.in.pop(); ok {
+			w.next = base + k + 1
 			w.fill.Add(-1)
 			return ev, true
 		}
 	}
+	for k, c := range head {
+		if ev, ok := c.in.pop(); ok {
+			w.next = k + 1
+			w.fill.Add(-1)
+			return ev, true
+		}
+	}
+	w.next = base
 	w.prune()
 	return nil, false
 }

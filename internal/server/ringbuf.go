@@ -60,7 +60,14 @@ func (r *ring[T]) push(v T) bool {
 	if t-r.head.Load() > r.mask {
 		return false
 	}
-	r.buf[t&r.mask] = v
+	// Masking with len(buf)-1 (== mask, by construction) under the
+	// emptiness guard is what lets the compiler prove the store in range —
+	// including when push inlines into a caller's retry loop.
+	buf := r.buf
+	if len(buf) == 0 {
+		return false
+	}
+	buf[t&uint64(len(buf)-1)] = v
 	r.tail.Store(t + 1)
 	return true
 }
@@ -75,8 +82,16 @@ func (r *ring[T]) pop() (T, bool) {
 	if h == r.tail.Load() {
 		return zero, false
 	}
-	v := r.buf[h&r.mask]
-	r.buf[h&r.mask] = zero
+	// Same shape as push: the len-derived mask plus the emptiness guard
+	// prove the slot access in range, even when pop inlines into the
+	// worker's round-robin scan.
+	buf := r.buf
+	if len(buf) == 0 {
+		return zero, false
+	}
+	i := h & uint64(len(buf)-1)
+	v := buf[i]
+	buf[i] = zero
 	r.head.Store(h + 1)
 	return v, true
 }
@@ -96,10 +111,17 @@ func (r *ring[T]) popBatch(dst []T) int {
 	if n > len(dst) {
 		n = len(dst)
 	}
+	// Same shape as push: the len-derived mask plus the emptiness guard
+	// prove both slot accesses in range, so the drain loop runs check-free.
+	buf := r.buf
+	if len(buf) == 0 {
+		return 0
+	}
+	mask := uint64(len(buf) - 1)
 	for i := 0; i < n; i++ {
-		j := (h + uint64(i)) & r.mask
-		dst[i] = r.buf[j]
-		r.buf[j] = zero
+		j := (h + uint64(i)) & mask
+		dst[i] = buf[j]
+		buf[j] = zero
 	}
 	r.head.Store(h + uint64(n))
 	return n

@@ -125,6 +125,8 @@ type ordIsl struct {
 // identical to runccl.Engine's, so the serving path's zero-suppression fills
 // either engine's bitmap with the same litWord/litMask tables. Label may be
 // called from one goroutine at a time; the pool synchronizes internally.
+//
+//hepccl:pool
 type Engine struct {
 	rows, cols, wpr    int
 	eight              bool
@@ -141,11 +143,11 @@ type Engine struct {
 	// the caller between barriers, so the channel edge orders it.
 	bitmap []uint64
 	values []grid.Value
-	next   atomic.Int64
+	next   atomic.Int64 //hepccl:cursor
 	job    int32
 
-	wake   chan struct{} // one token per background worker per event
-	done   chan struct{} // one token back per background worker
+	wake   chan struct{} //hepccl:wake — one token per background worker per event
+	done   chan struct{} //hepccl:done — one token back per background worker
 	closed bool
 
 	// Merge-phase scratch. The g* reduction arenas are written by the pool
@@ -390,6 +392,10 @@ const scatterParallelMin = 1024
 //hepccl:hotpath
 func (e *Engine) runScatter() {
 	nt := int64(len(e.tiles))
+	// The cursor yields 0 ≤ i < nt, and base is the tiles' island prefix
+	// sum with base[i] + nIsl ≤ len(gPixels) — claim-protocol and fence
+	// invariants the compiler cannot see.
+	//hepccl:checked
 	for {
 		i := e.next.Add(1) - 1
 		if i >= nt {
@@ -412,6 +418,8 @@ func (e *Engine) runScatter() {
 func (e *Engine) runTiles(id int) {
 	w := &e.ws[id]
 	n := int64(len(e.tiles))
+	// The shared cursor yields 0 ≤ i < n by the claim protocol.
+	//hepccl:checked
 	for {
 		i := e.next.Add(1) - 1
 		if i >= n {
@@ -434,19 +442,24 @@ func (e *Engine) labelTile(w *worker, t *tile) {
 	// Identical to runccl's extractor except for the masked first/last word.
 	runs := w.runs[:0]
 	rowOff := w.rowOff[:h+1]
-	for r := 0; r < h; r++ {
-		rowOff[r] = int32(len(runs))
+	rowHead := rowOff[:h]
+	for r := range rowHead {
+		rowHead[r] = int32(len(runs))
 		wordBase := (int(t.r0) + r) * e.wpr
 		openStart, openEnd := int32(-1), int32(-1)
-		for wi := t.w0; wi <= t.w1; wi++ {
-			x := bitmap[wordBase+int(wi)]
-			if wi == t.w0 {
+		// The tile's word window lies inside the frame bitmap by the tiling
+		// construction; ranging over the row view keeps the word loads
+		// check-free.
+		//hepccl:checked
+		rowWords := bitmap[wordBase+int(t.w0) : wordBase+int(t.w1)+1]
+		for wi, x := range rowWords {
+			if wi == 0 {
 				x &= t.mask0
 			}
-			if wi == t.w1 {
+			if wi == len(rowWords)-1 {
 				x &= t.mask1
 			}
-			base := wi << 6
+			base := (t.w0 + int32(wi)) << 6
 			for x != 0 {
 				s := bits.TrailingZeros64(x)
 				n := bits.TrailingZeros64(^(x >> uint(s))) // run length 1..64
@@ -478,21 +491,34 @@ func (e *Engine) labelTile(w *worker, t *tile) {
 	if e.eight {
 		dil = 1
 	}
-	for r := 1; r < h; r++ {
-		lo, hiOff := rowOff[r-1], rowOff[r]
-		cur, curEnd := hiOff, rowOff[r+1]
-		if lo == hiOff || cur == curEnd {
-			continue
-		}
-		j := lo
-		for i := cur; i < curEnd; i++ {
-			a := runs[i].start - dil
-			b := runs[i].end + dil
-			for j < hiOff && runs[j].end <= a {
-				j++
+	// The same shifted-fence and row-local-view shapes as runccl.connect:
+	// per-row-pair checks on the fence loads buy check-free sweeps.
+	if len(rowOff) >= 3 {
+		offA := rowOff[: len(rowOff)-2 : len(rowOff)-2]
+		offB := rowOff[1 : len(rowOff)-1 : len(rowOff)-1]
+		offC := rowOff[2:]
+		for r := range offA {
+			lo, hiOff := offA[r], offB[r]
+			cur, curEnd := hiOff, offC[r]
+			if lo == hiOff || cur == curEnd {
+				continue
 			}
-			for k := j; k < hiOff && runs[k].start < b; k++ {
-				w.uf.Union(i, k)
+			//hepccl:checked the row fence is monotone with rowOff[h] == len(runs)
+			prev := runs[lo:hiOff]
+			//hepccl:checked same fence invariant
+			cur2 := runs[cur:curEnd]
+			jj := 0
+			for i := range cur2 {
+				a := cur2[i].start - dil
+				b := cur2[i].end + dil
+				j := int(uint32(jj))
+				for j < len(prev) && prev[j].end <= a {
+					j++
+				}
+				jj = j
+				for k := int(uint32(j)); k < len(prev) && prev[k].start < b; k++ {
+					w.uf.Union(cur+int32(i), lo+int32(k))
+				}
 			}
 		}
 	}
@@ -526,9 +552,15 @@ func (e *Engine) labelTile(w *worker, t *tile) {
 	values := e.values
 	cols := e.cols
 	k := int32(0)
+	// As in runccl.accumulate: the island-label indexes (root, cl) are
+	// loaded or counted values with root < nr and cl ≤ k ≤ nr; the provable
+	// checks — per-pixel value loads — are hoisted into per-row and per-run
+	// slice headers instead.
+	//hepccl:checked
 	for r := 0; r < h; r++ {
 		row := int(t.r0) + r
 		rowBase := int64(row) * int64(cols)
+		rowVals := values[rowBase:][:cols]
 		for i := rowOff[r]; i < rowOff[r+1]; i++ {
 			root := w.uf.Root(i)
 			cl := remap[root]
@@ -545,8 +577,9 @@ func (e *Engine) labelTile(w *worker, t *tile) {
 			runIsl[i] = cl - 1
 			rn := runs[i]
 			var sum, colm int64
-			for c := rn.start; c < rn.end; c++ {
-				v := int64(values[rowBase+int64(c)])
+			vals := rowVals[:rn.end]
+			for c := int(uint32(rn.start)); c < len(vals); c++ {
+				v := int64(vals[c])
 				sum += v
 				colm += int64(c) * v
 			}
@@ -562,13 +595,17 @@ func (e *Engine) labelTile(w *worker, t *tile) {
 	// with their island ids, and the per-row islands touching the left and
 	// right tile edges.
 	top := t.topRuns[:0]
-	for i := rowOff[0]; i < rowOff[1]; i++ {
-		top = append(top, bRun{runs[i].start, runs[i].end, runIsl[i]})
+	topRuns := runs[rowOff[0]:rowOff[1]]
+	topIsl := runIsl[rowOff[0]:rowOff[1]]
+	for i := range topRuns {
+		top = append(top, bRun{topRuns[i].start, topRuns[i].end, topIsl[i]})
 	}
 	t.topRuns = top
 	bot := t.botRuns[:0]
-	for i := rowOff[h-1]; i < rowOff[h]; i++ {
-		bot = append(bot, bRun{runs[i].start, runs[i].end, runIsl[i]})
+	botRuns := runs[rowOff[h-1]:rowOff[h]]
+	botIsl := runIsl[rowOff[h-1]:rowOff[h]]
+	for i := range botRuns {
+		bot = append(bot, bRun{botRuns[i].start, botRuns[i].end, botIsl[i]})
 	}
 	t.botRuns = bot
 	//hepccl:amortized
@@ -578,6 +615,9 @@ func (e *Engine) labelTile(w *worker, t *tile) {
 	}
 	left := t.left[:h]
 	right := t.right[:h]
+	// The fence loads and the edge-run loads they bound are loaded values
+	// (rowOff is monotone with rowOff[h] == len(runs)).
+	//hepccl:checked
 	for r := 0; r < h; r++ {
 		left[r], right[r] = -1, -1
 		lo, hi := rowOff[r], rowOff[r+1]
@@ -606,8 +646,10 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 	tiles := e.tiles
 	base := e.base
 	n := int32(0)
+	// A tile-count view of base ties the prefix-sum store to the range bound.
+	bh := base[:len(tiles)]
 	for i := range tiles {
-		base[i] = n
+		bh[i] = n
 		n += tiles[i].nIsl
 	}
 	base[len(tiles)] = n
@@ -666,6 +708,9 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 	for tr := 0; tr+1 < e.trows; tr++ {
 		upper := e.upper[:0]
 		lower := e.lower[:0]
+		// Tile-grid products stay inside the tiles/base arrays by the grid
+		// construction (tr < trows-1, tc < tcols).
+		//hepccl:checked
 		for tc := 0; tc < e.tcols; tc++ {
 			t := &tiles[tr*e.tcols+tc]
 			for _, br := range t.botRuns {
@@ -677,14 +722,18 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 			}
 		}
 		e.upper, e.lower = upper, lower
-		j := 0
+		jj := 0
 		for i := range lower {
 			a := lower[i].start - dil
 			b := lower[i].end + dil
+			// Re-prove the persistent cursor each row: its non-negativity
+			// does not survive the loop phi.
+			j := int(uint32(jj))
 			for j < len(upper) && upper[j].end <= a {
 				j++
 			}
-			for k := j; k < len(upper) && upper[k].start < b; k++ {
+			jj = j
+			for k := int(uint32(j)); k < len(upper) && upper[k].start < b; k++ {
 				guf.Union(lower[i].isl, upper[k].isl)
 			}
 		}
@@ -694,6 +743,10 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 	// matching. Same-row adjacency for 4-way; 8-way adds the two diagonals
 	// within the band — diagonals that leave the band cross a tile corner and
 	// are already covered by the dilated horizontal-seam sweep above.
+	// Tile-grid products index inside tiles/base by construction, and
+	// horizontally adjacent tiles share their band's height, so the edge
+	// lists are equal-length — neither visible to compiler range proofs.
+	//hepccl:checked
 	for tr := 0; tr < e.trows; tr++ {
 		for tc := 0; tc+1 < e.tcols; tc++ {
 			lt := &tiles[tr*e.tcols+tc]
@@ -729,6 +782,9 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 	// root < member, so one ascending fold after Flatten is complete.
 	guf.Flatten()
 	k := 0
+	// Roots are loaded parent values with root ≤ member < nn — the
+	// union-by-minimum invariant, outside compiler range proofs.
+	//hepccl:checked
 	for x := 0; x < nn; x++ {
 		r := guf.Root(int32(x))
 		if int(r) == x {
@@ -753,6 +809,8 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 		e.ord = make([]ordIsl, k)
 	}
 	ord := e.ord[:0]
+	// Same root invariant as the reduction above.
+	//hepccl:checked
 	for x := 0; x < nn; x++ {
 		if int(guf.Root(int32(x))) == x {
 			ord = append(ord, ordIsl{gMinPos[x], int32(x)})
@@ -769,7 +827,10 @@ func (e *Engine) merge(dst []runccl.Island) []runccl.Island {
 		dst = grown
 	}
 	dst = dst[:b+k]
-	out := dst[b:]
+	out := dst[b:][:len(ord)]
+	// Every ord entry's node is a root < nn, an invariant of the reduction
+	// pass the compiler cannot carry into the gather loads.
+	//hepccl:checked
 	for i := range ord {
 		x := ord[i].node
 		out[i] = runccl.Island{
@@ -822,10 +883,15 @@ func (e *Engine) orderByPos(ord []ordIsl) {
 	tmp := e.ordTmp[:k]
 	cols := int64(e.cols)
 
+	// Every digit below is pos mod/div cols with pos = row·cols + col for
+	// an in-frame pixel, so the count indexes lie in [0, cols) and
+	// [0, rows) and the scatter targets are prefix sums bounded by k — sort
+	// invariants outside compiler range proofs.
 	cntCol := e.cntCol
 	for i := range cntCol {
 		cntCol[i] = 0
 	}
+	//hepccl:checked
 	for i := range ord {
 		cntCol[ord[i].pos%cols]++
 	}
@@ -835,6 +901,7 @@ func (e *Engine) orderByPos(ord []ordIsl) {
 		cntCol[i] = off
 		off += c
 	}
+	//hepccl:checked
 	for i := range ord {
 		c := ord[i].pos % cols
 		tmp[cntCol[c]] = ord[i]
@@ -845,6 +912,7 @@ func (e *Engine) orderByPos(ord []ordIsl) {
 	for i := range cntRow {
 		cntRow[i] = 0
 	}
+	//hepccl:checked
 	for i := range tmp {
 		cntRow[tmp[i].pos/cols]++
 	}
@@ -854,6 +922,7 @@ func (e *Engine) orderByPos(ord []ordIsl) {
 		cntRow[i] = off
 		off += c
 	}
+	//hepccl:checked
 	for i := range tmp {
 		r := tmp[i].pos / cols
 		ord[cntRow[r]] = tmp[i]
